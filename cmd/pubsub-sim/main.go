@@ -1,0 +1,118 @@
+// Command pubsub-sim runs one simulation of the reliable content-based
+// publish-subscribe system and prints its measurements.
+//
+// Examples:
+//
+//	pubsub-sim                                   # paper defaults, no recovery
+//	pubsub-sim -algo combined-pull               # with epidemic recovery
+//	pubsub-sim -algo push -eps 0.05 -n 200
+//	pubsub-sim -algo combined-pull -rho 30ms -eps 0   # reconfiguration scenario
+//	pubsub-sim -algo push -series                # dump the delivery time series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	epidemic "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pubsub-sim", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "no-recovery", "recovery algorithm: no-recovery, push, subscriber-pull, publisher-pull, combined-pull, random-pull")
+		n        = fs.Int("n", 100, "number of dispatchers (N)")
+		pimax    = fs.Int("pimax", 2, "max subscriptions per dispatcher (πmax)")
+		patterns = fs.Int("patterns", 70, "pattern universe size (Π)")
+		rate     = fs.Float64("rate", 50, "publish rate per dispatcher (events/s)")
+		eps      = fs.Float64("eps", 0.1, "per-hop link error rate (ε)")
+		rho      = fs.Duration("rho", 0, "interval between reconfigurations (ρ); 0 = none")
+		beta     = fs.Int("beta", 1500, "event buffer size (β)")
+		interval = fs.Duration("interval", 30*time.Millisecond, "gossip interval (T)")
+		pforward = fs.Float64("pforward", 0.9, "gossip forwarding probability")
+		psource  = fs.Float64("psource", 0.5, "combined-pull publisher-side probability")
+		duration = fs.Duration("duration", 25*time.Second, "simulated time")
+		seed     = fs.Int64("seed", 1, "random seed")
+		series   = fs.Bool("series", false, "also print the delivery-rate time series (TSV)")
+		traceN   = fs.Int("trace", 0, "also print the last N protocol trace records")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	a, err := epidemic.ParseAlgorithm(*algo)
+	if err != nil {
+		return err
+	}
+	p := epidemic.DefaultParams()
+	p.Seed = *seed
+	p.N = *n
+	p.PatternsPerNode = *pimax
+	p.NumPatterns = *patterns
+	p.PublishRate = *rate
+	p.Duration = *duration
+	p.Algorithm = a
+	p.Network.LossRate = *eps
+	p.Network.OOBLossRate = *eps
+	p.ReconfigInterval = *rho
+	p.Gossip.BufferSize = *beta
+	p.Gossip.GossipInterval = *interval
+	p.Gossip.PForward = *pforward
+	p.Gossip.PSource = *psource
+	if *traceN > 0 {
+		p.Trace = epidemic.NewTrace(*traceN)
+	}
+
+	start := time.Now()
+	res, err := epidemic.Run(p)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "algorithm            %v\n", a)
+	fmt.Fprintf(w, "dispatchers          N=%d (mean path %.2f hops)\n", p.N, res.MeanPathLength)
+	fmt.Fprintf(w, "workload             %.0f publish/s per dispatcher, %v simulated\n", p.PublishRate, p.Duration)
+	if *rho > 0 {
+		fmt.Fprintf(w, "reconfigurations     %d (every %v, repaired after %v)\n",
+			res.Reconfigurations, *rho, p.RepairDelay)
+	} else {
+		fmt.Fprintf(w, "link error rate      ε=%.3f\n", *eps)
+	}
+	fmt.Fprintf(w, "events published     %d\n", res.EventsPublished)
+	fmt.Fprintf(w, "delivery rate        %.2f%% (window %v–%v)\n",
+		res.DeliveryRate*100, res.Params.MeasureFrom, res.Params.MeasureTo)
+	if a != epidemic.NoRecovery {
+		fmt.Fprintf(w, "recovered share      %.2f%% of deliveries\n", res.RecoveredShare*100)
+		fmt.Fprintf(w, "losses detected      %d\n", res.EngineStats.LossesDetected)
+		fmt.Fprintf(w, "events recovered     %d (+%d duplicate retransmissions)\n",
+			res.EngineStats.Recovered, res.EngineStats.DuplicateRecoveries)
+		fmt.Fprintf(w, "gossip msgs/disp     %.0f\n", res.GossipPerDispatcher)
+		fmt.Fprintf(w, "gossip/event ratio   %.3f\n", res.GossipEventRatio)
+	}
+	fmt.Fprintf(w, "receivers per event  %.2f\n", res.ReceiversPerEvent)
+	fmt.Fprintf(w, "kernel events        %d (%.1fs wall)\n", res.KernelEvents, time.Since(start).Seconds())
+
+	if *series {
+		fmt.Fprintf(w, "\n# publish-time-bucket\tdelivery-rate\n")
+		for _, pt := range res.TimeSeries {
+			fmt.Fprintf(w, "%.2f\t%.4f\n", pt.Time.Seconds(), pt.Rate)
+		}
+	}
+	if p.Trace != nil {
+		fmt.Fprintf(w, "\n# last %d protocol trace records\n", *traceN)
+		if err := p.Trace.Dump(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsSmall(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-n", "25", "-duration", "2s", "-algo", "combined-pull", "-rate", "20",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"algorithm            combined-pull",
+		"delivery rate",
+		"gossip msgs/disp",
+		"recovered share",
+		"events published",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNoRecoveryOmitsGossipStats(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-n", "20", "-duration", "2s", "-rate", "10"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "gossip msgs/disp") {
+		t.Fatal("no-recovery output contains gossip stats")
+	}
+}
+
+func TestRunSeriesOutput(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-n", "20", "-duration", "2s", "-rate", "10", "-series"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "publish-time-bucket") {
+		t.Fatal("series header missing")
+	}
+}
+
+func TestRunReconfigurationFlag(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-n", "20", "-duration", "2s", "-rate", "10", "-eps", "0",
+		"-rho", "200ms", "-algo", "push",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "reconfigurations") {
+		t.Fatal("reconfiguration stats missing")
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-n", "15", "-duration", "1s", "-rate", "10", "-algo", "push", "-trace", "5"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "protocol trace records") || !strings.Contains(out, "total=") {
+		t.Fatalf("trace output missing:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-algo", "bogus"},
+		{"-n", "1", "-duration", "1s"},
+		{"-badflag"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package epidemic reproduces "Epidemic Algorithms for Reliable
+// Content-Based Publish-Subscribe: An Evaluation" (Costa, Migliavacca,
+// Picco, Cugola — ICDCS 2004): a discrete-event simulation of a
+// distributed content-based publish-subscribe system whose lost events
+// are recovered by epidemic (gossip) algorithms.
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - internal/sim        — discrete-event simulation kernel
+//   - internal/topology   — degree-bounded tree overlays + reconfiguration
+//   - internal/network    — 10 Mbit/s lossy links + out-of-band channel
+//   - internal/wire       — message formats and binary codec
+//   - internal/matching   — the paper's content model (patterns, events)
+//   - internal/pubsub     — subscription forwarding and event routing
+//   - internal/core       — the epidemic recovery algorithms (the
+//     paper's contribution): push, subscriber-based pull,
+//     publisher-based pull, combined pull, random pull
+//   - internal/metrics    — delivery rate, overhead, time series
+//   - internal/scenario   — full-system assembly and sweeps
+//
+// # Quick start
+//
+//	p := epidemic.DefaultParams()      // paper Fig. 2 defaults
+//	p.Algorithm = epidemic.CombinedPull
+//	res, err := epidemic.Run(p)
+//	if err != nil { ... }
+//	fmt.Printf("delivery rate: %.3f\n", res.DeliveryRate)
+//
+// Every run is deterministic under Params.Seed. Parameter sweeps run
+// concurrently with RunAll; each simulation stays single-threaded, so
+// concurrency never perturbs results.
+package epidemic
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/matching"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Trace is a bounded in-memory ring of protocol records (publishes,
+// deliveries, recoveries, transmissions, losses, reconfigurations).
+// Install one via Params.Trace to inspect what a run actually did.
+type Trace = trace.Ring
+
+// TraceRecord is one traced protocol step.
+type TraceRecord = trace.Record
+
+// TraceKind classifies trace records.
+type TraceKind = trace.Kind
+
+// Trace record kinds.
+const (
+	TracePublish  = trace.Publish
+	TraceDeliver  = trace.Deliver
+	TraceRecover  = trace.Recover
+	TraceSend     = trace.Send
+	TraceLoss     = trace.Loss
+	TraceLinkDown = trace.LinkDown
+	TraceLinkUp   = trace.LinkUp
+)
+
+// NewTrace returns a trace ring retaining the last capacity records.
+func NewTrace(capacity int) *Trace { return trace.New(capacity) }
+
+// NodeID identifies a dispatcher; PatternID identifies an event
+// pattern (a single number in the paper's content model); EventID
+// identifies an event globally.
+type (
+	NodeID    = ident.NodeID
+	PatternID = ident.PatternID
+	EventID   = ident.EventID
+)
+
+// Content is an event's content: the set of pattern numbers it
+// carries. An event matches a subscription when its content contains
+// the subscribed pattern.
+type Content = matching.Content
+
+// Event is a published event as it travels on the wire.
+type Event = wire.Event
+
+// Universe describes a pattern space and generates random content and
+// subscriptions (paper defaults: Π=70 patterns, events match ≤3).
+type Universe = matching.Universe
+
+// DefaultUniverse returns the paper's content-model constants.
+func DefaultUniverse() Universe { return matching.DefaultUniverse() }
+
+// Algorithm selects the recovery variant (paper Sec. III and IV).
+type Algorithm = core.Algorithm
+
+// The recovery algorithms evaluated in the paper.
+const (
+	// NoRecovery is the baseline: plain best-effort dispatching.
+	NoRecovery = core.NoRecovery
+	// Push gossips positive digests of cached events.
+	Push = core.Push
+	// SubscriberPull gossips negative digests toward co-subscribers.
+	SubscriberPull = core.SubscriberPull
+	// PublisherPull source-routes negative digests toward publishers.
+	PublisherPull = core.PublisherPull
+	// CombinedPull mixes the two pull variants per round (PSource).
+	CombinedPull = core.CombinedPull
+	// RandomPull routes negative digests at random (baseline).
+	RandomPull = core.RandomPull
+)
+
+// Algorithms lists every variant in the paper's presentation order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// ParseAlgorithm maps a name (e.g. "combined-pull") to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// GossipConfig carries the gossip parameters (T, β, Pforward, Psource,
+// buffer policy, Lost-buffer bounds, optional adaptive interval).
+type GossipConfig = core.Config
+
+// AdaptiveConfig tunes the adaptive gossip-interval extension.
+type AdaptiveConfig = core.AdaptiveConfig
+
+// BufferPolicy selects the event-buffer replacement policy.
+type BufferPolicy = cache.Policy
+
+// Buffer replacement policies (the paper uses FIFO).
+const (
+	FIFO   = cache.FIFOPolicy
+	Random = cache.RandomPolicy
+	LRU    = cache.LRUPolicy
+)
+
+// Params is one simulation configuration; see scenario.Params for the
+// field-by-field documentation. DefaultParams returns the paper's
+// defaults (Fig. 2).
+type Params = scenario.Params
+
+// Result carries everything one run measured.
+type Result = scenario.Result
+
+// DefaultParams returns the paper's default simulation parameters:
+// N=100 dispatchers (degree ≤ 4), Π=70 patterns, πmax=2 subscriptions
+// per dispatcher, 50 publish/s per dispatcher, ε=0.1, β=1500, T=30 ms,
+// 25 s simulated.
+func DefaultParams() Params { return scenario.DefaultParams() }
+
+// DefaultGossipConfig returns the paper's default gossip parameters for
+// the given algorithm.
+func DefaultGossipConfig(a Algorithm) GossipConfig { return core.DefaultConfig(a) }
+
+// Run executes one simulation, deterministically under p.Seed.
+func Run(p Params) (Result, error) { return scenario.Run(p) }
+
+// RunAll executes parameter sweeps concurrently (one goroutine per
+// simulation, bounded by GOMAXPROCS) and returns results in input
+// order.
+func RunAll(ps []Params) ([]Result, error) { return scenario.RunAll(ps) }

@@ -1,0 +1,74 @@
+// Livenet: the protocols outside the simulator. Twelve dispatchers run
+// as real UDP nodes on the loopback interface; 30% of data-plane
+// datagrams are dropped on every overlay hop; epidemic recovery
+// (combined pull) repairs the stream while you watch.
+//
+//	go run ./examples/livenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	epidemic "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		nodes   = 12
+		events  = 300
+		pattern = epidemic.PatternID(7)
+	)
+	var delivered, recovered atomic.Int64
+
+	cluster, err := epidemic.NewLiveCluster(nodes, 4, 1, func(i int) epidemic.LiveConfig {
+		return epidemic.LiveConfig{
+			Algorithm:      epidemic.CombinedPull,
+			GossipInterval: 10 * time.Millisecond,
+			DropProb:       0.3,
+			PForward:       1,
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	fmt.Printf("started %d UDP dispatchers on loopback, 30%% data-plane drop per hop\n", nodes)
+
+	// Every node but the publisher subscribes to the pattern.
+	for i := 1; i < nodes; i++ {
+		cluster.Nodes[i].Subscribe(pattern)
+	}
+	time.Sleep(200 * time.Millisecond) // let subscriptions flood
+
+	start := time.Now()
+	for e := 0; e < events; e++ {
+		cluster.Nodes[0].Publish(epidemic.Content{pattern})
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Give recovery a moment to drain, then report.
+	time.Sleep(2 * time.Second)
+	var inj uint64
+	for i := 0; i < nodes; i++ {
+		s := cluster.Nodes[i].Stats()
+		delivered.Add(int64(s.Delivered))
+		recovered.Add(int64(s.Recovered))
+		inj += s.DroppedInject
+	}
+	expected := int64(events * (nodes - 1))
+	fmt.Printf("\npublished %d events to %d subscribers in %v\n",
+		events, nodes-1, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("expected deliveries:  %d\n", expected)
+	fmt.Printf("actual deliveries:    %d (%.1f%%)\n",
+		delivered.Load(), 100*float64(delivered.Load())/float64(expected))
+	fmt.Printf("via gossip recovery:  %d\n", recovered.Load())
+	fmt.Printf("datagrams dropped:    %d (injected loss)\n", inj)
+	fmt.Println("\nSame wire format, same algorithms as the simulation — running")
+	fmt.Println("on real sockets.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: run the paper's default scenario (lossy links, ε = 0.1)
+// with and without epidemic recovery and print what recovery buys.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	epidemic "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's Fig. 2 defaults, scaled down so the example finishes
+	// in seconds (N=50 instead of 100, 8 s instead of 25 s).
+	base := epidemic.DefaultParams()
+	base.N = 50
+	base.Duration = 8 * time.Second
+
+	fmt.Printf("content-based publish-subscribe, N=%d dispatchers, ε=%.0f%% per-hop loss\n\n",
+		base.N, base.Network.LossRate*100)
+	fmt.Printf("%-18s %10s %12s %16s\n", "algorithm", "delivery", "recovered", "gossip/disp")
+
+	for _, algo := range []epidemic.Algorithm{
+		epidemic.NoRecovery,
+		epidemic.Push,
+		epidemic.CombinedPull,
+	} {
+		p := base
+		p.Algorithm = algo
+		res, err := epidemic.Run(p)
+		if err != nil {
+			log.Fatalf("run %v: %v", algo, err)
+		}
+		fmt.Printf("%-18s %9.1f%% %11.1f%% %16.0f\n",
+			algo, res.DeliveryRate*100, res.RecoveredShare*100, res.GossipPerDispatcher)
+	}
+
+	fmt.Println("\nPush and combined pull recover most of the events the lossy")
+	fmt.Println("links drop — the headline result of the paper's Fig. 3(a).")
+}

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/ident"
+	"repro/internal/pubsub"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// srcPattern keys the per-(source, pattern) loss-detection high-water
+// marks.
+type srcPattern struct {
+	src ident.NodeID
+	pat ident.PatternID
+}
+
+// Stats counts what one engine did. All counters are cumulative.
+type Stats struct {
+	// RoundsStarted counts gossip rounds that sent at least one digest.
+	RoundsStarted uint64
+	// RoundsSkipped counts rounds with nothing to gossip (pull rounds
+	// with an empty Lost buffer, push rounds with an empty digest or no
+	// eligible neighbor).
+	RoundsSkipped uint64
+	// LossesDetected counts sequence-gap detections.
+	LossesDetected uint64
+	// Recovered counts events newly delivered through recovery.
+	Recovered uint64
+	// DuplicateRecoveries counts retransmitted events that had already
+	// been received.
+	DuplicateRecoveries uint64
+	// RequestsSent counts push request messages sent.
+	RequestsSent uint64
+	// RetransmitsServed counts events served from the local buffer.
+	RetransmitsServed uint64
+}
+
+// Engine attaches one epidemic recovery algorithm to a dispatcher. It
+// implements pubsub.Recovery.
+type Engine struct {
+	node *pubsub.Node
+	k    *sim.Kernel
+	cfg  Config
+	rng  *rand.Rand
+
+	buf    *cache.Cache
+	patIdx map[ident.PatternID]*ident.EventIDSet
+	tagIdx map[wire.LostEntry]ident.EventID
+
+	lost    *LostBuffer
+	high    map[srcPattern]uint32
+	routes  map[ident.NodeID][]ident.NodeID
+	pending map[ident.EventID]sim.Time
+
+	ticker *sim.Ticker
+	stats  Stats
+
+	// needPatIdx/needTagIdx gate index maintenance: push digests need
+	// the per-pattern index, pull serving needs the per-tag index.
+	needPatIdx bool
+	needTagIdx bool
+
+	// requestsSinceRound feeds the adaptive controller under push,
+	// where the Lost buffer is unused.
+	requestsSinceRound int
+}
+
+var _ pubsub.Recovery = (*Engine)(nil)
+
+// NewEngine builds a recovery engine for node. The engine installs
+// itself as the node's Recovery hook. Use Start to begin gossiping.
+func NewEngine(node *pubsub.Node, cfg Config) (*Engine, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Algorithm == NoRecovery {
+		return nil, fmt.Errorf("core: %v installs no engine; use pubsub.NopRecovery", cfg.Algorithm)
+	}
+	k := node.Kernel()
+	rng := k.NewStream(0x636f7265 + int64(node.ID())) // "core" + node
+	e := &Engine{
+		node:    node,
+		k:       k,
+		cfg:     cfg,
+		rng:     rng,
+		buf:     cache.New(cfg.BufferSize, cfg.BufferPolicy, rng),
+		patIdx:  make(map[ident.PatternID]*ident.EventIDSet),
+		tagIdx:  make(map[wire.LostEntry]ident.EventID),
+		lost:    NewLostBuffer(cfg.LostCapacity, cfg.LostTTL),
+		high:    make(map[srcPattern]uint32),
+		routes:  make(map[ident.NodeID][]ident.NodeID),
+		pending: make(map[ident.EventID]sim.Time),
+
+		needPatIdx: cfg.Algorithm == Push,
+		needTagIdx: cfg.Algorithm.NeedsSeqTags(),
+	}
+	e.buf.SetOnEvict(e.unindex)
+	node.SetRecovery(e)
+	return e, nil
+}
+
+// Start begins periodic gossip rounds, desynchronized by a random
+// initial phase within one interval.
+func (e *Engine) Start() {
+	if e.ticker != nil {
+		panic("core: engine already started")
+	}
+	e.ticker = sim.NewJitteredTicker(e.k, e.cfg.GossipInterval, e.rng, e.round)
+}
+
+// Stop cancels future gossip rounds.
+func (e *Engine) Stop() {
+	if e.ticker != nil {
+		e.ticker.Stop()
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// BufferLen returns the current event-buffer occupancy.
+func (e *Engine) BufferLen() int { return e.buf.Len() }
+
+// LostLen returns the number of outstanding Lost entries.
+func (e *Engine) LostLen() int { return e.lost.Len() }
+
+// GossipInterval returns the current interval (it changes over time
+// under the adaptive extension).
+func (e *Engine) GossipInterval() sim.Time {
+	if e.ticker != nil {
+		return e.ticker.Period()
+	}
+	return e.cfg.GossipInterval
+}
+
+// OnPublish implements pubsub.Recovery: published events are cached at
+// the source (required by publisher-based pull and useful to all
+// variants).
+func (e *Engine) OnPublish(ev *wire.Event) {
+	e.index(ev)
+}
+
+// OnDeliver implements pubsub.Recovery: delivered events are cached,
+// their sequence tags drive loss detection, and their recorded route
+// refreshes the Routes buffer.
+func (e *Engine) OnDeliver(ev *wire.Event, _ ident.NodeID) {
+	e.index(ev)
+	if e.cfg.Algorithm.NeedsSeqTags() {
+		e.detect(ev)
+	}
+	if e.cfg.Algorithm.NeedsRoutes() && len(ev.Route) > 0 {
+		e.routes[ev.ID.Source] = ev.Route
+	}
+}
+
+// index buffers ev and maintains the pattern and tag indices.
+func (e *Engine) index(ev *wire.Event) {
+	if e.buf.Has(ev.ID) {
+		return
+	}
+	e.buf.Put(ev)
+	if e.needPatIdx {
+		for _, p := range ev.Content {
+			set, ok := e.patIdx[p]
+			if !ok {
+				set = ident.NewEventIDSet(8)
+				e.patIdx[p] = set
+			}
+			set.Add(ev.ID)
+		}
+	}
+	if e.needTagIdx {
+		for _, t := range ev.Tags {
+			e.tagIdx[wire.LostEntry{Source: ev.ID.Source, Pattern: t.Pattern, Seq: t.Seq}] = ev.ID
+		}
+	}
+}
+
+// unindex drops the index entries of an evicted event.
+func (e *Engine) unindex(ev *wire.Event) {
+	if e.needPatIdx {
+		for _, p := range ev.Content {
+			if set, ok := e.patIdx[p]; ok {
+				set.Remove(ev.ID)
+			}
+		}
+	}
+	if e.needTagIdx {
+		for _, t := range ev.Tags {
+			delete(e.tagIdx, wire.LostEntry{Source: ev.ID.Source, Pattern: t.Pattern, Seq: t.Seq})
+		}
+	}
+}
+
+// detect runs sequence-gap loss detection (paper Sec. III-B, "Pull"):
+// an event whose per-(source, pattern) sequence number exceeds the
+// expected one reveals the loss of every event in between.
+func (e *Engine) detect(ev *wire.Event) {
+	now := e.k.Now()
+	for _, tag := range ev.Tags {
+		if !e.node.IsLocal(tag.Pattern) {
+			continue
+		}
+		key := srcPattern{src: ev.ID.Source, pat: tag.Pattern}
+		high := e.high[key]
+		switch {
+		case tag.Seq > high:
+			for q := high + 1; q < tag.Seq; q++ {
+				e.lost.Add(wire.LostEntry{Source: ev.ID.Source, Pattern: tag.Pattern, Seq: q}, now)
+				e.stats.LossesDetected++
+			}
+			e.high[key] = tag.Seq
+		default:
+			// A late or recovered event fills its gap.
+			e.lost.Remove(wire.LostEntry{Source: ev.ID.Source, Pattern: tag.Pattern, Seq: tag.Seq})
+		}
+	}
+}
+
+// round runs one gossip round.
+func (e *Engine) round() {
+	var sent bool
+	switch e.cfg.Algorithm {
+	case Push:
+		sent = e.gossipPush()
+	case SubscriberPull:
+		sent = e.gossipSubPull()
+	case PublisherPull:
+		sent = e.gossipPubPull()
+	case CombinedPull:
+		if e.rng.Float64() < e.cfg.PSource {
+			sent = e.gossipPubPull() || e.gossipSubPull()
+		} else {
+			sent = e.gossipSubPull() || e.gossipPubPull()
+		}
+	case RandomPull:
+		sent = e.gossipRandom()
+	}
+	if sent {
+		e.stats.RoundsStarted++
+	} else {
+		e.stats.RoundsSkipped++
+	}
+	e.adapt(sent)
+	e.sweepPending()
+}
+
+// adapt implements the adaptive gossip-interval extension: shrink the
+// interval while recovery work exists, relax it while idle.
+func (e *Engine) adapt(sent bool) {
+	ad := e.cfg.Adaptive
+	if ad == nil || e.ticker == nil {
+		return
+	}
+	busy := sent
+	if e.cfg.Algorithm == Push {
+		busy = e.requestsSinceRound > 0
+	}
+	e.requestsSinceRound = 0
+	period := e.ticker.Period()
+	if busy {
+		period = sim.Time(float64(period) * ad.ShrinkFactor)
+		if period < ad.Min {
+			period = ad.Min
+		}
+	} else {
+		period = sim.Time(float64(period) * ad.GrowFactor)
+		if period > ad.Max {
+			period = ad.Max
+		}
+	}
+	e.ticker.SetPeriod(period)
+}
+
+// gossipPush starts a push round: pick a random pattern from the whole
+// subscription table, send a positive digest of the cached events
+// matching it toward the pattern's subscribers.
+func (e *Engine) gossipPush() bool {
+	ps := e.node.KnownPatterns()
+	if len(ps) == 0 {
+		return false
+	}
+	p := ps[e.rng.Intn(len(ps))]
+	set, ok := e.patIdx[p]
+	if !ok || set.Len() == 0 {
+		return false
+	}
+	msg := &wire.GossipPush{
+		Gossiper: e.node.ID(),
+		Pattern:  p,
+		Digest:   set.Sorted(),
+	}
+	return e.forwardPattern(msg, p, ident.None)
+}
+
+// forwardPattern routes a pattern-labelled gossip message like an event
+// matching p, thinning to each eligible neighbor with probability
+// PForward.
+func (e *Engine) forwardPattern(msg wire.Message, p ident.PatternID, from ident.NodeID) bool {
+	sent := false
+	for _, nb := range e.node.InterestDirections(p) {
+		if nb == from {
+			continue
+		}
+		if e.rng.Float64() < e.cfg.PForward {
+			e.node.SendTree(nb, msg)
+			sent = true
+		}
+	}
+	return sent
+}
+
+// gossipSubPull starts a subscriber-based pull round: pick a locally
+// subscribed pattern with outstanding losses and gossip a negative
+// digest toward its other subscribers.
+func (e *Engine) gossipSubPull() bool {
+	now := e.k.Now()
+	var candidates []ident.PatternID
+	for _, p := range e.node.LocalPatterns() {
+		if len(e.lost.ForPattern(p, now)) > 0 {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	p := candidates[e.rng.Intn(len(candidates))]
+	msg := &wire.GossipSubPull{
+		Gossiper: e.node.ID(),
+		Pattern:  p,
+		Wanted:   e.lost.ForPattern(p, now),
+	}
+	return e.forwardPattern(msg, p, ident.None)
+}
+
+// gossipPubPull starts a publisher-based pull round: pick a source with
+// outstanding losses and a known route, and send a negative digest back
+// along that route toward the publisher.
+func (e *Engine) gossipPubPull() bool {
+	now := e.k.Now()
+	var candidates []ident.NodeID
+	for _, s := range e.lost.Sources(now) {
+		if len(e.routes[s]) > 0 {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	s := candidates[e.rng.Intn(len(candidates))]
+	route := e.routes[s]
+	msg := &wire.GossipPubPull{
+		Gossiper: e.node.ID(),
+		Source:   s,
+		Wanted:   e.lost.ForSource(s, now),
+		Route:    route,
+		Next:     uint16(len(route) - 1),
+	}
+	e.node.SendTree(route[len(route)-1], msg)
+	return true
+}
+
+// gossipRandom starts a random-pull round: the full negative digest
+// walks the tree at random.
+func (e *Engine) gossipRandom() bool {
+	now := e.k.Now()
+	wanted := e.lost.All(now)
+	if len(wanted) == 0 {
+		return false
+	}
+	nbs := e.node.Neighbors()
+	if len(nbs) == 0 {
+		return false
+	}
+	msg := &wire.GossipRandom{Gossiper: e.node.ID(), Wanted: wanted}
+	e.node.SendTree(nbs[e.rng.Intn(len(nbs))], msg)
+	return true
+}
+
+// HandleRecovery implements pubsub.Recovery.
+func (e *Engine) HandleRecovery(from ident.NodeID, msg wire.Message, oob bool) {
+	switch m := msg.(type) {
+	case *wire.GossipPush:
+		e.onGossipPush(from, m)
+	case *wire.GossipSubPull:
+		e.onGossipSubPull(from, m)
+	case *wire.GossipPubPull:
+		e.onGossipPubPull(m)
+	case *wire.GossipRandom:
+		e.onGossipRandom(from, m)
+	case *wire.Request:
+		e.onRequest(m)
+	case *wire.Retransmit:
+		e.onRetransmit(m)
+	default:
+		panic(fmt.Sprintf("core: unexpected message %v at %v (oob=%v)", msg.Kind(), e.node.ID(), oob))
+	}
+}
+
+// onGossipPush diffs the positive digest against the received set and
+// requests missing events from the gossiper out-of-band, then keeps the
+// digest moving toward the pattern's other subscribers.
+func (e *Engine) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
+	if e.node.IsLocal(m.Pattern) {
+		now := e.k.Now()
+		var missing []ident.EventID
+		for _, id := range m.Digest {
+			if e.node.HasReceived(id) {
+				continue
+			}
+			if at, ok := e.pending[id]; ok && now-at <= e.cfg.PendingTTL {
+				continue
+			}
+			e.pending[id] = now
+			missing = append(missing, id)
+		}
+		if len(missing) > 0 {
+			e.stats.RequestsSent++
+			e.node.SendOOB(m.Gossiper, &wire.Request{Requester: e.node.ID(), IDs: missing})
+		}
+	}
+	e.forwardPattern(m, m.Pattern, from)
+}
+
+// onGossipSubPull serves wanted events from the local buffer (this node
+// need not subscribe to the gossiped pattern: it may cache the events
+// because they match a different pattern) and forwards the rest of the
+// digest.
+func (e *Engine) onGossipSubPull(from ident.NodeID, m *wire.GossipSubPull) {
+	remaining := e.serve(m.Gossiper, m.Wanted)
+	if len(remaining) == 0 {
+		return
+	}
+	fwd := &wire.GossipSubPull{Gossiper: m.Gossiper, Pattern: m.Pattern, Wanted: remaining}
+	e.forwardPattern(fwd, m.Pattern, from)
+}
+
+// onGossipPubPull serves wanted events and walks the message one hop
+// further along the recorded route toward the publisher.
+func (e *Engine) onGossipPubPull(m *wire.GossipPubPull) {
+	remaining := e.serve(m.Gossiper, m.Wanted)
+	if len(remaining) == 0 {
+		return
+	}
+	i := int(m.Next)
+	if i <= 0 || i >= len(m.Route) {
+		return // reached the publisher (or a malformed route)
+	}
+	fwd := &wire.GossipPubPull{
+		Gossiper: m.Gossiper,
+		Source:   m.Source,
+		Wanted:   remaining,
+		Route:    m.Route,
+		Next:     uint16(i - 1),
+	}
+	// The next hop was a neighbor when the route was recorded; if the
+	// topology changed since, the send is dropped by the network layer
+	// (the paper accepts exactly this risk for publisher-based pull).
+	e.node.SendTree(m.Route[i-1], fwd)
+}
+
+// onGossipRandom serves wanted events and continues the random walk
+// with probability PForward.
+func (e *Engine) onGossipRandom(from ident.NodeID, m *wire.GossipRandom) {
+	remaining := e.serve(m.Gossiper, m.Wanted)
+	if len(remaining) == 0 {
+		return
+	}
+	if e.rng.Float64() >= e.cfg.PForward {
+		return
+	}
+	var nbs []ident.NodeID
+	for _, nb := range e.node.Neighbors() {
+		if nb != from && nb != m.Gossiper {
+			nbs = append(nbs, nb)
+		}
+	}
+	if len(nbs) == 0 {
+		return
+	}
+	fwd := &wire.GossipRandom{Gossiper: m.Gossiper, Wanted: remaining}
+	e.node.SendTree(nbs[e.rng.Intn(len(nbs))], fwd)
+}
+
+// serve sends the wanted events present in the local buffer back to the
+// gossiper out-of-band and returns the entries still missing.
+func (e *Engine) serve(gossiper ident.NodeID, wanted []wire.LostEntry) []wire.LostEntry {
+	if gossiper == e.node.ID() {
+		// A stale route or random walk brought our own digest back.
+		return nil
+	}
+	var events []*wire.Event
+	seen := make(map[ident.EventID]bool, len(wanted))
+	var remaining []wire.LostEntry
+	for _, w := range wanted {
+		id, ok := e.tagIdx[w]
+		if !ok {
+			remaining = append(remaining, w)
+			continue
+		}
+		ev := e.buf.Get(id)
+		if ev == nil {
+			delete(e.tagIdx, w) // stale index entry
+			remaining = append(remaining, w)
+			continue
+		}
+		if !seen[id] {
+			seen[id] = true
+			events = append(events, ev)
+		}
+	}
+	if len(events) > 0 {
+		e.stats.RetransmitsServed += uint64(len(events))
+		e.node.SendOOB(gossiper, &wire.Retransmit{Responder: e.node.ID(), Events: events})
+	}
+	return remaining
+}
+
+// onRequest serves a push request from the local buffer.
+func (e *Engine) onRequest(m *wire.Request) {
+	e.requestsSinceRound++
+	var events []*wire.Event
+	for _, id := range m.IDs {
+		if ev := e.buf.Get(id); ev != nil {
+			events = append(events, ev)
+		}
+	}
+	if len(events) == 0 {
+		return
+	}
+	e.stats.RetransmitsServed += uint64(len(events))
+	e.node.SendOOB(m.Requester, &wire.Retransmit{Responder: e.node.ID(), Events: events})
+}
+
+// onRetransmit integrates recovered events: deliver locally, cache,
+// and feed loss detection (a recovered event can itself reveal older
+// gaps).
+func (e *Engine) onRetransmit(m *wire.Retransmit) {
+	for _, ev := range m.Events {
+		delete(e.pending, ev.ID)
+		if !e.node.DeliverRecovered(ev) {
+			e.stats.DuplicateRecoveries++
+			continue
+		}
+		e.stats.Recovered++
+		e.index(ev)
+		if e.cfg.Algorithm.NeedsSeqTags() {
+			e.detect(ev)
+		}
+	}
+}
+
+// sweepPending drops expired entries from the pending-request table so
+// it cannot grow without bound.
+func (e *Engine) sweepPending() {
+	if len(e.pending) < 1024 {
+		return
+	}
+	now := e.k.Now()
+	for id, at := range e.pending {
+		if now-at > e.cfg.PendingTTL {
+			delete(e.pending, id)
+		}
+	}
+}

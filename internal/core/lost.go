@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// LostBuffer is the Lost buffer of the pull algorithms (paper
+// Sec. III-B): the set of detected-but-not-yet-recovered events, each
+// identified by (source, pattern, per-pattern sequence number). The
+// buffer is capacity-bounded (FIFO eviction of the oldest detection)
+// and entries expire after a TTL, so undetectable or unrecoverable
+// losses do not pin memory; the paper specifies neither bound (see
+// DESIGN.md).
+type LostBuffer struct {
+	capacity int
+	ttl      sim.Time
+	entries  map[wire.LostEntry]sim.Time // detection time
+	queue    []wire.LostEntry
+	head     int
+}
+
+func NewLostBuffer(capacity int, ttl sim.Time) *LostBuffer {
+	return &LostBuffer{
+		capacity: capacity,
+		ttl:      ttl,
+		entries:  make(map[wire.LostEntry]sim.Time, capacity/4+1),
+	}
+}
+
+// Len returns the number of outstanding entries (including any that
+// have expired but were not yet swept).
+func (b *LostBuffer) Len() int { return len(b.entries) }
+
+// Add records a newly detected loss. Re-detecting an outstanding entry
+// is a no-op.
+func (b *LostBuffer) Add(e wire.LostEntry, now sim.Time) {
+	if _, ok := b.entries[e]; ok {
+		return
+	}
+	for len(b.entries) >= b.capacity {
+		b.evictOldest()
+	}
+	b.entries[e] = now
+	b.queue = append(b.queue, e)
+}
+
+func (b *LostBuffer) evictOldest() {
+	for {
+		e := b.queue[b.head]
+		b.head++
+		if b.head > 4096 && b.head*2 > len(b.queue) {
+			b.queue = append([]wire.LostEntry(nil), b.queue[b.head:]...)
+			b.head = 0
+		}
+		if _, ok := b.entries[e]; ok {
+			delete(b.entries, e)
+			return
+		}
+	}
+}
+
+// Remove deletes an entry (the event was recovered) and reports whether
+// it was outstanding.
+func (b *LostBuffer) Remove(e wire.LostEntry) bool {
+	if _, ok := b.entries[e]; !ok {
+		return false
+	}
+	delete(b.entries, e)
+	return true
+}
+
+// Has reports whether the entry is outstanding and fresh.
+func (b *LostBuffer) Has(e wire.LostEntry, now sim.Time) bool {
+	at, ok := b.entries[e]
+	if !ok {
+		return false
+	}
+	if b.expired(at, now) {
+		delete(b.entries, e)
+		return false
+	}
+	return true
+}
+
+func (b *LostBuffer) expired(at, now sim.Time) bool {
+	return b.ttl > 0 && now-at > b.ttl
+}
+
+// ForPattern returns the fresh entries whose pattern is p, in a
+// deterministic order, sweeping expired ones.
+func (b *LostBuffer) ForPattern(p ident.PatternID, now sim.Time) []wire.LostEntry {
+	return b.collect(now, func(e wire.LostEntry) bool { return e.Pattern == p })
+}
+
+// ForSource returns the fresh entries whose source is s, sweeping
+// expired ones.
+func (b *LostBuffer) ForSource(s ident.NodeID, now sim.Time) []wire.LostEntry {
+	return b.collect(now, func(e wire.LostEntry) bool { return e.Source == s })
+}
+
+// All returns every fresh entry.
+func (b *LostBuffer) All(now sim.Time) []wire.LostEntry {
+	return b.collect(now, func(wire.LostEntry) bool { return true })
+}
+
+func (b *LostBuffer) collect(now sim.Time, keep func(wire.LostEntry) bool) []wire.LostEntry {
+	var out []wire.LostEntry
+	var stale []wire.LostEntry
+	for e, at := range b.entries {
+		if b.expired(at, now) {
+			stale = append(stale, e)
+			continue
+		}
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	for _, e := range stale {
+		delete(b.entries, e)
+	}
+	sortLost(out)
+	return out
+}
+
+// Patterns returns the distinct patterns with fresh entries, sorted.
+func (b *LostBuffer) Patterns(now sim.Time) []ident.PatternID {
+	seen := make(map[ident.PatternID]bool)
+	for e, at := range b.entries {
+		if !b.expired(at, now) {
+			seen[e.Pattern] = true
+		}
+	}
+	out := make([]ident.PatternID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sources returns the distinct sources with fresh entries, sorted.
+func (b *LostBuffer) Sources(now sim.Time) []ident.NodeID {
+	seen := make(map[ident.NodeID]bool)
+	for e, at := range b.entries {
+		if !b.expired(at, now) {
+			seen[e.Source] = true
+		}
+	}
+	out := make([]ident.NodeID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortLost orders entries (source, pattern, seq) for deterministic
+// digests.
+func sortLost(ls []wire.LostEntry) {
+	sort.Slice(ls, func(i, j int) bool {
+		a, b := ls[i], ls[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Pattern != b.Pattern {
+			return a.Pattern < b.Pattern
+		}
+		return a.Seq < b.Seq
+	})
+}

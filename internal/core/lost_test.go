@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func le(src, pat, seq int) wire.LostEntry {
+	return wire.LostEntry{
+		Source:  ident32(src),
+		Pattern: pat32(pat),
+		Seq:     uint32(seq),
+	}
+}
+
+func TestLostBufferAddRemove(t *testing.T) {
+	b := NewLostBuffer(10, time.Second)
+	b.Add(le(1, 2, 3), 0)
+	b.Add(le(1, 2, 3), 0) // duplicate
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	if !b.Has(le(1, 2, 3), 0) {
+		t.Fatal("Has = false for outstanding entry")
+	}
+	if !b.Remove(le(1, 2, 3)) {
+		t.Fatal("Remove returned false")
+	}
+	if b.Remove(le(1, 2, 3)) {
+		t.Fatal("second Remove returned true")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after removal, want 0", b.Len())
+	}
+}
+
+func TestLostBufferCapacityEvictsOldest(t *testing.T) {
+	b := NewLostBuffer(3, 0)
+	for i := 1; i <= 5; i++ {
+		b.Add(le(1, 1, i), sim32(i))
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	for i := 1; i <= 2; i++ {
+		if b.Has(le(1, 1, i), sim32(10)) {
+			t.Fatalf("oldest entry %d survived eviction", i)
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if !b.Has(le(1, 1, i), sim32(10)) {
+			t.Fatalf("entry %d missing", i)
+		}
+	}
+}
+
+func TestLostBufferTTLExpiry(t *testing.T) {
+	b := NewLostBuffer(10, time.Second)
+	b.Add(le(1, 1, 1), 0)
+	b.Add(le(1, 1, 2), 900*time.Millisecond)
+	if got := b.All(1100 * time.Millisecond); len(got) != 1 || got[0] != le(1, 1, 2) {
+		t.Fatalf("All after expiry = %v, want only seq 2", got)
+	}
+	if b.Has(le(1, 1, 1), 1100*time.Millisecond) {
+		t.Fatal("expired entry still present")
+	}
+}
+
+func TestLostBufferForPatternAndSource(t *testing.T) {
+	b := NewLostBuffer(10, 0)
+	b.Add(le(1, 7, 1), 0)
+	b.Add(le(1, 8, 2), 0)
+	b.Add(le(2, 7, 3), 0)
+	if got := b.ForPattern(pat32(7), 0); len(got) != 2 {
+		t.Fatalf("ForPattern(7) = %v, want 2 entries", got)
+	}
+	if got := b.ForSource(ident32(1), 0); len(got) != 2 {
+		t.Fatalf("ForSource(1) = %v, want 2 entries", got)
+	}
+	pats := b.Patterns(0)
+	if len(pats) != 2 || pats[0] != pat32(7) || pats[1] != pat32(8) {
+		t.Fatalf("Patterns = %v, want [7 8]", pats)
+	}
+	srcs := b.Sources(0)
+	if len(srcs) != 2 || srcs[0] != ident32(1) || srcs[1] != ident32(2) {
+		t.Fatalf("Sources = %v, want [1 2]", srcs)
+	}
+}
+
+func TestLostBufferDeterministicOrder(t *testing.T) {
+	b := NewLostBuffer(100, 0)
+	b.Add(le(2, 1, 5), 0)
+	b.Add(le(1, 2, 9), 0)
+	b.Add(le(1, 2, 3), 0)
+	b.Add(le(1, 1, 7), 0)
+	got := b.All(0)
+	want := []wire.LostEntry{le(1, 1, 7), le(1, 2, 3), le(1, 2, 9), le(2, 1, 5)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("All = %v, want %v", got, want)
+		}
+	}
+}

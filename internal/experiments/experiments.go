@@ -1,0 +1,218 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (Sec. IV): given a figure identifier it builds the
+// parameter sweeps, runs the simulations, and returns the series the
+// paper plots. cmd/experiments renders them as text tables; the
+// repository's benchmark harness runs scaled-down versions.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Options tunes a figure generation run.
+type Options struct {
+	// Seed drives every simulation of the figure.
+	Seed int64
+	// Duration overrides the per-run simulated time (0 = figure
+	// default).
+	Duration sim.Time
+	// Quick shrinks the sweeps (fewer points, smaller N, shorter runs)
+	// for smoke tests and benchmarks.
+	Quick bool
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is one reproduced plot.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// generator produces the figures of one paper figure identifier.
+type generator struct {
+	title string
+	gen   func(Options) ([]Figure, error)
+}
+
+// generators maps figure identifiers to their implementations, in
+// paper order.
+var generators = map[string]generator{
+	"3a": {"Event delivery under lossy links (Fig. 3a)", fig3a},
+	"3b": {"Event delivery under topological reconfigurations (Fig. 3b)", fig3b},
+	"4a": {"Effect of buffer size on delivery (Fig. 4 top)", fig4a},
+	"4b": {"Effect of gossip interval on delivery (Fig. 4 bottom)", fig4b},
+	"5":  {"Interplay of buffer size and gossip interval, combined pull (Fig. 5)", fig5},
+	"6":  {"Delivery as the system size increases (Fig. 6)", fig6},
+	"7":  {"Receivers per event vs subscriptions per dispatcher (Fig. 7)", fig7},
+	"8":  {"Delivery vs subscriptions per dispatcher under low/high load (Fig. 8)", fig8},
+	"9a": {"Gossip overhead vs system size (Fig. 9a)", fig9a},
+	"9b": {"Gossip overhead vs subscriptions per dispatcher (Fig. 9b)", fig9b},
+	"10": {"Gossip overhead vs link error rate (Fig. 10)", fig10},
+
+	// Extensions beyond the paper (see DESIGN.md Sec. 5 and
+	// ablations.go).
+	"x-pforward":     {"EXTENSION: sensitivity to the forwarding probability Pforward", xPForward},
+	"x-psource":      {"EXTENSION: sensitivity of combined pull to Psource", xPSource},
+	"x-bufferpolicy": {"EXTENSION: buffer replacement policy ablation (after [13])", xBufferPolicy},
+	"x-adaptive":     {"EXTENSION: adaptive vs fixed gossip interval (after [14])", xAdaptive},
+	"x-latency":      {"EXTENSION: recovery latency percentiles per algorithm", xLatency},
+	"x-variance":     {"PAPER Sec. IV-A: delivery-rate spread across seeds", xVariance},
+	"x-puregossip":   {"PAPER Sec. V: hpcast-style pure gossip vs tree + recovery", xPureGossip},
+}
+
+// IDs returns every figure identifier in paper order.
+func IDs() []string {
+	out := make([]string, 0, len(generators))
+	for id := range generators {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns the title of a figure identifier.
+func Title(id string) (string, error) {
+	g, ok := generators[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown figure %q (have %v)", id, IDs())
+	}
+	return g.title, nil
+}
+
+// Generate reproduces the figure(s) for one identifier.
+func Generate(id string, opt Options) ([]Figure, error) {
+	g, ok := generators[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, IDs())
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	return g.gen(opt)
+}
+
+// deliveryAlgorithms is the full per-figure algorithm set of the
+// delivery plots (paper legend order).
+func deliveryAlgorithms(opt Options) []core.Algorithm {
+	if opt.Quick {
+		return []core.Algorithm{core.NoRecovery, core.Push, core.CombinedPull}
+	}
+	return core.Algorithms()
+}
+
+// base returns the paper-default parameters adjusted by opt.
+func base(opt Options, defaultDuration sim.Time) scenario.Params {
+	p := scenario.DefaultParams()
+	p.Seed = opt.Seed
+	p.Duration = defaultDuration
+	if opt.Duration > 0 {
+		p.Duration = opt.Duration
+	}
+	if opt.Quick {
+		p.N = 40
+		p.Duration = 4 * time.Second
+		p.MeasureFrom = 500 * time.Millisecond
+		p.MeasureTo = p.Duration - time.Second
+	}
+	return p
+}
+
+// sweep runs one parameter sweep per algorithm: configure(p, x) adapts
+// the base parameters to the x-value; each entry of measures extracts
+// one y-value per run, yielding one Series set per measure (several
+// paper figures plot two metrics of the same runs). Algorithms for
+// which the x-parameter is irrelevant (xIndependent) are run once and
+// replicated across the axis.
+type sweep struct {
+	xs           []float64
+	algorithms   []core.Algorithm
+	xIndependent func(core.Algorithm) bool
+	configure    func(p *scenario.Params, x float64)
+	measures     []func(scenario.Result) float64
+}
+
+func (s sweep) run(p0 scenario.Params) ([][]Series, error) {
+	var params []scenario.Params
+	type slot struct {
+		algo core.Algorithm
+		xi   int // -1 for the x-independent single run
+	}
+	var slots []slot
+	for _, a := range s.algorithms {
+		if s.xIndependent != nil && s.xIndependent(a) {
+			p := p0
+			p.Algorithm = a
+			s.configure(&p, s.xs[0])
+			params = append(params, p)
+			slots = append(slots, slot{algo: a, xi: -1})
+			continue
+		}
+		for xi, x := range s.xs {
+			p := p0
+			p.Algorithm = a
+			s.configure(&p, x)
+			params = append(params, p)
+			slots = append(slots, slot{algo: a, xi: xi})
+		}
+	}
+	results, err := scenario.RunAll(params)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Series, len(s.measures))
+	for mi, measure := range s.measures {
+		bySeries := make(map[core.Algorithm][]Point)
+		for i, r := range results {
+			y := measure(r)
+			if slots[i].xi < 0 {
+				for _, x := range s.xs {
+					bySeries[slots[i].algo] = append(bySeries[slots[i].algo], Point{X: x, Y: y})
+				}
+				continue
+			}
+			bySeries[slots[i].algo] = append(bySeries[slots[i].algo], Point{X: s.xs[slots[i].xi], Y: y})
+		}
+		for _, a := range s.algorithms {
+			pts := bySeries[a]
+			sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+			out[mi] = append(out[mi], Series{Name: a.String(), Points: pts})
+		}
+	}
+	return out, nil
+}
+
+// runOne is the common single-measure case.
+func (s sweep) runOne(p0 scenario.Params) ([]Series, error) {
+	all, err := s.run(p0)
+	if err != nil {
+		return nil, err
+	}
+	return all[0], nil
+}
+
+// seconds converts virtual time to float seconds for plotting.
+func seconds(t sim.Time) float64 { return float64(t) / float64(time.Second) }
+
+// round2 keeps printed values stable.
+func round2(v float64) float64 { return math.Round(v*10000) / 10000 }

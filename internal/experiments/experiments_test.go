@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsCoverEveryPaperFigure(t *testing.T) {
+	want := []string{"3a", "3b", "4a", "4b", "5", "6", "7", "8", "9a", "9b", "10"}
+	have := make(map[string]bool)
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("figure %q missing from IDs()", id)
+		}
+	}
+	for _, id := range IDs() {
+		if _, err := Title(id); err != nil {
+			t.Errorf("Title(%q): %v", id, err)
+		}
+	}
+}
+
+func TestTitleUnknown(t *testing.T) {
+	if _, err := Title("nope"); err == nil {
+		t.Fatal("Title accepted unknown id")
+	}
+	if _, err := Generate("nope", Options{}); err == nil {
+		t.Fatal("Generate accepted unknown id")
+	}
+}
+
+func TestGenerateFig7Quick(t *testing.T) {
+	figs, err := Generate("7", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("%d figures, want 1", len(figs))
+	}
+	f := figs[0]
+	if len(f.Series) != 1 || len(f.Series[0].Points) == 0 {
+		t.Fatalf("series = %+v, want one populated series", f.Series)
+	}
+	// Receivers per event must grow with πmax (the figure's whole
+	// point).
+	pts := f.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y <= pts[i-1].Y {
+			t.Fatalf("receivers not increasing: %v", pts)
+		}
+	}
+}
+
+func TestGenerateTimeSeriesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several small simulations")
+	}
+	figs, err := Generate("3a", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("%d figures, want 2 (ε=0.05 and ε=0.1)", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 3 { // quick mode: no-recovery, push, combined
+			t.Fatalf("%s: %d series, want 3", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("%s/%s: empty series", f.ID, s.Name)
+			}
+		}
+	}
+}
+
+func TestGenerateSweepQuickXIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several small simulations")
+	}
+	figs, err := Generate("4a", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	// The no-recovery reference is x-independent: same Y at every β.
+	for _, s := range f.Series {
+		if s.Name != "no-recovery" {
+			continue
+		}
+		if len(s.Points) != 3 {
+			t.Fatalf("no-recovery has %d points, want 3", len(s.Points))
+		}
+		for _, p := range s.Points[1:] {
+			if p.Y != s.Points[0].Y {
+				t.Fatalf("no-recovery not flat: %v", s.Points)
+			}
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	f := Figure{
+		ID: "t", Title: "Test", XLabel: "x", YLabel: "y",
+		Notes: []string{"note"},
+		Series: []Series{
+			{Name: "alpha", Points: []Point{{X: 1, Y: 0.5}, {X: 2, Y: 0.75}}},
+			{Name: "beta", Points: []Point{{X: 2, Y: 1}}},
+		},
+	}
+	var b strings.Builder
+	if err := Render(f, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# t — Test", "# note", "# y: y",
+		"alpha", "beta", "0.5", "0.75",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	// Series beta has no point at x=1: rendered as "-".
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var row1 string
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "1 ") || strings.HasSuffix(l, "-") {
+			row1 = l
+		}
+	}
+	if !strings.Contains(row1, "-") {
+		t.Fatalf("missing-point marker not rendered:\n%s", out)
+	}
+}
+
+// TestGenerateAllQuick smokes every figure generator (paper figures
+// and extensions) in Quick mode: each must produce non-empty,
+// renderable figures without error.
+func TestGenerateAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every generator")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			figs, err := Generate(id, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("Generate(%q): %v", id, err)
+			}
+			if len(figs) == 0 {
+				t.Fatalf("Generate(%q) returned no figures", id)
+			}
+			for _, f := range figs {
+				if len(f.Series) == 0 {
+					t.Fatalf("%s: no series", f.ID)
+				}
+				for _, s := range f.Series {
+					if len(s.Points) == 0 {
+						t.Fatalf("%s/%s: empty series", f.ID, s.Name)
+					}
+				}
+				var text, svg strings.Builder
+				if err := Render(f, &text); err != nil {
+					t.Fatalf("%s: Render: %v", f.ID, err)
+				}
+				if err := RenderSVG(f, &svg); err != nil {
+					t.Fatalf("%s: RenderSVG: %v", f.ID, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	f := Figure{
+		ID: "t", Title: `Test <&> "quotes"`, XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "alpha", Points: []Point{{X: 1, Y: 0.5}, {X: 2, Y: 0.75}, {X: 3, Y: 0.9}}},
+			{Name: "beta", Points: []Point{{X: 1, Y: 0.2}, {X: 3, Y: 0.4}}},
+		},
+	}
+	var b strings.Builder
+	if err := RenderSVG(f, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"alpha", "beta",
+		"&lt;&amp;&gt;", // escaping
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out[:200])
+		}
+	}
+	if strings.Contains(out, `Test <&>`) {
+		t.Fatal("unescaped markup in SVG")
+	}
+	// Empty figures are rejected.
+	if err := RenderSVG(Figure{ID: "e"}, &b); err == nil {
+		t.Fatal("empty figure rendered")
+	}
+}
+
+func TestRenderSVGFlatSeries(t *testing.T) {
+	// A single flat series (zero y-range) must not divide by zero.
+	f := Figure{
+		ID: "flat", Title: "flat", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", Points: []Point{{X: 1, Y: 0.5}, {X: 2, Y: 0.5}}}},
+	}
+	var b strings.Builder
+	if err := RenderSVG(f, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") || strings.Contains(b.String(), "Inf") {
+		t.Fatal("degenerate coordinates in SVG")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {0.5, "0.5"}, {0.75, "0.75"}, {0, "0"},
+		{1234, "1234"}, {0.0001, "0.0001"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.in); got != tt.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestBufferForPersistence(t *testing.T) {
+	// At the paper defaults (N=100, πmax=2, Π=70, 50/s) the fill rate
+	// is ≈466 events/s, so a 4 s persistence needs β≈1860.
+	got := bufferForPersistence(4e9, 100, 50, 2, 70, 3)
+	if got < 1500 || got > 2200 {
+		t.Fatalf("bufferForPersistence = %d, want ≈1860", got)
+	}
+	// Linear-ish growth with N (the paper's conservative scaling).
+	if b200 := bufferForPersistence(4e9, 200, 50, 2, 70, 3); b200 < 3*got/2 {
+		t.Fatalf("β(200) = %d vs β(100) = %d: not scaling with N", b200, got)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Render writes a figure as an aligned text table: one row per x-value,
+// one column per series — the same data a gnuplot script would consume
+// to redraw the paper's chart.
+func Render(f Figure, w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	fmt.Fprintf(&b, "# y: %s\n", f.YLabel)
+
+	// Collect the union of x-values across series.
+	xset := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xset[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	// Header.
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = trimFloat(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			pad := widths[i] - len(cell)
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			continue
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// trimFloat prints a float without trailing zero noise.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// RenderAll renders several figures separated by blank lines.
+func RenderAll(figs []Figure, w io.Writer) error {
+	for i, f := range figs {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := Render(f, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

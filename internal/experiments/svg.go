@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderSVG draws a figure as a simple line chart (stdlib only), so a
+// regenerated figure can be compared against the paper's plot at a
+// glance. The chart is intentionally minimal: axes, ticks, one
+// polyline per series, and a legend.
+func RenderSVG(f Figure, w io.Writer) error {
+	const (
+		width   = 720
+		height  = 440
+		left    = 70
+		right   = 40
+		top     = 50
+		bottom  = 60
+		legendX = left + 12
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("experiments: figure %s has no points", f.ID)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	// Pad the y-range; delivery-rate charts look best pinned near
+	// [min, 1].
+	pad := (maxY - minY) * 0.08
+	if pad == 0 {
+		pad = math.Abs(maxY)*0.1 + 0.1
+	}
+	minY -= pad
+	maxY += pad
+
+	xpix := func(x float64) float64 { return left + (x-minX)/(maxX-minX)*plotW }
+	ypix := func(y float64) float64 { return top + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	// A small qualitative palette (distinct, color-blind friendly).
+	colors := []string{"#332288", "#117733", "#44AA99", "#DDCC77", "#CC6677", "#882255", "#88CCEE"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		left, escape(f.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top+int(plotH), left+int(plotW), top+int(plotH))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top, left, top+int(plotH))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		px := xpix(fx)
+		py := ypix(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px, top+int(plotH), px, top+int(plotH)+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, top+int(plotH)+20, trimFloat(fx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			left-5, py, left, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			left-8, py+4, trimFloat(fy))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, height-12, escape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, escape(f.YLabel))
+
+	// Series.
+	for si, s := range f.Series {
+		color := colors[si%len(colors)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpix(p.X), ypix(p.Y)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s"/>`+"\n",
+				xpix(p.X), ypix(p.Y), color)
+		}
+		// Legend entry.
+		ly := top + 8 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			legendX, ly, legendX+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			legendX+28, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

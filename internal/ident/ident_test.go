@@ -1,0 +1,68 @@
+package ident
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringers(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{NodeID(3).String(), "node(3)"},
+		{None.String(), "node(none)"},
+		{PatternID(7).String(), "pattern(7)"},
+		{NoPattern.String(), "pattern(none)"},
+		{EventID{Source: 2, Seq: 9}.String(), "event(2:9)"},
+		{PatternSeq{Pattern: 4, Seq: 1}.String(), "pattern(4)#1"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestEventIDLessIsTotalOrder(t *testing.T) {
+	f := func(s1, s2 int32, q1, q2 uint32) bool {
+		a := EventID{Source: NodeID(s1), Seq: q1}
+		b := EventID{Source: NodeID(s2), Seq: q2}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a) // exactly one direction holds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventIDSet(t *testing.T) {
+	s := NewEventIDSet(4)
+	a := EventID{Source: 1, Seq: 1}
+	b := EventID{Source: 0, Seq: 2}
+	if !s.Add(a) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(a) {
+		t.Fatal("duplicate Add returned true")
+	}
+	s.Add(b)
+	if s.Len() != 2 || !s.Has(a) || !s.Has(b) {
+		t.Fatal("set contents wrong")
+	}
+	sorted := s.Sorted()
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) }) {
+		t.Fatalf("Sorted() not in order: %v", sorted)
+	}
+	if sorted[0] != b {
+		t.Fatalf("Sorted()[0] = %v, want %v (source-major order)", sorted[0], b)
+	}
+	if !s.Remove(a) || s.Remove(a) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if s.Len() != 1 || s.Has(a) {
+		t.Fatal("Remove did not delete the element")
+	}
+}

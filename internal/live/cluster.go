@@ -1,0 +1,64 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+
+	"repro/internal/ident"
+	"repro/internal/topology"
+)
+
+// Cluster is a set of live dispatchers on the loopback interface,
+// connected in a random degree-bounded tree like the paper's overlay.
+type Cluster struct {
+	Nodes []*Node
+	Topo  *topology.Tree
+}
+
+// NewCluster starts n live dispatchers and wires them into a random
+// tree with node degree at most maxDegree. mkcfg produces each node's
+// configuration (ID and Bind are filled in by the cluster). On error,
+// every node already started is closed.
+func NewCluster(n, maxDegree int, seed int64, mkcfg func(i int) Config) (*Cluster, error) {
+	topo, err := topology.New(n, maxDegree, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("live: building overlay: %w", err)
+	}
+	c := &Cluster{Topo: topo}
+	for i := 0; i < n; i++ {
+		cfg := mkcfg(i)
+		cfg.ID = ident.NodeID(i)
+		cfg.Bind = "127.0.0.1:0"
+		if cfg.Seed == 0 {
+			cfg.Seed = seed
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("live: starting node %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	dir := make(map[ident.NodeID]*net.UDPAddr, n)
+	for _, node := range c.Nodes {
+		dir[node.ID()] = node.Addr()
+	}
+	for _, node := range c.Nodes {
+		node.SetDirectory(dir)
+	}
+	for _, l := range topo.Links() {
+		c.Nodes[l.A].AddNeighbor(l.B, c.Nodes[l.B].Addr())
+		c.Nodes[l.B].AddNeighbor(l.A, c.Nodes[l.A].Addr())
+	}
+	return c, nil
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		if n != nil {
+			_ = n.Close()
+		}
+	}
+}

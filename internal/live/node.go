@@ -1,0 +1,392 @@
+// Package live runs the paper's protocols for real: dispatchers are
+// processes communicating over UDP sockets (stdlib net only), not
+// simulated components on a virtual clock. It reuses the simulator's
+// building blocks — the wire codec, the content model, the β-bounded
+// event buffer, the Lost buffer — and re-implements subscription
+// forwarding, reverse-path event routing, and the epidemic recovery
+// algorithms against real time and real I/O.
+//
+// The package exists for two reasons: it demonstrates that the
+// simulated protocols are implementable as-is (the simulator and the
+// live node speak the same wire format), and it gives downstream users
+// a deployable starting point rather than only a simulation.
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/wire"
+)
+
+// Config parameterizes one live dispatcher.
+type Config struct {
+	// ID identifies this dispatcher; must be unique in the network.
+	ID ident.NodeID
+	// Bind is the UDP address to listen on; empty means 127.0.0.1:0.
+	Bind string
+	// Algorithm selects the recovery variant (NoRecovery disables
+	// gossip entirely).
+	Algorithm core.Algorithm
+	// GossipInterval is T. Zero means 30 ms.
+	GossipInterval time.Duration
+	// BufferSize is β. Zero means 1500.
+	BufferSize int
+	// PForward and PSource are the gossip probabilities. Zero means
+	// 0.9 and 0.5.
+	PForward, PSource float64
+	// LostCapacity and LostTTL bound the Lost buffer. Zero means 4096
+	// entries and 10 s.
+	LostCapacity int
+	LostTTL      time.Duration
+	// DropProb injects Bernoulli loss on outgoing tree-link sends —
+	// the lossy-links scenario over real sockets. OOB traffic is not
+	// dropped.
+	DropProb float64
+	// Seed drives the node's randomized choices. Zero means 1.
+	Seed int64
+	// OnDeliver, when non-nil, observes every local delivery. It is
+	// called outside the node's lock, from the node's goroutines.
+	OnDeliver func(ev *wire.Event, recovered bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bind == "" {
+		c.Bind = "127.0.0.1:0"
+	}
+	if c.Algorithm == 0 {
+		c.Algorithm = core.NoRecovery
+	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = 30 * time.Millisecond
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 1500
+	}
+	if c.PForward == 0 {
+		c.PForward = 0.9
+	}
+	if c.PSource == 0 {
+		c.PSource = 0.5
+	}
+	if c.LostCapacity == 0 {
+		c.LostCapacity = 4096
+	}
+	if c.LostTTL == 0 {
+		c.LostTTL = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Stats is a snapshot of a live node's counters.
+type Stats struct {
+	Published      uint64
+	Delivered      uint64
+	Recovered      uint64
+	LossesDetected uint64
+	GossipSent     uint64
+	EventsSent     uint64
+	Served         uint64
+	DroppedInject  uint64
+}
+
+// Node is one live dispatcher.
+type Node struct {
+	cfg   Config
+	conn  *net.UDPConn
+	start time.Time
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	neighbors map[ident.NodeID]*net.UDPAddr
+	directory map[ident.NodeID]*net.UDPAddr
+	local     map[ident.PatternID]bool
+	table     map[ident.PatternID][]ident.NodeID
+	nextSeq   uint32
+	patSeq    map[ident.PatternID]uint32
+	received  *ident.EventIDSet
+
+	buf     *cache.Cache
+	patIdx  map[ident.PatternID]*ident.EventIDSet
+	tagIdx  map[wire.LostEntry]ident.EventID
+	lost    *core.LostBuffer
+	high    map[srcPattern]uint32
+	routes  map[ident.NodeID][]ident.NodeID
+	pending map[ident.EventID]time.Time
+
+	stats Stats
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+type srcPattern struct {
+	src ident.NodeID
+	pat ident.PatternID
+}
+
+// NewNode binds a UDP socket and starts the node's receive loop (and
+// gossip loop when recovery is enabled). Close releases everything.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	addr, err := net.ResolveUDPAddr("udp", cfg.Bind)
+	if err != nil {
+		return nil, fmt.Errorf("live: resolving %q: %w", cfg.Bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listening on %q: %w", cfg.Bind, err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*0x9e3779b9))
+	n := &Node{
+		cfg:       cfg,
+		conn:      conn,
+		start:     time.Now(),
+		rng:       rng,
+		neighbors: make(map[ident.NodeID]*net.UDPAddr),
+		directory: make(map[ident.NodeID]*net.UDPAddr),
+		local:     make(map[ident.PatternID]bool),
+		table:     make(map[ident.PatternID][]ident.NodeID),
+		patSeq:    make(map[ident.PatternID]uint32),
+		received:  ident.NewEventIDSet(64),
+		buf:       cache.New(cfg.BufferSize, cache.FIFOPolicy, nil),
+		patIdx:    make(map[ident.PatternID]*ident.EventIDSet),
+		tagIdx:    make(map[wire.LostEntry]ident.EventID),
+		lost:      core.NewLostBuffer(cfg.LostCapacity, cfg.LostTTL),
+		high:      make(map[srcPattern]uint32),
+		routes:    make(map[ident.NodeID][]ident.NodeID),
+		pending:   make(map[ident.EventID]time.Time),
+		done:      make(chan struct{}),
+	}
+	n.buf.SetOnEvict(n.unindexLocked)
+
+	n.wg.Add(1)
+	go n.readLoop()
+	if cfg.Algorithm != core.NoRecovery {
+		n.wg.Add(1)
+		go n.gossipLoop()
+	}
+	return n, nil
+}
+
+// ID returns the dispatcher identifier.
+func (n *Node) ID() ident.NodeID { return n.cfg.ID }
+
+// Addr returns the bound UDP address.
+func (n *Node) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns a snapshot of the counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the node down: the socket is closed and all goroutines
+// are joined.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.done)
+		err = n.conn.Close()
+		n.wg.Wait()
+	})
+	return err
+}
+
+// SetDirectory installs the id→address map used by out-of-band sends.
+// The map is copied.
+func (n *Node) SetDirectory(dir map[ident.NodeID]*net.UDPAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id, a := range dir {
+		n.directory[id] = a
+	}
+}
+
+// AddNeighbor attaches a tree link toward the given dispatcher and
+// advertises every known interest over it, exactly as OnLinkUp does in
+// the simulator.
+func (n *Node) AddNeighbor(id ident.NodeID, addr *net.UDPAddr) {
+	n.mu.Lock()
+	n.neighbors[id] = addr
+	n.directory[id] = addr
+	var subs []ident.PatternID
+	for p := range n.local {
+		subs = append(subs, p)
+	}
+	for p := range n.table {
+		if !n.local[p] && n.advertisedToLocked(p, id) {
+			subs = append(subs, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range subs {
+		n.sendTree(id, &wire.Subscribe{Pattern: p})
+	}
+}
+
+// RemoveNeighbor detaches a tree link and flushes every route through
+// it (OnLinkDown).
+func (n *Node) RemoveNeighbor(id ident.NodeID) {
+	n.mu.Lock()
+	delete(n.neighbors, id)
+	var stale []ident.PatternID
+	for p, dirs := range n.table {
+		for _, d := range dirs {
+			if d == id {
+				stale = append(stale, p)
+				break
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range stale {
+		n.mu.Lock()
+		outs := n.removeInterestLocked(p, id)
+		n.mu.Unlock()
+		n.flush(outs)
+	}
+}
+
+// now returns the node's monotonic clock as a duration since start,
+// the time base of the Lost buffer.
+func (n *Node) now() time.Duration { return time.Since(n.start) }
+
+// envelope layout: 4 bytes sender ID, 1 byte flags (bit 0: out of
+// band), then the wire-encoded message.
+const envelopeLen = 5
+
+func (n *Node) encodeEnvelope(msg wire.Message, oob bool) []byte {
+	buf := make([]byte, envelopeLen, envelopeLen+msg.WireSize())
+	binary.LittleEndian.PutUint32(buf, uint32(n.cfg.ID))
+	if oob {
+		buf[4] = 1
+	}
+	return msg.Append(buf)
+}
+
+// sendTree transmits msg to a direct neighbor, subject to injected
+// loss. Subscription control messages are exempt: in a real deployment
+// the control plane rides a reliable transport (TCP), while events and
+// gossip are the best-effort data plane the paper studies.
+func (n *Node) sendTree(to ident.NodeID, msg wire.Message) {
+	kind := msg.Kind()
+	control := kind == wire.KindSubscribe || kind == wire.KindUnsubscribe
+	n.mu.Lock()
+	addr := n.neighbors[to]
+	drop := !control && n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb
+	if addr != nil {
+		if drop {
+			n.stats.DroppedInject++
+		} else if msg.Kind().IsGossip() {
+			n.stats.GossipSent++
+		} else if msg.Kind() == wire.KindEvent {
+			n.stats.EventsSent++
+		}
+	}
+	n.mu.Unlock()
+	if addr == nil || drop {
+		return
+	}
+	n.write(addr, n.encodeEnvelope(msg, false))
+}
+
+// sendOOB transmits msg to any dispatcher in the directory.
+func (n *Node) sendOOB(to ident.NodeID, msg wire.Message) {
+	n.mu.Lock()
+	addr := n.directory[to]
+	if addr != nil {
+		if msg.Kind().IsGossip() {
+			n.stats.GossipSent++
+		} else if msg.Kind() == wire.KindRetransmit {
+			n.stats.EventsSent += uint64(len(msg.(*wire.Retransmit).Events))
+		}
+	}
+	n.mu.Unlock()
+	if addr == nil {
+		return
+	}
+	n.write(addr, n.encodeEnvelope(msg, true))
+}
+
+func (n *Node) write(addr *net.UDPAddr, data []byte) {
+	// Best-effort, like UDP itself: errors surface only when the node
+	// is closing.
+	if _, err := n.conn.WriteToUDP(data, addr); err != nil && !closing(err) {
+		// A send error to a live address is unexpected but not fatal;
+		// the protocols tolerate loss by design.
+		_ = err
+	}
+}
+
+func closing(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}
+
+// readLoop receives and dispatches messages until Close.
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		nb, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			if closing(err) {
+				return
+			}
+			select {
+			case <-n.done:
+				return
+			default:
+				continue
+			}
+		}
+		if nb < envelopeLen {
+			continue
+		}
+		from := ident.NodeID(binary.LittleEndian.Uint32(buf))
+		oob := buf[4]&1 != 0
+		msg, err := wire.Decode(buf[envelopeLen:nb])
+		if err != nil {
+			continue // corrupt datagram: drop, like real UDP software
+		}
+		n.handle(from, msg, oob)
+	}
+}
+
+// gossipLoop runs a gossip round every interval, with a random initial
+// phase like the simulator's jittered ticker.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	phase := time.Duration(rand.New(rand.NewSource(n.cfg.Seed ^ int64(n.cfg.ID))).
+		Int63n(int64(n.cfg.GossipInterval)))
+	timer := time.NewTimer(phase)
+	select {
+	case <-timer.C:
+	case <-n.done:
+		timer.Stop()
+		return
+	}
+	ticker := time.NewTicker(n.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.gossipRound()
+		case <-n.done:
+			return
+		}
+	}
+}

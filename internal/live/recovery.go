@@ -1,0 +1,346 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/wire"
+)
+
+// This file ports the epidemic recovery engine (internal/core) to real
+// time and real sockets. The algorithms are identical to the
+// simulator's — same digests, same routing of gossip messages, same
+// Lost-buffer discipline — so a live network and a simulated one are
+// two deployments of one protocol.
+
+// indexLocked buffers ev and maintains the pattern and tag indices.
+// Callers hold n.mu.
+func (n *Node) indexLocked(ev *wire.Event) {
+	if n.buf.Has(ev.ID) {
+		return
+	}
+	n.buf.Put(ev)
+	for _, p := range ev.Content {
+		set, ok := n.patIdx[p]
+		if !ok {
+			set = ident.NewEventIDSet(8)
+			n.patIdx[p] = set
+		}
+		set.Add(ev.ID)
+	}
+	for _, t := range ev.Tags {
+		n.tagIdx[wire.LostEntry{Source: ev.ID.Source, Pattern: t.Pattern, Seq: t.Seq}] = ev.ID
+	}
+}
+
+// unindexLocked is the cache eviction callback; the cache is only
+// touched under n.mu, so the callback runs under it too.
+func (n *Node) unindexLocked(ev *wire.Event) {
+	for _, p := range ev.Content {
+		if set, ok := n.patIdx[p]; ok {
+			set.Remove(ev.ID)
+		}
+	}
+	for _, t := range ev.Tags {
+		delete(n.tagIdx, wire.LostEntry{Source: ev.ID.Source, Pattern: t.Pattern, Seq: t.Seq})
+	}
+}
+
+// detectLocked runs sequence-gap loss detection. Callers hold n.mu.
+func (n *Node) detectLocked(ev *wire.Event) {
+	now := n.now()
+	for _, tag := range ev.Tags {
+		if !n.local[tag.Pattern] {
+			continue
+		}
+		key := srcPattern{src: ev.ID.Source, pat: tag.Pattern}
+		high := n.high[key]
+		if tag.Seq > high {
+			for q := high + 1; q < tag.Seq; q++ {
+				n.lost.Add(wire.LostEntry{Source: ev.ID.Source, Pattern: tag.Pattern, Seq: q}, now)
+				n.stats.LossesDetected++
+			}
+			n.high[key] = tag.Seq
+		} else {
+			n.lost.Remove(wire.LostEntry{Source: ev.ID.Source, Pattern: tag.Pattern, Seq: tag.Seq})
+		}
+	}
+}
+
+// gossipRound starts one gossip round (called from the gossip loop).
+func (n *Node) gossipRound() {
+	n.mu.Lock()
+	var outs []out
+	switch {
+	case n.cfg.Algorithm.NeedsSeqTags() && n.cfg.Algorithm.NeedsRoutes():
+		// Combined or publisher-based pull.
+		if n.rng.Float64() < n.cfg.PSource {
+			outs = n.gossipPubPullLocked()
+			if outs == nil {
+				outs = n.gossipSubPullLocked()
+			}
+		} else {
+			outs = n.gossipSubPullLocked()
+			if outs == nil {
+				outs = n.gossipPubPullLocked()
+			}
+		}
+	case n.cfg.Algorithm.NeedsSeqTags():
+		outs = n.gossipSubPullLocked()
+	default:
+		outs = n.gossipPushLocked()
+	}
+	n.sweepPendingLocked()
+	n.mu.Unlock()
+	n.flush(outs)
+}
+
+// forwardPatternLocked picks the thinned neighbor set a pattern-routed
+// gossip message goes to. Callers hold n.mu.
+func (n *Node) forwardPatternLocked(msg wire.Message, p ident.PatternID, from ident.NodeID) []out {
+	var outs []out
+	for _, nb := range n.table[p] {
+		if nb == from {
+			continue
+		}
+		if n.rng.Float64() < n.cfg.PForward {
+			outs = append(outs, out{to: nb, msg: msg})
+		}
+	}
+	return outs
+}
+
+func (n *Node) gossipPushLocked() []out {
+	var known []ident.PatternID
+	seen := make(map[ident.PatternID]bool)
+	for p := range n.local {
+		known = append(known, p)
+		seen[p] = true
+	}
+	for p, dirs := range n.table {
+		if len(dirs) > 0 && !seen[p] {
+			known = append(known, p)
+		}
+	}
+	if len(known) == 0 {
+		return nil
+	}
+	p := known[n.rng.Intn(len(known))]
+	set, ok := n.patIdx[p]
+	if !ok || set.Len() == 0 {
+		return nil
+	}
+	msg := &wire.GossipPush{Gossiper: n.cfg.ID, Pattern: p, Digest: set.Sorted()}
+	return n.forwardPatternLocked(msg, p, ident.None)
+}
+
+func (n *Node) gossipSubPullLocked() []out {
+	now := n.now()
+	var candidates []ident.PatternID
+	for p := range n.local {
+		if len(n.lost.ForPattern(p, now)) > 0 {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	p := candidates[n.rng.Intn(len(candidates))]
+	msg := &wire.GossipSubPull{
+		Gossiper: n.cfg.ID,
+		Pattern:  p,
+		Wanted:   n.lost.ForPattern(p, now),
+	}
+	return n.forwardPatternLocked(msg, p, ident.None)
+}
+
+func (n *Node) gossipPubPullLocked() []out {
+	now := n.now()
+	var candidates []ident.NodeID
+	for _, s := range n.lost.Sources(now) {
+		if len(n.routes[s]) > 0 {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	s := candidates[n.rng.Intn(len(candidates))]
+	route := n.routes[s]
+	msg := &wire.GossipPubPull{
+		Gossiper: n.cfg.ID,
+		Source:   s,
+		Wanted:   n.lost.ForSource(s, now),
+		Route:    route,
+		Next:     uint16(len(route) - 1),
+	}
+	return []out{{to: route[len(route)-1], msg: msg}}
+}
+
+// handleRecovery processes gossip and out-of-band recovery messages.
+func (n *Node) handleRecovery(from ident.NodeID, msg wire.Message, oob bool) {
+	switch m := msg.(type) {
+	case *wire.GossipPush:
+		n.onGossipPush(from, m)
+	case *wire.GossipSubPull:
+		n.onGossipSubPull(from, m)
+	case *wire.GossipPubPull:
+		n.onGossipPubPull(m)
+	case *wire.GossipRandom:
+		// The live node does not initiate random pull (it is an
+		// evaluation baseline), but serves its digests for
+		// compatibility.
+		n.mu.Lock()
+		_, outs := n.serveLocked(m.Gossiper, m.Wanted)
+		n.mu.Unlock()
+		n.flush(outs)
+	case *wire.Request:
+		n.onRequest(m)
+	case *wire.Retransmit:
+		n.onRetransmit(m)
+	default:
+		_ = oob // unknown kinds are dropped silently, like real UDP software
+	}
+}
+
+func (n *Node) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
+	n.mu.Lock()
+	var outs []out
+	if n.local[m.Pattern] {
+		now := time.Now()
+		var missing []ident.EventID
+		for _, id := range m.Digest {
+			if n.received.Has(id) {
+				continue
+			}
+			if at, ok := n.pending[id]; ok && now.Sub(at) <= n.cfg.GossipInterval {
+				continue
+			}
+			n.pending[id] = now
+			missing = append(missing, id)
+		}
+		if len(missing) > 0 {
+			outs = append(outs, out{to: m.Gossiper, msg: &wire.Request{Requester: n.cfg.ID, IDs: missing}, oob: true})
+		}
+	}
+	outs = append(outs, n.forwardPatternLocked(m, m.Pattern, from)...)
+	n.mu.Unlock()
+	n.flush(outs)
+}
+
+func (n *Node) onGossipSubPull(from ident.NodeID, m *wire.GossipSubPull) {
+	n.mu.Lock()
+	remaining, outs := n.serveLocked(m.Gossiper, m.Wanted)
+	if len(remaining) > 0 {
+		fwd := &wire.GossipSubPull{Gossiper: m.Gossiper, Pattern: m.Pattern, Wanted: remaining}
+		outs = append(outs, n.forwardPatternLocked(fwd, m.Pattern, from)...)
+	}
+	n.mu.Unlock()
+	n.flush(outs)
+}
+
+func (n *Node) onGossipPubPull(m *wire.GossipPubPull) {
+	n.mu.Lock()
+	remaining, outs := n.serveLocked(m.Gossiper, m.Wanted)
+	if len(remaining) > 0 {
+		i := int(m.Next)
+		if i > 0 && i < len(m.Route) {
+			fwd := &wire.GossipPubPull{
+				Gossiper: m.Gossiper,
+				Source:   m.Source,
+				Wanted:   remaining,
+				Route:    m.Route,
+				Next:     uint16(i - 1),
+			}
+			outs = append(outs, out{to: m.Route[i-1], msg: fwd})
+		}
+	}
+	n.mu.Unlock()
+	n.flush(outs)
+}
+
+// serveLocked looks wanted events up in the buffer and returns the
+// retransmission (as outs) plus the entries still missing. Callers
+// hold n.mu.
+func (n *Node) serveLocked(gossiper ident.NodeID, wanted []wire.LostEntry) ([]wire.LostEntry, []out) {
+	if gossiper == n.cfg.ID {
+		return nil, nil
+	}
+	var events []*wire.Event
+	seen := make(map[ident.EventID]bool, len(wanted))
+	var remaining []wire.LostEntry
+	for _, w := range wanted {
+		id, ok := n.tagIdx[w]
+		if !ok {
+			remaining = append(remaining, w)
+			continue
+		}
+		ev := n.buf.Get(id)
+		if ev == nil {
+			delete(n.tagIdx, w)
+			remaining = append(remaining, w)
+			continue
+		}
+		if !seen[id] {
+			seen[id] = true
+			events = append(events, ev)
+		}
+	}
+	if len(events) == 0 {
+		return remaining, nil
+	}
+	n.stats.Served += uint64(len(events))
+	return remaining, []out{{to: gossiper, msg: &wire.Retransmit{Responder: n.cfg.ID, Events: events}, oob: true}}
+}
+
+func (n *Node) onRequest(m *wire.Request) {
+	n.mu.Lock()
+	var events []*wire.Event
+	for _, id := range m.IDs {
+		if ev := n.buf.Get(id); ev != nil {
+			events = append(events, ev)
+		}
+	}
+	if len(events) > 0 {
+		n.stats.Served += uint64(len(events))
+	}
+	n.mu.Unlock()
+	if len(events) > 0 {
+		n.sendOOB(m.Requester, &wire.Retransmit{Responder: n.cfg.ID, Events: events})
+	}
+}
+
+func (n *Node) onRetransmit(m *wire.Retransmit) {
+	for _, ev := range m.Events {
+		n.mu.Lock()
+		delete(n.pending, ev.ID)
+		deliver := n.localMatchLocked(ev.Content) && n.received.Add(ev.ID)
+		if deliver {
+			n.stats.Delivered++
+			n.stats.Recovered++
+			n.indexLocked(ev)
+			if n.cfg.Algorithm.NeedsSeqTags() {
+				n.detectLocked(ev)
+			}
+		}
+		cb := n.cfg.OnDeliver
+		n.mu.Unlock()
+		if deliver && cb != nil {
+			cb(ev, true)
+		}
+	}
+}
+
+// sweepPendingLocked drops expired pending-request entries. Callers
+// hold n.mu.
+func (n *Node) sweepPendingLocked() {
+	if len(n.pending) < 1024 {
+		return
+	}
+	now := time.Now()
+	for id, at := range n.pending {
+		if now.Sub(at) > n.cfg.GossipInterval {
+			delete(n.pending, id)
+		}
+	}
+}

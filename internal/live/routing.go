@@ -1,0 +1,256 @@
+package live
+
+import (
+	"repro/internal/ident"
+	"repro/internal/matching"
+	"repro/internal/wire"
+)
+
+// out is one outbound message decided under the lock and sent after
+// releasing it (sendTree/sendOOB take the lock themselves).
+type out struct {
+	to  ident.NodeID
+	msg wire.Message
+	oob bool
+}
+
+// flush transmits the messages collected under the lock.
+func (n *Node) flush(outs []out) {
+	for _, o := range outs {
+		if o.oob {
+			n.sendOOB(o.to, o.msg)
+		} else {
+			n.sendTree(o.to, o.msg)
+		}
+	}
+}
+
+// Subscribe registers a local subscription and propagates it through
+// the tree (subscription forwarding, paper Sec. II).
+func (n *Node) Subscribe(p ident.PatternID) {
+	n.mu.Lock()
+	var outs []out
+	if !n.local[p] {
+		for nb := range n.neighbors {
+			if !n.advertisedToLocked(p, nb) {
+				outs = append(outs, out{to: nb, msg: &wire.Subscribe{Pattern: p}})
+			}
+		}
+		n.local[p] = true
+	}
+	n.mu.Unlock()
+	n.flush(outs)
+}
+
+// Unsubscribe removes a local subscription and propagates the removal.
+func (n *Node) Unsubscribe(p ident.PatternID) {
+	n.mu.Lock()
+	var outs []out
+	if n.local[p] {
+		delete(n.local, p)
+		for nb := range n.neighbors {
+			if !n.advertisedToLocked(p, nb) {
+				outs = append(outs, out{to: nb, msg: &wire.Unsubscribe{Pattern: p}})
+			}
+		}
+	}
+	n.mu.Unlock()
+	n.flush(outs)
+}
+
+// Subscriptions returns the locally subscribed patterns.
+func (n *Node) Subscriptions() []ident.PatternID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ident.PatternID, 0, len(n.local))
+	for p := range n.local {
+		out = append(out, p)
+	}
+	return out
+}
+
+// KnownPatternCount returns the number of patterns with local or
+// remote interest — tests use it to watch subscription propagation.
+func (n *Node) KnownPatternCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := make(map[ident.PatternID]bool, len(n.table)+len(n.local))
+	for p := range n.local {
+		seen[p] = true
+	}
+	for p, dirs := range n.table {
+		if len(dirs) > 0 {
+			seen[p] = true
+		}
+	}
+	return len(seen)
+}
+
+// advertisedToLocked reports whether p has been (or would be)
+// advertised toward nb. Callers hold n.mu.
+func (n *Node) advertisedToLocked(p ident.PatternID, nb ident.NodeID) bool {
+	if n.local[p] {
+		return true
+	}
+	for _, d := range n.table[p] {
+		if d != nb {
+			return true
+		}
+	}
+	return false
+}
+
+// addInterestLocked records neighbor interest and returns the
+// subscriptions to re-propagate. Callers hold n.mu.
+func (n *Node) addInterestLocked(p ident.PatternID, from ident.NodeID) []out {
+	for _, d := range n.table[p] {
+		if d == from {
+			return nil
+		}
+	}
+	var outs []out
+	for nb := range n.neighbors {
+		if nb != from && !n.advertisedToLocked(p, nb) {
+			outs = append(outs, out{to: nb, msg: &wire.Subscribe{Pattern: p}})
+		}
+	}
+	n.table[p] = append(n.table[p], from)
+	return outs
+}
+
+// removeInterestLocked drops neighbor interest and returns the
+// unsubscriptions to propagate. Callers hold n.mu.
+func (n *Node) removeInterestLocked(p ident.PatternID, from ident.NodeID) []out {
+	dirs := n.table[p]
+	found := false
+	for i, d := range dirs {
+		if d == from {
+			n.table[p] = append(dirs[:i], dirs[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	if len(n.table[p]) == 0 {
+		delete(n.table, p)
+	}
+	var outs []out
+	for nb := range n.neighbors {
+		if nb != from && !n.advertisedToLocked(p, nb) {
+			outs = append(outs, out{to: nb, msg: &wire.Unsubscribe{Pattern: p}})
+		}
+	}
+	return outs
+}
+
+// Publish stamps and routes a new event, returning its identifier.
+func (n *Node) Publish(content matching.Content) ident.EventID {
+	n.mu.Lock()
+	n.nextSeq++
+	ev := &wire.Event{
+		ID:          ident.EventID{Source: n.cfg.ID, Seq: n.nextSeq},
+		Content:     content,
+		PublishedAt: int64(n.now()),
+	}
+	for _, p := range content {
+		if n.local[p] || len(n.table[p]) > 0 {
+			n.patSeq[p]++
+			ev.Tags = append(ev.Tags, ident.PatternSeq{Pattern: p, Seq: n.patSeq[p]})
+		}
+	}
+	if n.cfg.Algorithm.NeedsRoutes() {
+		ev.Route = []ident.NodeID{n.cfg.ID}
+	}
+	n.stats.Published++
+	n.received.Add(ev.ID)
+	n.indexLocked(ev)
+	selfDeliver := n.localMatchLocked(content)
+	if selfDeliver {
+		n.stats.Delivered++
+	}
+	outs := n.forwardLocked(ev, ident.None)
+	cb := n.cfg.OnDeliver
+	n.mu.Unlock()
+
+	if selfDeliver && cb != nil {
+		cb(ev, false)
+	}
+	n.flush(outs)
+	return ev.ID
+}
+
+func (n *Node) localMatchLocked(c matching.Content) bool {
+	for _, p := range c {
+		if n.local[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardLocked routes ev to every neighbor with matching interest
+// except from. Callers hold n.mu.
+func (n *Node) forwardLocked(ev *wire.Event, from ident.NodeID) []out {
+	sent := make(map[ident.NodeID]bool, 4)
+	var outs []out
+	for _, p := range ev.Content {
+		for _, nb := range n.table[p] {
+			if nb == from || sent[nb] {
+				continue
+			}
+			sent[nb] = true
+			fwd := ev
+			if n.cfg.Algorithm.NeedsRoutes() && from != ident.None {
+				fwd = ev.Clone()
+				fwd.Route = append(fwd.Route, n.cfg.ID)
+			}
+			outs = append(outs, out{to: nb, msg: fwd})
+		}
+	}
+	return outs
+}
+
+// handle dispatches one received message.
+func (n *Node) handle(from ident.NodeID, msg wire.Message, oob bool) {
+	switch m := msg.(type) {
+	case *wire.Event:
+		n.handleEvent(m, from)
+	case *wire.Subscribe:
+		n.mu.Lock()
+		outs := n.addInterestLocked(m.Pattern, from)
+		n.mu.Unlock()
+		n.flush(outs)
+	case *wire.Unsubscribe:
+		n.mu.Lock()
+		outs := n.removeInterestLocked(m.Pattern, from)
+		n.mu.Unlock()
+		n.flush(outs)
+	default:
+		n.handleRecovery(from, msg, oob)
+	}
+}
+
+func (n *Node) handleEvent(ev *wire.Event, from ident.NodeID) {
+	n.mu.Lock()
+	deliver := n.localMatchLocked(ev.Content) && n.received.Add(ev.ID)
+	if deliver {
+		n.stats.Delivered++
+		n.indexLocked(ev)
+		if n.cfg.Algorithm.NeedsSeqTags() {
+			n.detectLocked(ev)
+		}
+		if n.cfg.Algorithm.NeedsRoutes() && len(ev.Route) > 0 {
+			n.routes[ev.ID.Source] = ev.Route
+		}
+	}
+	outs := n.forwardLocked(ev, from)
+	cb := n.cfg.OnDeliver
+	n.mu.Unlock()
+
+	if deliver && cb != nil {
+		cb(ev, false)
+	}
+	n.flush(outs)
+}

@@ -1,0 +1,143 @@
+// Package matching implements the paper's content model (Sec. IV-A,
+// "Events, subscriptions, and matching"): an event is a short sequence
+// of numbers drawn uniformly from a universe of Π patterns, an event
+// pattern is a single number, and an event matches a subscription when
+// its content contains the subscribed number. Each dispatcher
+// subscribes to πmax distinct patterns; each event matches at most
+// three patterns (paper footnote 5).
+package matching
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// Content is the content of an event: the sorted, de-duplicated set of
+// pattern numbers it carries. Length is at most the generator's
+// maxMatch (3 in the paper).
+type Content []ident.PatternID
+
+// Matches reports whether the content contains pattern p.
+func (c Content) Matches(p ident.PatternID) bool {
+	for _, x := range c {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchesAny reports whether any pattern in ps matches the content.
+func (c Content) MatchesAny(ps []ident.PatternID) bool {
+	for _, p := range ps {
+		if c.Matches(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the content.
+func (c Content) Clone() Content {
+	out := make(Content, len(c))
+	copy(out, c)
+	return out
+}
+
+// Universe describes the pattern space of a simulation.
+type Universe struct {
+	// NumPatterns is Π, the total number of patterns (70 in the paper).
+	NumPatterns int
+	// MaxMatch bounds how many patterns one event can match (3).
+	MaxMatch int
+}
+
+// DefaultUniverse returns the paper's content-model constants.
+func DefaultUniverse() Universe {
+	return Universe{NumPatterns: 70, MaxMatch: 3}
+}
+
+// RandomContent generates event content: MaxMatch numbers drawn
+// uniformly (with replacement) from [0, Π), de-duplicated and sorted.
+// Duplicates make some events match fewer than MaxMatch patterns,
+// exactly as with the paper's "randomly-generated sequence of numbers".
+func (u Universe) RandomContent(rng *rand.Rand) Content {
+	out := make(Content, 0, u.MaxMatch)
+	for i := 0; i < u.MaxMatch; i++ {
+		p := ident.PatternID(rng.Intn(u.NumPatterns))
+		if !out.Matches(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RandomSubscriptions draws k distinct patterns uniformly from the
+// universe: the subscription set of one dispatcher (k = πmax).
+func (u Universe) RandomSubscriptions(k int, rng *rand.Rand) []ident.PatternID {
+	if k > u.NumPatterns {
+		k = u.NumPatterns
+	}
+	perm := rng.Perm(u.NumPatterns)[:k]
+	out := make([]ident.PatternID, k)
+	for i, p := range perm {
+		out[i] = ident.PatternID(p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Interest is the set of patterns one dispatcher is locally subscribed
+// to, with O(1) matching.
+type Interest struct {
+	patterns []ident.PatternID
+	member   map[ident.PatternID]bool
+}
+
+// NewInterest builds an Interest from a pattern list.
+func NewInterest(ps []ident.PatternID) *Interest {
+	in := &Interest{
+		patterns: append([]ident.PatternID(nil), ps...),
+		member:   make(map[ident.PatternID]bool, len(ps)),
+	}
+	for _, p := range ps {
+		in.member[p] = true
+	}
+	return in
+}
+
+// Has reports whether p is subscribed.
+func (in *Interest) Has(p ident.PatternID) bool { return in.member[p] }
+
+// Patterns returns the subscribed patterns. The slice is owned by the
+// Interest and must not be mutated.
+func (in *Interest) Patterns() []ident.PatternID { return in.patterns }
+
+// Len returns the number of subscribed patterns.
+func (in *Interest) Len() int { return len(in.patterns) }
+
+// MatchedBy returns the subscribed patterns contained in content, in
+// content order. Returns nil when nothing matches.
+func (in *Interest) MatchedBy(c Content) []ident.PatternID {
+	var out []ident.PatternID
+	for _, p := range c {
+		if in.member[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Matches reports whether the content matches at least one subscribed
+// pattern.
+func (in *Interest) Matches(c Content) bool {
+	for _, p := range c {
+		if in.member[p] {
+			return true
+		}
+	}
+	return false
+}

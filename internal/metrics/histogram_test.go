@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if got := h.Mean(); got != 2*time.Millisecond {
+		t.Fatalf("Mean = %v, want 2ms", got)
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// The log-bucketed quantile must be within one bucket ratio (20%)
+	// of the exact quantile.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewLatencyHistogram()
+		var samples []sim.Time
+		n := 50 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			d := sim.Time(rng.Int63n(int64(10 * time.Second)))
+			samples = append(samples, d)
+			h.Observe(d)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			exact := ExactQuantile(samples, q)
+			got := h.Quantile(q)
+			if exact < bucketBase {
+				continue // everything below the first bucket reports its edge
+			}
+			if float64(got) < float64(exact) || float64(got) > float64(exact)*bucketRatio*1.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantilesAndSummary(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Time(i) * time.Millisecond)
+	}
+	qs := h.Quantiles(0.5, 0.99)
+	if len(qs) != 2 || qs[0] >= qs[1] {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+	if s := h.Summary(); s == "no samples" {
+		t.Fatal("Summary reported no samples")
+	}
+	if NewLatencyHistogram().Summary() != "no samples" {
+		t.Fatal("empty Summary wrong")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(time.Second)
+	for _, fn := range []func(){
+		func() { h.Observe(-1) },
+		func() { h.Quantile(0) },
+		func() { h.Quantile(1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on invalid input")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0)         // below first bucket
+	h.Observe(time.Hour) // beyond last bucket
+	if h.Quantile(0.5) != bucketBase {
+		t.Fatalf("tiny sample quantile = %v, want first bucket edge %v", h.Quantile(0.5), bucketBase)
+	}
+	if h.Quantile(1.0) < 5*time.Minute {
+		t.Fatalf("huge sample quantile = %v, want clamped to last bucket", h.Quantile(1.0))
+	}
+}
+
+func TestDeliveryTrackerLatencyHistograms(t *testing.T) {
+	var now sim.Time
+	d := NewDeliveryTracker(func() sim.Time { return now })
+	id := ident.EventID{Source: 0, Seq: 1}
+	ev := &wire.Event{ID: id, PublishedAt: int64(100 * time.Millisecond)}
+
+	now = 100 * time.Millisecond
+	d.OnPublish(id, 3, now)
+	now = 105 * time.Millisecond
+	d.OnDeliver(1, ev, false) // routed after 5ms
+	now = 400 * time.Millisecond
+	d.OnDeliver(2, ev, true) // recovered after 300ms
+
+	if got := d.RoutedLatency().Count(); got != 1 {
+		t.Fatalf("routed samples = %d, want 1", got)
+	}
+	if got := d.RecoveryLatency().Count(); got != 1 {
+		t.Fatalf("recovery samples = %d, want 1", got)
+	}
+	if d.RoutedLatency().Max() > d.RecoveryLatency().Min() {
+		t.Fatal("recovery latency should exceed routed latency here")
+	}
+}
+
+func TestDeliveryTrackerNilClockSkipsLatency(t *testing.T) {
+	d := NewDeliveryTracker(nil)
+	id := ident.EventID{Source: 0, Seq: 1}
+	d.OnPublish(id, 1, 0)
+	d.OnDeliver(1, &wire.Event{ID: id}, false)
+	if d.RoutedLatency().Count() != 0 {
+		t.Fatal("latency recorded with nil clock")
+	}
+}

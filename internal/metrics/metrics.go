@@ -1,0 +1,288 @@
+// Package metrics implements the measurements of the paper's
+// evaluation (Sec. IV): the delivery rate ("the ratio between the
+// number of events correctly received by a process and those that
+// would be received in a fully reliable scenario"), its time series,
+// the gossip overhead per dispatcher, the gossip/event message ratio,
+// and the receivers-per-event statistic of Fig. 7.
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// eventRecord tracks one published event's delivery accounting.
+type eventRecord struct {
+	publishedAt sim.Time
+	expected    uint32
+	delivered   uint32
+	recovered   uint32
+}
+
+// DeliveryTracker accounts expected and actual deliveries per event.
+//
+// Expected counts come from global knowledge of the stable subscription
+// state (the simulation knows every subscriber); a delivery is counted
+// at most once per (event, dispatcher) because the dispatcher's
+// received-set already deduplicates. Deliveries at the publisher itself
+// are excluded on both sides.
+type DeliveryTracker struct {
+	events map[ident.EventID]*eventRecord
+	now    func() sim.Time
+
+	totalExpected  uint64
+	totalDelivered uint64
+	totalRecovered uint64
+
+	routedLatency   *LatencyHistogram
+	recoveryLatency *LatencyHistogram
+}
+
+// NewDeliveryTracker returns an empty tracker. now supplies the current
+// virtual time for latency measurement; pass nil to disable latency
+// histograms.
+func NewDeliveryTracker(now func() sim.Time) *DeliveryTracker {
+	return &DeliveryTracker{
+		events:          make(map[ident.EventID]*eventRecord, 1024),
+		now:             now,
+		routedLatency:   NewLatencyHistogram(),
+		recoveryLatency: NewLatencyHistogram(),
+	}
+}
+
+// RoutedLatency returns the publish→delivery latency histogram of
+// normally routed deliveries.
+func (t *DeliveryTracker) RoutedLatency() *LatencyHistogram { return t.routedLatency }
+
+// RecoveryLatency returns the publish→delivery latency histogram of
+// recovered deliveries — the time a subscriber stayed without an event
+// it should have had.
+func (t *DeliveryTracker) RecoveryLatency() *LatencyHistogram { return t.recoveryLatency }
+
+// OnPublish registers a new event with its expected number of receivers
+// (matching subscribers other than the publisher).
+func (t *DeliveryTracker) OnPublish(id ident.EventID, expected int, at sim.Time) {
+	t.events[id] = &eventRecord{publishedAt: at, expected: uint32(expected)}
+	t.totalExpected += uint64(expected)
+}
+
+// OnDeliver records a local delivery. Self-deliveries at the publisher
+// are ignored; deliveries of unknown events (published before tracking
+// started) are ignored too.
+func (t *DeliveryTracker) OnDeliver(node ident.NodeID, ev *wire.Event, recovered bool) {
+	if node == ev.ID.Source {
+		return
+	}
+	rec, ok := t.events[ev.ID]
+	if !ok {
+		return
+	}
+	rec.delivered++
+	t.totalDelivered++
+	if recovered {
+		rec.recovered++
+		t.totalRecovered++
+	}
+	if t.now != nil {
+		latency := t.now() - rec.publishedAt
+		if latency >= 0 {
+			if recovered {
+				t.recoveryLatency.Observe(latency)
+			} else {
+				t.routedLatency.Observe(latency)
+			}
+		}
+	}
+}
+
+// Totals returns the cumulative expected, delivered, and recovered
+// delivery counts over all tracked events.
+func (t *DeliveryTracker) Totals() (expected, delivered, recovered uint64) {
+	return t.totalExpected, t.totalDelivered, t.totalRecovered
+}
+
+// Rate returns the overall delivery rate for events published inside
+// [from, to). Events expected by nobody are neutral. Returns 1 when no
+// deliveries were expected.
+func (t *DeliveryTracker) Rate(from, to sim.Time) float64 {
+	var exp, del uint64
+	for _, rec := range t.events {
+		if rec.publishedAt < from || rec.publishedAt >= to {
+			continue
+		}
+		exp += uint64(rec.expected)
+		del += uint64(rec.delivered)
+	}
+	if exp == 0 {
+		return 1
+	}
+	return float64(del) / float64(exp)
+}
+
+// RecoveredShare returns the fraction of deliveries in [from, to) that
+// arrived through recovery rather than normal routing.
+func (t *DeliveryTracker) RecoveredShare(from, to sim.Time) float64 {
+	var del, rec uint64
+	for _, r := range t.events {
+		if r.publishedAt < from || r.publishedAt >= to {
+			continue
+		}
+		del += uint64(r.delivered)
+		rec += uint64(r.recovered)
+	}
+	if del == 0 {
+		return 0
+	}
+	return float64(rec) / float64(del)
+}
+
+// ReceiversPerEvent returns the mean number of expected receivers per
+// event published in [from, to) — the quantity of paper Fig. 7.
+func (t *DeliveryTracker) ReceiversPerEvent(from, to sim.Time) float64 {
+	var exp, n uint64
+	for _, rec := range t.events {
+		if rec.publishedAt < from || rec.publishedAt >= to {
+			continue
+		}
+		exp += uint64(rec.expected)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(exp) / float64(n)
+}
+
+// Point is one bucket of the delivery-rate time series.
+type Point struct {
+	// Time is the start of the bucket (events are bucketed by publish
+	// time).
+	Time sim.Time
+	// Rate is the final delivery rate of the bucket's events.
+	Rate float64
+	// Expected and Delivered are the bucket's raw counts.
+	Expected, Delivered uint64
+}
+
+// TimeSeries buckets events by publish time and returns per-bucket
+// delivery rates, ordered by time. Empty buckets are skipped.
+func (t *DeliveryTracker) TimeSeries(bucket sim.Time) []Point {
+	if bucket <= 0 {
+		panic("metrics: non-positive bucket width")
+	}
+	agg := make(map[sim.Time]*Point)
+	for _, rec := range t.events {
+		if rec.expected == 0 {
+			continue
+		}
+		b := rec.publishedAt / bucket * bucket
+		p, ok := agg[b]
+		if !ok {
+			p = &Point{Time: b}
+			agg[b] = p
+		}
+		p.Expected += uint64(rec.expected)
+		p.Delivered += uint64(rec.delivered)
+	}
+	out := make([]Point, 0, len(agg))
+	for _, p := range agg {
+		p.Rate = float64(p.Delivered) / float64(p.Expected)
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Traffic counts message transmissions per dispatcher and per class,
+// implementing network.Observer. Classification follows the paper's
+// overhead analysis (Sec. IV-E): gossip messages are digests and
+// recovery requests; event messages are routed events plus
+// retransmitted events (a Retransmit bundling k events counts as k
+// event messages).
+type Traffic struct {
+	gossipByNode []uint64
+	eventByNode  []uint64
+	controlSent  uint64
+	lossByKind   map[wire.Kind]uint64
+}
+
+var _ network.Observer = (*Traffic)(nil)
+
+// NewTraffic returns a Traffic observer for n dispatchers.
+func NewTraffic(n int) *Traffic {
+	return &Traffic{
+		gossipByNode: make([]uint64, n),
+		eventByNode:  make([]uint64, n),
+		lossByKind:   make(map[wire.Kind]uint64),
+	}
+}
+
+// OnSend implements network.Observer.
+func (t *Traffic) OnSend(from, _ ident.NodeID, msg wire.Message, _ bool) {
+	switch m := msg.(type) {
+	case *wire.Event:
+		t.eventByNode[from]++
+	case *wire.Retransmit:
+		t.eventByNode[from] += uint64(len(m.Events))
+	case *wire.Subscribe, *wire.Unsubscribe:
+		t.controlSent++
+	default:
+		if msg.Kind().IsGossip() {
+			t.gossipByNode[from]++
+		}
+	}
+}
+
+// OnLoss implements network.Observer.
+func (t *Traffic) OnLoss(_, _ ident.NodeID, msg wire.Message, _ bool) {
+	t.lossByKind[msg.Kind()]++
+}
+
+// GossipTotal returns the total number of gossip messages sent.
+func (t *Traffic) GossipTotal() uint64 {
+	var sum uint64
+	for _, v := range t.gossipByNode {
+		sum += v
+	}
+	return sum
+}
+
+// EventTotal returns the total number of event messages sent (routed
+// plus retransmitted).
+func (t *Traffic) EventTotal() uint64 {
+	var sum uint64
+	for _, v := range t.eventByNode {
+		sum += v
+	}
+	return sum
+}
+
+// ControlTotal returns the number of subscription-control messages.
+func (t *Traffic) ControlTotal() uint64 { return t.controlSent }
+
+// Losses returns how many transmissions of the given kind were lost.
+func (t *Traffic) Losses(k wire.Kind) uint64 { return t.lossByKind[k] }
+
+// GossipPerDispatcher returns the mean number of gossip messages sent
+// by one dispatcher — the left-hand metric of paper Figs. 9 and 10.
+func (t *Traffic) GossipPerDispatcher() float64 {
+	if len(t.gossipByNode) == 0 {
+		return 0
+	}
+	return float64(t.GossipTotal()) / float64(len(t.gossipByNode))
+}
+
+// GossipEventRatio returns gossip messages / event messages — the
+// right-hand metric of paper Fig. 9. Returns 0 when no event messages
+// were sent.
+func (t *Traffic) GossipEventRatio() float64 {
+	ev := t.EventTotal()
+	if ev == 0 {
+		return 0
+	}
+	return float64(t.GossipTotal()) / float64(ev)
+}

@@ -1,0 +1,252 @@
+// Package network models the communication substrate of the paper's
+// evaluation (Sec. IV-A, "Channel reliability"): every overlay link
+// behaves like a 10 Mbit/s Ethernet link with FIFO serialization, a
+// propagation delay, and an independent Bernoulli loss trial per
+// message (rate ε); plus the out-of-band unicast channel (UDP-like,
+// possibly lossy) that the epidemic algorithms use for retransmission
+// requests and replies (paper Sec. III-B).
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Handler consumes messages delivered to one dispatcher.
+type Handler interface {
+	// HandleMessage processes msg sent by from. oob marks messages that
+	// arrived on the out-of-band channel rather than a tree link.
+	HandleMessage(from ident.NodeID, msg wire.Message, oob bool)
+}
+
+// Observer receives traffic callbacks for metrics. All methods are
+// invoked synchronously at virtual send/delivery times.
+type Observer interface {
+	// OnSend fires for every transmission attempt (per hop).
+	OnSend(from, to ident.NodeID, msg wire.Message, oob bool)
+	// OnLoss fires when a transmission is dropped (channel loss or a
+	// link that disappeared while the message was in flight).
+	OnLoss(from, to ident.NodeID, msg wire.Message, oob bool)
+}
+
+// MultiObserver fans callbacks out to several observers in order.
+func MultiObserver(obs ...Observer) Observer {
+	return multiObserver(obs)
+}
+
+type multiObserver []Observer
+
+// OnSend implements Observer.
+func (m multiObserver) OnSend(from, to ident.NodeID, msg wire.Message, oob bool) {
+	for _, o := range m {
+		o.OnSend(from, to, msg, oob)
+	}
+}
+
+// OnLoss implements Observer.
+func (m multiObserver) OnLoss(from, to ident.NodeID, msg wire.Message, oob bool) {
+	for _, o := range m {
+		o.OnLoss(from, to, msg, oob)
+	}
+}
+
+// NopObserver ignores all callbacks.
+type NopObserver struct{}
+
+var _ Observer = NopObserver{}
+
+// OnSend implements Observer.
+func (NopObserver) OnSend(ident.NodeID, ident.NodeID, wire.Message, bool) {}
+
+// OnLoss implements Observer.
+func (NopObserver) OnLoss(ident.NodeID, ident.NodeID, wire.Message, bool) {}
+
+// Config carries the channel-model parameters.
+type Config struct {
+	// BandwidthBPS is the link bandwidth in bits per second
+	// (10 Mbit/s in the paper).
+	BandwidthBPS float64
+	// PropDelay is the per-link propagation delay.
+	PropDelay sim.Time
+	// LossRate is ε, the per-hop Bernoulli loss probability on tree
+	// links.
+	LossRate float64
+	// OOBLossRate is the loss probability of the out-of-band channel
+	// (one trial end-to-end).
+	OOBLossRate float64
+	// OOBBaseDelay is the fixed latency component of the out-of-band
+	// channel; the distance-dependent component is PropDelay per
+	// overlay hop between the endpoints.
+	OOBBaseDelay sim.Time
+	// MessageBytes, when positive, forces every message to this size on
+	// the wire — the paper's "size of event and gossip messages is the
+	// same" assumption. When zero, true encoded sizes are used.
+	MessageBytes int
+	// ModelQueueing enables FIFO serialization on tree links: a message
+	// waits for the transmissions already occupying the link.
+	ModelQueueing bool
+}
+
+// DefaultConfig returns the paper-calibrated channel model.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthBPS:  10e6,
+		PropDelay:     100 * time.Microsecond,
+		LossRate:      0.1,
+		OOBLossRate:   0.1,
+		OOBBaseDelay:  200 * time.Microsecond,
+		MessageBytes:  200,
+		ModelQueueing: true,
+	}
+}
+
+// Network delivers messages between dispatchers over the overlay tree
+// and the out-of-band channel, in virtual time.
+type Network struct {
+	k        *sim.Kernel
+	topo     *topology.Tree
+	cfg      Config
+	handlers []Handler
+	obs      Observer
+	rng      *rand.Rand
+
+	// busyUntil[from][to] is when the directed link (from, to) finishes
+	// its last queued transmission.
+	busyUntil []map[ident.NodeID]sim.Time
+
+	sent      uint64
+	delivered uint64
+	lost      uint64
+}
+
+// New builds a network over topo. Handlers are registered later with
+// Register; sending to a node without a handler panics (it is a wiring
+// bug, not a runtime condition).
+func New(k *sim.Kernel, topo *topology.Tree, cfg Config, obs Observer) *Network {
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	n := topo.N()
+	busy := make([]map[ident.NodeID]sim.Time, n)
+	for i := range busy {
+		busy[i] = make(map[ident.NodeID]sim.Time, topo.MaxDegree())
+	}
+	return &Network{
+		k:         k,
+		topo:      topo,
+		cfg:       cfg,
+		handlers:  make([]Handler, n),
+		obs:       obs,
+		rng:       k.NewStream(0x6e657477), // "netw"
+		busyUntil: busy,
+	}
+}
+
+// Register installs the handler for node id.
+func (nw *Network) Register(id ident.NodeID, h Handler) {
+	nw.handlers[id] = h
+}
+
+// Sent returns the number of transmission attempts so far.
+func (nw *Network) Sent() uint64 { return nw.sent }
+
+// Delivered returns the number of completed deliveries so far.
+func (nw *Network) Delivered() uint64 { return nw.delivered }
+
+// Lost returns the number of dropped transmissions so far.
+func (nw *Network) Lost() uint64 { return nw.lost }
+
+// sizeBytes returns the wire size of msg under the configured model.
+func (nw *Network) sizeBytes(msg wire.Message) int {
+	if nw.cfg.MessageBytes > 0 {
+		return nw.cfg.MessageBytes
+	}
+	return msg.WireSize()
+}
+
+// txTime returns the serialization delay of msg.
+func (nw *Network) txTime(msg wire.Message) sim.Time {
+	bits := float64(nw.sizeBytes(msg) * 8)
+	return sim.Time(bits / nw.cfg.BandwidthBPS * float64(time.Second))
+}
+
+// Send transmits msg from one dispatcher to a direct neighbor on the
+// overlay tree. Messages sent toward a non-neighbor (e.g. a link that
+// broke between routing decision and send) are counted as lost. The
+// link may also break while the message is in flight, which likewise
+// loses it.
+func (nw *Network) Send(from, to ident.NodeID, msg wire.Message) {
+	nw.sent++
+	nw.obs.OnSend(from, to, msg, false)
+	if !nw.topo.HasLink(from, to) {
+		nw.lost++
+		nw.obs.OnLoss(from, to, msg, false)
+		return
+	}
+	start := nw.k.Now()
+	if nw.cfg.ModelQueueing {
+		if busy := nw.busyUntil[from][to]; busy > start {
+			start = busy
+		}
+	}
+	done := start + nw.txTime(msg)
+	if nw.cfg.ModelQueueing {
+		nw.busyUntil[from][to] = done
+	}
+	arrival := done + nw.cfg.PropDelay
+	dropped := nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate
+	incarnation := nw.topo.LinkIncarnation(from, to)
+	nw.k.At(arrival, func() {
+		// A link that disappeared mid-flight loses the message even if
+		// the loss trial passed; so does a link that was re-created in
+		// the meantime (a new incarnation is a new connection).
+		if dropped || !nw.topo.HasLink(from, to) ||
+			nw.topo.LinkIncarnation(from, to) != incarnation {
+			nw.lost++
+			nw.obs.OnLoss(from, to, msg, false)
+			return
+		}
+		nw.deliver(from, to, msg, false)
+	})
+}
+
+// SendOOB transmits msg between two arbitrary dispatchers on the
+// out-of-band unicast channel. The channel ignores overlay link state;
+// its latency grows with the overlay distance between the endpoints
+// (both dispatchers sit on the same physical network, and overlay
+// distance is our proxy for network distance).
+func (nw *Network) SendOOB(from, to ident.NodeID, msg wire.Message) {
+	if from == to {
+		panic(fmt.Sprintf("network: OOB self-send at %v", from))
+	}
+	nw.sent++
+	nw.obs.OnSend(from, to, msg, true)
+	if nw.cfg.OOBLossRate > 0 && nw.rng.Float64() < nw.cfg.OOBLossRate {
+		nw.lost++
+		nw.obs.OnLoss(from, to, msg, true)
+		return
+	}
+	hops := nw.topo.Dist(from, to)
+	if hops < 0 {
+		hops = nw.topo.N() / 2 // partitioned overlay: assume far apart
+	}
+	delay := nw.cfg.OOBBaseDelay + sim.Time(hops)*nw.cfg.PropDelay + nw.txTime(msg)
+	nw.k.At(nw.k.Now()+delay, func() {
+		nw.deliver(from, to, msg, true)
+	})
+}
+
+func (nw *Network) deliver(from, to ident.NodeID, msg wire.Message, oob bool) {
+	h := nw.handlers[to]
+	if h == nil {
+		panic(fmt.Sprintf("network: no handler registered for %v", to))
+	}
+	nw.delivered++
+	h.HandleMessage(from, msg, oob)
+}

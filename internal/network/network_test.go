@@ -1,0 +1,301 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// recorder is a Handler that records deliveries.
+type recorder struct {
+	got []delivery
+}
+
+type delivery struct {
+	from ident.NodeID
+	msg  wire.Message
+	oob  bool
+	at   sim.Time
+}
+
+type recHandler struct {
+	r  *recorder
+	k  *sim.Kernel
+	id ident.NodeID
+}
+
+func (h *recHandler) HandleMessage(from ident.NodeID, msg wire.Message, oob bool) {
+	h.r.got = append(h.r.got, delivery{from: from, msg: msg, oob: oob, at: h.k.Now()})
+}
+
+// counter observes sends and losses.
+type counter struct {
+	sends, losses int
+	oobSends      int
+}
+
+func (c *counter) OnSend(_, _ ident.NodeID, _ wire.Message, oob bool) {
+	c.sends++
+	if oob {
+		c.oobSends++
+	}
+}
+
+func (c *counter) OnLoss(_, _ ident.NodeID, _ wire.Message, _ bool) { c.losses++ }
+
+func setup(t *testing.T, cfg Config) (*sim.Kernel, *topology.Tree, *Network, *recorder) {
+	t.Helper()
+	k := sim.New(42)
+	topo := topology.NewLine(4)
+	rec := &recorder{}
+	nw := New(k, topo, cfg, nil)
+	for i := 0; i < 4; i++ {
+		nw.Register(ident.NodeID(i), &recHandler{r: rec, k: k, id: ident.NodeID(i)})
+	}
+	return k, topo, nw, rec
+}
+
+func reliableCfg() Config {
+	cfg := DefaultConfig()
+	cfg.LossRate = 0
+	cfg.OOBLossRate = 0
+	return cfg
+}
+
+func TestSendDeliversToNeighbor(t *testing.T) {
+	k, _, nw, rec := setup(t, reliableCfg())
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 3})
+	k.Run(time.Second)
+	if len(rec.got) != 1 {
+		t.Fatalf("%d deliveries, want 1", len(rec.got))
+	}
+	d := rec.got[0]
+	if d.from != 0 || d.oob {
+		t.Fatalf("delivery = %+v, want from 0 on tree link", d)
+	}
+	if sub, ok := d.msg.(*wire.Subscribe); !ok || sub.Pattern != 3 {
+		t.Fatalf("delivered %#v, want Subscribe{3}", d.msg)
+	}
+	// Latency: 200 bytes at 10 Mbit/s = 160µs tx + 100µs prop.
+	want := 260 * time.Microsecond
+	if d.at != want {
+		t.Fatalf("delivered at %v, want %v", d.at, want)
+	}
+}
+
+func TestSendToNonNeighborIsLost(t *testing.T) {
+	k, _, nw, rec := setup(t, reliableCfg())
+	nw.Send(0, 2, &wire.Subscribe{Pattern: 1}) // 0 and 2 not adjacent on the line
+	k.Run(time.Second)
+	if len(rec.got) != 0 {
+		t.Fatalf("%d deliveries, want 0", len(rec.got))
+	}
+	if nw.Lost() != 1 {
+		t.Fatalf("Lost = %d, want 1", nw.Lost())
+	}
+}
+
+func TestFIFOSerializationQueues(t *testing.T) {
+	k, _, nw, rec := setup(t, reliableCfg())
+	// Two back-to-back messages on the same directed link: the second
+	// waits for the first's transmission.
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 1})
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 2})
+	k.Run(time.Second)
+	if len(rec.got) != 2 {
+		t.Fatalf("%d deliveries, want 2", len(rec.got))
+	}
+	if got, want := rec.got[0].at, 260*time.Microsecond; got != want {
+		t.Fatalf("first delivery at %v, want %v", got, want)
+	}
+	if got, want := rec.got[1].at, 420*time.Microsecond; got != want {
+		t.Fatalf("second delivery at %v, want %v (queued behind first)", got, want)
+	}
+}
+
+func TestQueueingDisabled(t *testing.T) {
+	cfg := reliableCfg()
+	cfg.ModelQueueing = false
+	k, _, nw, rec := setup(t, cfg)
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 1})
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 2})
+	k.Run(time.Second)
+	if rec.got[0].at != rec.got[1].at {
+		t.Fatalf("deliveries at %v and %v, want simultaneous without queueing",
+			rec.got[0].at, rec.got[1].at)
+	}
+}
+
+func TestTrueMessageSizes(t *testing.T) {
+	cfg := reliableCfg()
+	cfg.MessageBytes = 0 // use true encoded size
+	k, _, nw, rec := setup(t, cfg)
+	msg := &wire.Subscribe{Pattern: 1} // 5 bytes = 4µs at 10 Mbit/s
+	nw.Send(0, 1, msg)
+	k.Run(time.Second)
+	want := sim.Time(float64(msg.WireSize()*8)/10e6*float64(time.Second)) + cfg.PropDelay
+	if rec.got[0].at != want {
+		t.Fatalf("delivered at %v, want %v", rec.got[0].at, want)
+	}
+}
+
+func TestLossRateDropsAboutEpsilon(t *testing.T) {
+	cfg := reliableCfg()
+	cfg.LossRate = 0.1
+	k, _, nw, rec := setup(t, cfg)
+	const msgs = 5000
+	for i := 0; i < msgs; i++ {
+		nw.Send(0, 1, &wire.Subscribe{Pattern: 1})
+	}
+	k.Run(time.Hour)
+	got := float64(msgs-len(rec.got)) / msgs
+	if got < 0.07 || got > 0.13 {
+		t.Fatalf("observed loss rate %.3f, want ≈0.1", got)
+	}
+	if nw.Delivered() != uint64(len(rec.got)) {
+		t.Fatalf("Delivered = %d, handler saw %d", nw.Delivered(), len(rec.got))
+	}
+}
+
+func TestLinkBreakLosesInFlight(t *testing.T) {
+	k, topo, nw, rec := setup(t, reliableCfg())
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 1})
+	// Break the link while the message is in flight.
+	k.At(100*time.Microsecond, func() {
+		if err := topo.RemoveLink(0, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run(time.Second)
+	if len(rec.got) != 0 {
+		t.Fatal("message delivered across a link that broke in flight")
+	}
+	if nw.Lost() != 1 {
+		t.Fatalf("Lost = %d, want 1", nw.Lost())
+	}
+}
+
+func TestLinkRecreationDropsInFlight(t *testing.T) {
+	// A message in flight when its link breaks must not be delivered on
+	// the link's next incarnation, even if that incarnation exists at
+	// the original arrival time (new link = new connection).
+	k, topo, nw, rec := setup(t, reliableCfg())
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 1})
+	k.At(50*time.Microsecond, func() {
+		if err := topo.RemoveLink(0, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	k.At(100*time.Microsecond, func() {
+		if err := topo.AddLink(0, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run(time.Second)
+	if len(rec.got) != 0 {
+		t.Fatal("stale message delivered on a re-created link")
+	}
+	if nw.Lost() != 1 {
+		t.Fatalf("Lost = %d, want 1", nw.Lost())
+	}
+}
+
+func TestSendOOBIgnoresTopologyDistance(t *testing.T) {
+	k, _, nw, rec := setup(t, reliableCfg())
+	nw.SendOOB(0, 3, &wire.Request{Requester: 0})
+	k.Run(time.Second)
+	if len(rec.got) != 1 {
+		t.Fatalf("%d deliveries, want 1", len(rec.got))
+	}
+	if !rec.got[0].oob {
+		t.Fatal("delivery not marked out-of-band")
+	}
+	// Latency: base 200µs + 3 hops × 100µs + 160µs tx = 660µs.
+	if got, want := rec.got[0].at, 660*time.Microsecond; got != want {
+		t.Fatalf("OOB delivery at %v, want %v", got, want)
+	}
+}
+
+func TestSendOOBWorksAcrossPartition(t *testing.T) {
+	k, topo, nw, rec := setup(t, reliableCfg())
+	if err := topo.RemoveLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw.SendOOB(0, 3, &wire.Request{Requester: 0})
+	k.Run(time.Second)
+	if len(rec.got) != 1 {
+		t.Fatal("OOB message lost across overlay partition")
+	}
+}
+
+func TestSendOOBSelfPanics(t *testing.T) {
+	_, _, nw, _ := setup(t, reliableCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OOB self-send did not panic")
+		}
+	}()
+	nw.SendOOB(2, 2, &wire.Request{Requester: 2})
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	k := sim.New(1)
+	topo := topology.NewLine(3)
+	obs := &counter{}
+	cfg := reliableCfg()
+	nw := New(k, topo, cfg, obs)
+	rec := &recorder{}
+	for i := 0; i < 3; i++ {
+		nw.Register(ident.NodeID(i), &recHandler{r: rec, k: k})
+	}
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 1})
+	nw.Send(0, 2, &wire.Subscribe{Pattern: 1}) // non-neighbor → loss
+	nw.SendOOB(0, 2, &wire.Request{Requester: 0})
+	k.Run(time.Second)
+	if obs.sends != 3 {
+		t.Fatalf("OnSend fired %d times, want 3", obs.sends)
+	}
+	if obs.oobSends != 1 {
+		t.Fatalf("OOB OnSend fired %d times, want 1", obs.oobSends)
+	}
+	if obs.losses != 1 {
+		t.Fatalf("OnLoss fired %d times, want 1", obs.losses)
+	}
+}
+
+func TestUnregisteredHandlerPanics(t *testing.T) {
+	k := sim.New(1)
+	topo := topology.NewLine(2)
+	nw := New(k, topo, reliableCfg(), nil)
+	nw.Register(0, &recHandler{r: &recorder{}, k: k})
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery to unregistered handler did not panic")
+		}
+	}()
+	k.Run(time.Second)
+}
+
+func BenchmarkSend(b *testing.B) {
+	k := sim.New(1)
+	topo := topology.NewLine(2)
+	nw := New(k, topo, reliableCfg(), nil)
+	rec := &recorder{}
+	nw.Register(0, &recHandler{r: rec, k: k})
+	nw.Register(1, &recHandler{r: rec, k: k})
+	msg := &wire.Subscribe{Pattern: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nw.Send(0, 1, msg)
+		if k.Pending() > 1024 {
+			rec.got = rec.got[:0]
+			k.RunAll()
+		}
+	}
+	k.RunAll()
+}

@@ -1,0 +1,441 @@
+// Package pubsub implements the best-effort distributed content-based
+// publish-subscribe system the epidemic algorithms recover events for
+// (paper Sec. II): dispatchers connected in an unrooted tree overlay,
+// subscription forwarding with duplicate-direction suppression, and
+// reverse-path event routing. It also implements route repair after a
+// topological reconfiguration — our stand-in for the reconfiguration
+// algorithm of Picco et al. (paper ref. [7]): a broken link triggers
+// unsubscription-style flushes, a replacement link triggers exchange
+// and re-propagation of the two components' subscription tables.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Recovery is the hook the epidemic recovery engine (internal/core)
+// installs on each dispatcher. A nil-safe no-op implementation is used
+// when recovery is disabled (the paper's "no recovery" baseline).
+type Recovery interface {
+	// OnPublish fires after the local dispatcher stamped a new event,
+	// before routing. The publisher caches its own events here
+	// (required by publisher-based pull, paper Sec. III-B).
+	OnPublish(ev *wire.Event)
+	// OnDeliver fires when an event matching a local subscription is
+	// delivered for the first time through normal routing. The engine
+	// caches the event and runs loss detection here.
+	OnDeliver(ev *wire.Event, from ident.NodeID)
+	// HandleRecovery processes gossip digests, recovery requests, and
+	// retransmissions addressed to this dispatcher.
+	HandleRecovery(from ident.NodeID, msg wire.Message, oob bool)
+}
+
+// NopRecovery is the no-recovery baseline.
+type NopRecovery struct{}
+
+var _ Recovery = NopRecovery{}
+
+// OnPublish implements Recovery.
+func (NopRecovery) OnPublish(*wire.Event) {}
+
+// OnDeliver implements Recovery.
+func (NopRecovery) OnDeliver(*wire.Event, ident.NodeID) {}
+
+// HandleRecovery implements Recovery.
+func (NopRecovery) HandleRecovery(ident.NodeID, wire.Message, bool) {}
+
+// DeliverFunc observes every local delivery (original or recovered).
+type DeliverFunc func(node ident.NodeID, ev *wire.Event, recovered bool)
+
+// Config carries per-node behavior switches.
+type Config struct {
+	// RecordRoutes appends each traversed dispatcher to the event's
+	// Route field, as required by publisher-based pull.
+	RecordRoutes bool
+	// OnDeliver, when non-nil, observes local deliveries (metrics).
+	OnDeliver DeliverFunc
+}
+
+// Node is one dispatching server. All methods must be called from the
+// simulation goroutine (the kernel is single-threaded).
+type Node struct {
+	id  ident.NodeID
+	k   *sim.Kernel
+	net *network.Network
+	cfg Config
+
+	neighbors []ident.NodeID
+	local     map[ident.PatternID]bool
+	localList []ident.PatternID // sorted; kept in sync with local
+	table     map[ident.PatternID][]ident.NodeID
+
+	nextSeq  uint32
+	patSeq   map[ident.PatternID]uint32
+	received *ident.EventIDSet
+
+	recovery Recovery
+}
+
+var _ network.Handler = (*Node)(nil)
+
+// NewNode builds a dispatcher with the given initial neighbor set.
+func NewNode(id ident.NodeID, k *sim.Kernel, net *network.Network, neighbors []ident.NodeID, cfg Config) *Node {
+	n := &Node{
+		id:        id,
+		k:         k,
+		net:       net,
+		cfg:       cfg,
+		neighbors: append([]ident.NodeID(nil), neighbors...),
+		local:     make(map[ident.PatternID]bool),
+		table:     make(map[ident.PatternID][]ident.NodeID),
+		patSeq:    make(map[ident.PatternID]uint32),
+		received:  ident.NewEventIDSet(256),
+		recovery:  NopRecovery{},
+	}
+	net.Register(id, n)
+	return n
+}
+
+// ID returns the dispatcher identifier.
+func (n *Node) ID() ident.NodeID { return n.id }
+
+// Kernel returns the simulation kernel the node runs on.
+func (n *Node) Kernel() *sim.Kernel { return n.k }
+
+// SetRecovery installs the epidemic recovery engine. Passing nil
+// restores the no-recovery baseline.
+func (n *Node) SetRecovery(r Recovery) {
+	if r == nil {
+		n.recovery = NopRecovery{}
+		return
+	}
+	n.recovery = r
+}
+
+// Neighbors returns the current neighbor set. The slice is owned by the
+// node and must not be mutated.
+func (n *Node) Neighbors() []ident.NodeID { return n.neighbors }
+
+// LocalPatterns returns the locally subscribed patterns, sorted. The
+// slice is owned by the node and must not be mutated.
+func (n *Node) LocalPatterns() []ident.PatternID { return n.localList }
+
+// IsLocal reports whether p is locally subscribed.
+func (n *Node) IsLocal(p ident.PatternID) bool { return n.local[p] }
+
+// LocalMatch reports whether the content matches a local subscription.
+func (n *Node) LocalMatch(c matching.Content) bool {
+	for _, p := range c {
+		if n.local[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// KnownPatterns returns every pattern with local or remote interest,
+// sorted — the "whole subscription table" the push gossiper draws from
+// (paper Sec. III-B).
+func (n *Node) KnownPatterns() []ident.PatternID {
+	out := make([]ident.PatternID, 0, len(n.table)+len(n.localList))
+	seen := make(map[ident.PatternID]bool, len(n.table)+len(n.localList))
+	for _, p := range n.localList {
+		out = append(out, p)
+		seen[p] = true
+	}
+	for p, dirs := range n.table {
+		if len(dirs) > 0 && !seen[p] {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InterestDirections returns the neighbors with (remote) interest in p.
+// The slice is owned by the node and must not be mutated.
+func (n *Node) InterestDirections(p ident.PatternID) []ident.NodeID {
+	return n.table[p]
+}
+
+// HasReceived reports whether the event was already delivered locally
+// (through routing or recovery) or published here.
+func (n *Node) HasReceived(id ident.EventID) bool { return n.received.Has(id) }
+
+// ReceivedCount returns the number of locally received events.
+func (n *Node) ReceivedCount() int { return n.received.Len() }
+
+// SendTree transmits msg to a direct neighbor on the overlay.
+func (n *Node) SendTree(to ident.NodeID, msg wire.Message) { n.net.Send(n.id, to, msg) }
+
+// SendOOB transmits msg to any dispatcher on the out-of-band channel.
+func (n *Node) SendOOB(to ident.NodeID, msg wire.Message) { n.net.SendOOB(n.id, to, msg) }
+
+// Publish stamps and routes a new event with the given content and
+// synthetic payload size, returning the stamped event. Sequence tags
+// are assigned for every content pattern with known interest, as the
+// paper prescribes: the source can do this because subscription
+// forwarding makes subscriptions known to all dispatchers.
+func (n *Node) Publish(content matching.Content, payload uint16) *wire.Event {
+	n.nextSeq++
+	ev := &wire.Event{
+		ID:          ident.EventID{Source: n.id, Seq: n.nextSeq},
+		Content:     content,
+		PublishedAt: int64(n.k.Now()),
+		PayloadLen:  payload,
+	}
+	for _, p := range content {
+		if n.local[p] || len(n.table[p]) > 0 {
+			n.patSeq[p]++
+			ev.Tags = append(ev.Tags, ident.PatternSeq{Pattern: p, Seq: n.patSeq[p]})
+		}
+	}
+	if n.cfg.RecordRoutes {
+		ev.Route = []ident.NodeID{n.id}
+	}
+	n.received.Add(ev.ID)
+	n.recovery.OnPublish(ev)
+	if n.LocalMatch(content) && n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(n.id, ev, false)
+	}
+	n.forward(ev, ident.None)
+	return ev
+}
+
+// forward routes ev to every neighbor with matching interest, except
+// the one it came from.
+func (n *Node) forward(ev *wire.Event, from ident.NodeID) {
+	sent := make(map[ident.NodeID]bool, 4)
+	for _, p := range ev.Content {
+		for _, nb := range n.table[p] {
+			if nb == from || sent[nb] {
+				continue
+			}
+			sent[nb] = true
+			out := ev
+			if n.cfg.RecordRoutes && from != ident.None {
+				out = ev.Clone()
+				out.Route = append(out.Route, n.id)
+			}
+			n.SendTree(nb, out)
+		}
+	}
+}
+
+// HandleMessage implements network.Handler.
+func (n *Node) HandleMessage(from ident.NodeID, msg wire.Message, oob bool) {
+	switch m := msg.(type) {
+	case *wire.Event:
+		if oob {
+			panic(fmt.Sprintf("pubsub: raw event %v arrived out-of-band at %v", m.ID, n.id))
+		}
+		n.handleEvent(m, from)
+	case *wire.Subscribe:
+		n.addInterest(m.Pattern, from)
+	case *wire.Unsubscribe:
+		n.removeInterest(m.Pattern, from)
+	default:
+		n.recovery.HandleRecovery(from, msg, oob)
+	}
+}
+
+func (n *Node) handleEvent(ev *wire.Event, from ident.NodeID) {
+	if n.LocalMatch(ev.Content) && n.received.Add(ev.ID) {
+		if n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(n.id, ev, false)
+		}
+		n.recovery.OnDeliver(ev, from)
+	}
+	n.forward(ev, from)
+}
+
+// DeliverRecovered injects an event obtained through the epidemic
+// recovery path. It reports whether the event was new; duplicates are
+// ignored. Recovered events are not re-forwarded on the tree: recovery
+// is a per-dispatcher affair (each interested dispatcher gossips for
+// itself), but the event does enter the local cache via the recovery
+// engine, so this dispatcher can serve it to others.
+func (n *Node) DeliverRecovered(ev *wire.Event) bool {
+	if !n.LocalMatch(ev.Content) {
+		return false
+	}
+	if !n.received.Add(ev.ID) {
+		return false
+	}
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(n.id, ev, true)
+	}
+	return true
+}
+
+// advertisedTo reports whether this node has (or would have) advertised
+// pattern p toward neighbor nb: true when there is local interest or
+// interest from any direction other than nb.
+func (n *Node) advertisedTo(p ident.PatternID, nb ident.NodeID) bool {
+	if n.local[p] {
+		return true
+	}
+	for _, d := range n.table[p] {
+		if d != nb {
+			return true
+		}
+	}
+	return false
+}
+
+// Subscribe registers a local subscription and propagates it.
+func (n *Node) Subscribe(p ident.PatternID) {
+	if n.local[p] {
+		return
+	}
+	for _, nb := range n.neighbors {
+		if !n.advertisedTo(p, nb) {
+			n.SendTree(nb, &wire.Subscribe{Pattern: p})
+		}
+	}
+	n.local[p] = true
+	n.localList = insertSorted(n.localList, p)
+}
+
+// Unsubscribe removes a local subscription and propagates the removal.
+func (n *Node) Unsubscribe(p ident.PatternID) {
+	if !n.local[p] {
+		return
+	}
+	delete(n.local, p)
+	n.localList = removeSorted(n.localList, p)
+	for _, nb := range n.neighbors {
+		if !n.advertisedTo(p, nb) {
+			n.SendTree(nb, &wire.Unsubscribe{Pattern: p})
+		}
+	}
+}
+
+// SetLocalInstant installs a local subscription without propagation.
+// Scenario setup uses it together with SetTableInstant to lay down the
+// stable initial subscription state (the paper runs with stable
+// subscription information, Sec. IV-A).
+func (n *Node) SetLocalInstant(ps []ident.PatternID) {
+	for _, p := range ps {
+		if !n.local[p] {
+			n.local[p] = true
+			n.localList = insertSorted(n.localList, p)
+		}
+	}
+}
+
+// SetTableInstant installs a remote-interest direction without
+// propagation (scenario setup only).
+func (n *Node) SetTableInstant(p ident.PatternID, dir ident.NodeID) {
+	for _, d := range n.table[p] {
+		if d == dir {
+			return
+		}
+	}
+	n.table[p] = append(n.table[p], dir)
+}
+
+// addInterest records that neighbor from is interested in p and
+// re-propagates the subscription where it is news.
+func (n *Node) addInterest(p ident.PatternID, from ident.NodeID) {
+	for _, d := range n.table[p] {
+		if d == from {
+			return // duplicate advertisement
+		}
+	}
+	for _, nb := range n.neighbors {
+		if nb != from && !n.advertisedTo(p, nb) {
+			n.SendTree(nb, &wire.Subscribe{Pattern: p})
+		}
+	}
+	n.table[p] = append(n.table[p], from)
+}
+
+// removeInterest drops neighbor from's interest in p and propagates
+// unsubscriptions where no interest remains.
+func (n *Node) removeInterest(p ident.PatternID, from ident.NodeID) {
+	dirs := n.table[p]
+	found := false
+	for i, d := range dirs {
+		if d == from {
+			n.table[p] = append(dirs[:i], dirs[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	if len(n.table[p]) == 0 {
+		delete(n.table, p)
+	}
+	for _, nb := range n.neighbors {
+		if nb != from && !n.advertisedTo(p, nb) {
+			n.SendTree(nb, &wire.Unsubscribe{Pattern: p})
+		}
+	}
+}
+
+// OnLinkDown reacts to the loss of the link toward nbr: the neighbor is
+// forgotten and every route through it is flushed, propagating
+// unsubscriptions into the rest of the component.
+func (n *Node) OnLinkDown(nbr ident.NodeID) {
+	n.neighbors = removeNodeID(n.neighbors, nbr)
+	var stale []ident.PatternID
+	for p, dirs := range n.table {
+		for _, d := range dirs {
+			if d == nbr {
+				stale = append(stale, p)
+				break
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, p := range stale {
+		n.removeInterest(p, nbr)
+	}
+}
+
+// OnLinkUp reacts to a new link toward nbr: the node advertises every
+// interest it holds (local, or learned from other directions), exactly
+// as a freshly issued subscription would propagate.
+func (n *Node) OnLinkUp(nbr ident.NodeID) {
+	n.neighbors = append(n.neighbors, nbr)
+	for _, p := range n.KnownPatterns() {
+		if n.advertisedTo(p, nbr) {
+			n.SendTree(nbr, &wire.Subscribe{Pattern: p})
+		}
+	}
+}
+
+func insertSorted(s []ident.PatternID, p ident.PatternID) []ident.PatternID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = p
+	return s
+}
+
+func removeSorted(s []ident.PatternID, p ident.PatternID) []ident.PatternID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	if i < len(s) && s[i] == p {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+func removeNodeID(s []ident.NodeID, n ident.NodeID) []ident.NodeID {
+	for i, x := range s {
+		if x == n {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+package pubsub
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+	"repro/internal/topology"
+)
+
+// TestInterleavedRepairConverges exercises the realistic reconfiguration
+// timeline: the flush wave from the broken link and the
+// re-advertisement wave from the replacement link propagate
+// concurrently (no settling in between, messages cross mid-flight).
+// After the dust settles the routing state must still equal a fresh
+// installation on the final topology.
+func TestInterleavedRepairConverges(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		topo, err := topology.New(n, 4, rng)
+		if err != nil {
+			return false
+		}
+		u := matching.Universe{NumPatterns: 8, MaxMatch: 3}
+		subs := make([][]ident.PatternID, n)
+		for i := range subs {
+			if rng.Intn(2) == 0 {
+				subs[i] = u.RandomSubscriptions(1+rng.Intn(2), rng)
+			}
+		}
+		r := newRig(t, topo, Config{})
+		InstallStableSubscriptions(topo, r.nodes, subs)
+
+		for step := 0; step < int(steps%4)+1; step++ {
+			broken := topo.RandomLink(rng)
+			if err := topo.RemoveLink(broken.A, broken.B); err != nil {
+				return false
+			}
+			r.nodes[broken.A].OnLinkDown(broken.B)
+			r.nodes[broken.B].OnLinkDown(broken.A)
+			// No settling: repair immediately, with the flush wave
+			// still in flight.
+			repl, err := topo.ReplacementLink(broken, rng)
+			if err != nil {
+				return false
+			}
+			if err := topo.AddLink(repl.A, repl.B); err != nil {
+				return false
+			}
+			r.nodes[repl.A].OnLinkUp(repl.B)
+			r.nodes[repl.B].OnLinkUp(repl.A)
+		}
+		r.run() // settle everything at the end
+
+		ref := newRig(t, topo, Config{})
+		InstallStableSubscriptions(topo, ref.nodes, subs)
+		return reflect.DeepEqual(tables(ref.nodes), tables(r.nodes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonLeafDetachAndRejoin approximates the paper's extreme case
+// (Sec. IV-B): a non-leaf dispatcher is detached from the network and
+// multiple links break at once. The node is then reattached; routing
+// must converge and deliver again.
+func TestNonLeafDetachAndRejoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	topo, err := topology.New(25, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a non-leaf node.
+	victim := ident.None
+	for i := 0; i < 25; i++ {
+		if topo.Degree(ident.NodeID(i)) >= 3 {
+			victim = ident.NodeID(i)
+			break
+		}
+	}
+	if victim == ident.None {
+		t.Fatal("no non-leaf node in test topology")
+	}
+
+	subs := make([][]ident.PatternID, 25)
+	for i := range subs {
+		subs[i] = []ident.PatternID{ident.PatternID(i % 5)}
+	}
+	r := newRig(t, topo, Config{})
+	InstallStableSubscriptions(topo, r.nodes, subs)
+
+	// Detach: break every link of the victim at once.
+	neighbors := append([]ident.NodeID(nil), topo.Neighbors(victim)...)
+	var brokens []topology.Link
+	for _, nb := range neighbors {
+		if err := topo.RemoveLink(victim, nb); err != nil {
+			t.Fatal(err)
+		}
+		r.nodes[victim].OnLinkDown(nb)
+		r.nodes[nb].OnLinkDown(victim)
+		brokens = append(brokens, topology.Link{A: victim, B: nb}.Canon())
+	}
+	r.run()
+
+	// Repair each break in order (the victim's side is the singleton
+	// component for the first repair; later repairs merge the rest).
+	for _, broken := range brokens {
+		repl, err := topo.ReplacementLink(broken, rng)
+		if err != nil {
+			t.Fatalf("ReplacementLink(%v): %v", broken, err)
+		}
+		if err := topo.AddLink(repl.A, repl.B); err != nil {
+			t.Fatalf("AddLink(%v): %v", repl, err)
+		}
+		r.nodes[repl.A].OnLinkUp(repl.B)
+		r.nodes[repl.B].OnLinkUp(repl.A)
+	}
+	r.run()
+
+	if !topo.IsTree() {
+		t.Fatal("topology is not a tree after rejoin")
+	}
+	ref := newRig(t, topo, Config{})
+	InstallStableSubscriptions(topo, ref.nodes, subs)
+	if !reflect.DeepEqual(tables(ref.nodes), tables(r.nodes)) {
+		t.Fatal("routing state did not converge after non-leaf detach")
+	}
+
+	// Every subscriber of pattern 0 receives a fresh publication.
+	ev := r.nodes[0].Publish(matching.Content{0}, 0)
+	r.run()
+	want := 0
+	for i, ps := range subs {
+		if ps[0] == 0 && i != 0 {
+			want++
+		}
+	}
+	got := 0
+	for node, evs := range r.deliveries {
+		for _, e := range evs {
+			if e.ID == ev.ID && node != 0 {
+				got++
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("event reached %d subscribers after rejoin, want %d", got, want)
+	}
+}

@@ -1,0 +1,58 @@
+package pubsub
+
+import (
+	"repro/internal/ident"
+	"repro/internal/topology"
+)
+
+// InstallStableSubscriptions lays down local subscriptions and the
+// corresponding routing tables on every node instantaneously, without
+// exchanging messages. The paper's simulations run with stable
+// subscription information (Sec. IV-A): subscriptions exist before the
+// measurement starts, so their propagation is not simulated.
+//
+// subs[i] lists the patterns node i subscribes to. For every subscriber
+// s of pattern p, every other node x gets a table entry (p → neighbor
+// of x on the path toward s), which is exactly the state subscription
+// forwarding converges to on a tree.
+func InstallStableSubscriptions(topo *topology.Tree, nodes []*Node, subs [][]ident.PatternID) {
+	if len(nodes) != topo.N() || len(subs) != topo.N() {
+		panic("pubsub: nodes/subs length must match topology size")
+	}
+	for i, n := range nodes {
+		n.SetLocalInstant(subs[i])
+	}
+	parent := make([]ident.NodeID, topo.N())
+	queue := make([]ident.NodeID, 0, topo.N())
+	for s := range nodes {
+		if len(subs[s]) == 0 {
+			continue
+		}
+		// BFS from the subscriber: parent[x] is x's neighbor on the
+		// path toward s, i.e. the direction events must leave x to
+		// reach s.
+		for i := range parent {
+			parent[i] = ident.None
+		}
+		start := ident.NodeID(s)
+		parent[start] = start
+		queue = append(queue[:0], start)
+		for i := 0; i < len(queue); i++ {
+			x := queue[i]
+			for _, y := range topo.Neighbors(x) {
+				if parent[y] == ident.None {
+					parent[y] = x
+					queue = append(queue, y)
+				}
+			}
+		}
+		for x := range nodes {
+			if x == s || parent[x] == ident.None {
+				continue
+			}
+			for _, p := range subs[s] {
+				nodes[x].SetTableInstant(p, parent[x])
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestCalibrationRecoveryAnchors pins the paper's headline recovery
+// results at the default parameters (Fig. 3a right, ε=0.1): push and
+// combined pull lift delivery to ≈0.90, subscriber-based pull plateaus
+// near 0.78, and every algorithm beats the baseline.
+func TestCalibrationRecoveryAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration runs")
+	}
+	type band struct {
+		algo   core.Algorithm
+		lo, hi float64
+	}
+	bands := []band{
+		{core.Push, 0.88, 0.99},
+		{core.CombinedPull, 0.86, 0.98},
+		{core.SubscriberPull, 0.72, 0.82}, // the paper's ≈78% plateau
+		{core.PublisherPull, 0.65, 0.85},
+		{core.RandomPull, 0.70, 0.92},
+	}
+	params := make([]Params, 0, len(bands))
+	for _, b := range bands {
+		p := DefaultParams()
+		p.Duration = 8 * time.Second
+		p.Algorithm = b.algo
+		params = append(params, p)
+	}
+	results, err := RunAll(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bands {
+		got := results[i].DeliveryRate
+		t.Logf("%-16s delivery=%.3f gossip/disp=%.0f ratio=%.3f recovLatP50=%v",
+			b.algo, got, results[i].GossipPerDispatcher,
+			results[i].GossipEventRatio, results[i].RecoveryLatencyP50)
+		if got < b.lo || got > b.hi {
+			t.Errorf("%v delivery %.3f outside paper band [%.2f, %.2f]", b.algo, got, b.lo, b.hi)
+		}
+	}
+}
+
+// TestCalibrationOverheadAnchors pins the gossip/event message ratio
+// near the paper's ≈20–28% band for push at the defaults (Fig. 9a).
+func TestCalibrationOverheadAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration run")
+	}
+	p := DefaultParams()
+	p.Duration = 8 * time.Second
+	p.Algorithm = core.Push
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GossipEventRatio < 0.12 || res.GossipEventRatio > 0.40 {
+		t.Errorf("push gossip/event ratio %.3f outside calibration band [0.12, 0.40]", res.GossipEventRatio)
+	}
+	// Paper Fig. 9a: 1000–4500 gossip msgs per dispatcher over 25 s
+	// (40–180/s) across N=40…200. Our Pforward=0.9 calibration trades
+	// a little more gossip for hitting the delivery anchors, so allow
+	// headroom above the paper's top.
+	perSec := res.GossipPerDispatcher / 8
+	if perSec < 40 || perSec > 260 {
+		t.Errorf("push gossip msgs/dispatcher/s = %.1f outside calibration band [40, 260]", perSec)
+	}
+}
+
+// TestCalibrationBaseline checks the paper's central calibration
+// anchors (Fig. 3a): without recovery the delivery rate is ≈0.55 at
+// ε=0.1 and ≈0.75 at ε=0.05.
+func TestCalibrationBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length calibration run")
+	}
+	for _, tt := range []struct {
+		eps    float64
+		lo, hi float64
+	}{
+		{0.1, 0.50, 0.62},
+		{0.05, 0.70, 0.80},
+	} {
+		p := DefaultParams()
+		p.Duration = 10 * time.Second
+		p.Network.LossRate = tt.eps
+		p.Network.OOBLossRate = tt.eps
+		p.Algorithm = core.NoRecovery
+		res, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("ε=%.2f: delivery=%.3f meanPath=%.2f published=%d kernelEvents=%d receivers/event=%.2f",
+			tt.eps, res.DeliveryRate, res.MeanPathLength, res.EventsPublished, res.KernelEvents, res.ReceiversPerEvent)
+		if res.DeliveryRate < tt.lo || res.DeliveryRate > tt.hi {
+			t.Errorf("ε=%.2f: baseline delivery %.3f outside paper band [%.2f, %.2f]",
+				tt.eps, res.DeliveryRate, tt.lo, tt.hi)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package scenario assembles the full simulated system — topology,
+// network, dispatchers, recovery engines, workload, reconfiguration
+// driver, metrics — from one parameter set, mirroring the simulation
+// setting of the paper's Sec. IV-A, and runs it to produce the
+// measurements of Sec. IV-B through IV-E.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/pubsub"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Params is one simulation configuration. DefaultParams returns the
+// paper's defaults (Fig. 2); tests and experiments override individual
+// fields.
+type Params struct {
+	// Seed drives every random stream of the run.
+	Seed int64
+	// N is the number of dispatchers.
+	N int
+	// MaxDegree bounds the overlay tree's node degree.
+	MaxDegree int
+	// NumPatterns is Π, the pattern universe size.
+	NumPatterns int
+	// MaxMatch bounds how many patterns one event matches.
+	MaxMatch int
+	// PatternsPerNode is πmax: every dispatcher subscribes to exactly
+	// this many distinct patterns.
+	PatternsPerNode int
+	// PublishRate is the per-dispatcher publish rate in events/second
+	// (Poisson arrivals).
+	PublishRate float64
+	// PayloadBytes is the synthetic payload size stamped on events.
+	PayloadBytes uint16
+	// Duration is the simulated time span.
+	Duration sim.Time
+	// MeasureFrom/MeasureTo bound the measurement window by publish
+	// time: events published outside it do not enter delivery-rate
+	// statistics (they still load the system). Zero values default to
+	// [1s, Duration-2s], leaving the tail room to recover.
+	MeasureFrom, MeasureTo sim.Time
+	// Algorithm selects the recovery variant.
+	Algorithm core.Algorithm
+	// Gossip carries the gossip parameters; its Algorithm field is
+	// overridden by Algorithm above.
+	Gossip core.Config
+	// Network carries the channel model (ε lives here as LossRate).
+	Network network.Config
+	// ReconfigInterval is ρ: every ρ a random link breaks. Zero
+	// disables reconfigurations (ρ = ∞ in the paper).
+	ReconfigInterval sim.Time
+	// RepairDelay is how long a broken link stays down before the
+	// replacement link appears (0.1 s in the paper).
+	RepairDelay sim.Time
+	// BucketWidth is the time-series bucket (by publish time).
+	BucketWidth sim.Time
+	// Trace, when non-nil, records protocol activity (publishes,
+	// deliveries, recoveries, transmissions, losses, reconfigurations)
+	// into the given ring for post-run inspection.
+	Trace *trace.Ring
+}
+
+// DefaultParams returns the paper's default simulation parameters
+// (Fig. 2 plus the channel model of Sec. IV-A).
+func DefaultParams() Params {
+	return Params{
+		Seed:             1,
+		N:                100,
+		MaxDegree:        4,
+		NumPatterns:      70,
+		MaxMatch:         3,
+		PatternsPerNode:  2,
+		PublishRate:      50,
+		PayloadBytes:     0,
+		Duration:         25 * time.Second,
+		Algorithm:        core.NoRecovery,
+		Gossip:           core.DefaultConfig(core.NoRecovery),
+		Network:          network.DefaultConfig(),
+		ReconfigInterval: 0,
+		RepairDelay:      100 * time.Millisecond,
+		BucketWidth:      100 * time.Millisecond,
+	}
+}
+
+// normalize fills derived defaults and validates.
+func (p Params) normalize() (Params, error) {
+	if p.N < 2 {
+		return p, fmt.Errorf("scenario: N = %d, need at least 2 dispatchers", p.N)
+	}
+	if p.PatternsPerNode < 0 || p.NumPatterns < 1 {
+		return p, fmt.Errorf("scenario: invalid pattern parameters (πmax=%d, Π=%d)", p.PatternsPerNode, p.NumPatterns)
+	}
+	if p.PublishRate < 0 {
+		return p, fmt.Errorf("scenario: negative publish rate %v", p.PublishRate)
+	}
+	if p.Duration <= 0 {
+		return p, fmt.Errorf("scenario: non-positive duration %v", p.Duration)
+	}
+	if p.MeasureFrom == 0 && p.MeasureTo == 0 {
+		p.MeasureFrom = time.Second
+		p.MeasureTo = p.Duration - 2*time.Second
+		if p.MeasureTo <= p.MeasureFrom {
+			p.MeasureFrom = 0
+			p.MeasureTo = p.Duration
+		}
+	}
+	if p.MeasureTo <= p.MeasureFrom {
+		return p, fmt.Errorf("scenario: empty measurement window [%v, %v)", p.MeasureFrom, p.MeasureTo)
+	}
+	if p.BucketWidth <= 0 {
+		p.BucketWidth = 100 * time.Millisecond
+	}
+	p.Gossip.Algorithm = p.Algorithm
+	if p.Algorithm != core.NoRecovery {
+		g, err := p.Gossip.Normalize()
+		if err != nil {
+			return p, err
+		}
+		p.Gossip = g
+	}
+	return p, nil
+}
+
+// Result carries everything one run measured.
+type Result struct {
+	// Params echoes the normalized configuration of the run.
+	Params Params
+	// DeliveryRate is the delivery rate over the measurement window.
+	DeliveryRate float64
+	// RecoveredShare is the fraction of window deliveries that arrived
+	// via recovery.
+	RecoveredShare float64
+	// ReceiversPerEvent is the mean number of matching subscribers per
+	// event (Fig. 7's metric).
+	ReceiversPerEvent float64
+	// TimeSeries is the bucketed delivery-rate curve (Fig. 3's metric).
+	TimeSeries []metrics.Point
+	// GossipPerDispatcher is the mean number of gossip messages sent
+	// per dispatcher over the run (Figs. 9, 10).
+	GossipPerDispatcher float64
+	// GossipEventRatio is gossip messages / event messages (Fig. 9).
+	GossipEventRatio float64
+	// EventsPublished counts publish operations.
+	EventsPublished uint64
+	// ExpectedDeliveries/Deliveries/Recoveries are raw totals over the
+	// whole run (not only the window).
+	ExpectedDeliveries, Deliveries, Recoveries uint64
+	// EngineStats aggregates the per-node engine counters.
+	EngineStats core.Stats
+	// RoutedLatencyP50/P99 are publish→delivery latency percentiles of
+	// normally routed deliveries.
+	RoutedLatencyP50, RoutedLatencyP99 sim.Time
+	// RecoveryLatencyP50/P99 are publish→delivery latency percentiles
+	// of recovered deliveries — how long a subscriber stayed without an
+	// event it should have had.
+	RecoveryLatencyP50, RecoveryLatencyP99 sim.Time
+	// MeanPathLength is the topology's mean pairwise distance at start.
+	MeanPathLength float64
+	// Reconfigurations counts link breakages performed.
+	Reconfigurations uint64
+	// KernelEvents counts simulator events processed (run cost).
+	KernelEvents uint64
+}
+
+// Run executes one simulation.
+func Run(p Params) (Result, error) {
+	p, err := p.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	k := sim.New(p.Seed)
+	topoRNG := k.NewStream(0x746f706f) // "topo"
+	topo, err := topology.New(p.N, p.MaxDegree, topoRNG)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario: building topology: %w", err)
+	}
+
+	traffic := metrics.NewTraffic(p.N)
+	var obs network.Observer = traffic
+	if p.Trace != nil {
+		obs = network.MultiObserver(traffic, &traceObserver{ring: p.Trace, now: k.Now})
+	}
+	nw := network.New(k, topo, p.Network, obs)
+	tracker := metrics.NewDeliveryTracker(k.Now)
+
+	onDeliver := tracker.OnDeliver
+	if p.Trace != nil {
+		ring := p.Trace
+		onDeliver = func(node ident.NodeID, ev *wire.Event, recovered bool) {
+			kind := trace.Deliver
+			if recovered {
+				kind = trace.Recover
+			}
+			ring.Add(trace.Record{At: k.Now(), Kind: kind, Node: node, Peer: ident.None, Event: ev.ID})
+			tracker.OnDeliver(node, ev, recovered)
+		}
+	}
+	pcfg := pubsub.Config{
+		RecordRoutes: p.Algorithm.NeedsRoutes(),
+		OnDeliver:    onDeliver,
+	}
+	nodes := make([]*pubsub.Node, p.N)
+	for i := range nodes {
+		id := ident.NodeID(i)
+		nodes[i] = pubsub.NewNode(id, k, nw, topo.Neighbors(id), pcfg)
+	}
+
+	// Stable subscription state (paper Sec. IV-A): πmax distinct
+	// patterns per dispatcher, installed before the run starts.
+	u := matching.Universe{NumPatterns: p.NumPatterns, MaxMatch: p.MaxMatch}
+	subRNG := k.NewStream(0x73756273) // "subs"
+	subs := make([][]ident.PatternID, p.N)
+	for i := range subs {
+		subs[i] = u.RandomSubscriptions(p.PatternsPerNode, subRNG)
+	}
+	pubsub.InstallStableSubscriptions(topo, nodes, subs)
+
+	// Per-pattern subscriber sets give O(content) expected-receiver
+	// counting at publish time.
+	subscribersOf := make(map[ident.PatternID][]ident.NodeID, p.NumPatterns)
+	for i, ps := range subs {
+		for _, pat := range ps {
+			subscribersOf[pat] = append(subscribersOf[pat], ident.NodeID(i))
+		}
+	}
+
+	engines := make([]*core.Engine, 0, p.N)
+	if p.Algorithm != core.NoRecovery {
+		for _, n := range nodes {
+			e, err := core.NewEngine(n, p.Gossip)
+			if err != nil {
+				return Result{}, fmt.Errorf("scenario: building engine: %w", err)
+			}
+			e.Start()
+			engines = append(engines, e)
+		}
+	}
+
+	// Workload: every dispatcher publishes with Poisson arrivals.
+	var published uint64
+	if p.PublishRate > 0 {
+		meanGap := float64(time.Second) / p.PublishRate
+		for i := range nodes {
+			node := nodes[i]
+			wlRNG := k.NewStream(0x776f726b + int64(i)) // "work" + node
+			var publish func()
+			schedule := func() {
+				gap := sim.Time(wlRNG.ExpFloat64() * meanGap)
+				k.After(gap, publish)
+			}
+			publish = func() {
+				content := u.RandomContent(wlRNG)
+				expected := countReceivers(subscribersOf, content, node.ID())
+				ev := node.Publish(content, p.PayloadBytes)
+				tracker.OnPublish(ev.ID, expected, k.Now())
+				if p.Trace != nil {
+					p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.Publish, Node: node.ID(), Peer: ident.None, Event: ev.ID})
+				}
+				published++
+				schedule()
+			}
+			schedule()
+		}
+	}
+
+	// Reconfiguration driver (paper Sec. IV-A): every ρ a random link
+	// breaks; after RepairDelay a replacement reconnects the two sides.
+	var reconfigs uint64
+	if p.ReconfigInterval > 0 {
+		recRNG := k.NewStream(0x7265636f) // "reco"
+		var reconfigure func()
+		reconfigure = func() {
+			if topo.NumLinks() > 0 {
+				broken := topo.RandomLink(recRNG)
+				if err := topo.RemoveLink(broken.A, broken.B); err == nil {
+					reconfigs++
+					if p.Trace != nil {
+						p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.LinkDown, Node: broken.A, Peer: broken.B})
+					}
+					nodes[broken.A].OnLinkDown(broken.B)
+					nodes[broken.B].OnLinkDown(broken.A)
+					k.After(p.RepairDelay, func() {
+						repair(k, topo, nodes, broken, recRNG, p.RepairDelay, p.Trace)
+					})
+				}
+			}
+			k.After(p.ReconfigInterval, reconfigure)
+		}
+		k.After(p.ReconfigInterval, reconfigure)
+	}
+
+	k.Run(p.Duration)
+	for _, e := range engines {
+		e.Stop()
+	}
+
+	res := Result{
+		Params:              p,
+		DeliveryRate:        tracker.Rate(p.MeasureFrom, p.MeasureTo),
+		RecoveredShare:      tracker.RecoveredShare(p.MeasureFrom, p.MeasureTo),
+		ReceiversPerEvent:   tracker.ReceiversPerEvent(p.MeasureFrom, p.MeasureTo),
+		TimeSeries:          tracker.TimeSeries(p.BucketWidth),
+		GossipPerDispatcher: traffic.GossipPerDispatcher(),
+		GossipEventRatio:    traffic.GossipEventRatio(),
+		EventsPublished:     published,
+		MeanPathLength:      topo.MeanPairwiseDistance(),
+		Reconfigurations:    reconfigs,
+		KernelEvents:        k.Processed(),
+	}
+	res.ExpectedDeliveries, res.Deliveries, res.Recoveries = tracker.Totals()
+	if rl := tracker.RoutedLatency(); rl.Count() > 0 {
+		res.RoutedLatencyP50 = rl.Quantile(0.5)
+		res.RoutedLatencyP99 = rl.Quantile(0.99)
+	}
+	if cl := tracker.RecoveryLatency(); cl.Count() > 0 {
+		res.RecoveryLatencyP50 = cl.Quantile(0.5)
+		res.RecoveryLatencyP99 = cl.Quantile(0.99)
+	}
+	for _, e := range engines {
+		s := e.Stats()
+		res.EngineStats.RoundsStarted += s.RoundsStarted
+		res.EngineStats.RoundsSkipped += s.RoundsSkipped
+		res.EngineStats.LossesDetected += s.LossesDetected
+		res.EngineStats.Recovered += s.Recovered
+		res.EngineStats.DuplicateRecoveries += s.DuplicateRecoveries
+		res.EngineStats.RequestsSent += s.RequestsSent
+		res.EngineStats.RetransmitsServed += s.RetransmitsServed
+	}
+	return res, nil
+}
+
+// repair reconnects the two components around broken, retrying when
+// overlapping reconfigurations temporarily consumed every degree slot.
+func repair(k *sim.Kernel, topo *topology.Tree, nodes []*pubsub.Node, broken topology.Link, rng *rand.Rand, retry sim.Time, ring *trace.Ring) {
+	repl, err := topo.ReplacementLink(broken, rng)
+	if err != nil {
+		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring) })
+		return
+	}
+	if err := topo.AddLink(repl.A, repl.B); err != nil {
+		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring) })
+		return
+	}
+	if ring != nil {
+		ring.Add(trace.Record{At: k.Now(), Kind: trace.LinkUp, Node: repl.A, Peer: repl.B})
+	}
+	nodes[repl.A].OnLinkUp(repl.B)
+	nodes[repl.B].OnLinkUp(repl.A)
+}
+
+// traceObserver adapts a trace ring to the network.Observer interface.
+type traceObserver struct {
+	ring *trace.Ring
+	now  func() sim.Time
+}
+
+var _ network.Observer = (*traceObserver)(nil)
+
+// OnSend implements network.Observer.
+func (t *traceObserver) OnSend(from, to ident.NodeID, msg wire.Message, _ bool) {
+	t.ring.Add(trace.Record{At: t.now(), Kind: trace.Send, Node: from, Peer: to, Msg: msg.Kind(), Event: eventOf(msg)})
+}
+
+// OnLoss implements network.Observer.
+func (t *traceObserver) OnLoss(from, to ident.NodeID, msg wire.Message, _ bool) {
+	t.ring.Add(trace.Record{At: t.now(), Kind: trace.Loss, Node: from, Peer: to, Msg: msg.Kind(), Event: eventOf(msg)})
+}
+
+func eventOf(msg wire.Message) ident.EventID {
+	if ev, ok := msg.(*wire.Event); ok {
+		return ev.ID
+	}
+	return ident.EventID{}
+}
+
+// countReceivers returns how many dispatchers other than the publisher
+// subscribe to at least one pattern of the content.
+func countReceivers(subscribersOf map[ident.PatternID][]ident.NodeID, c matching.Content, publisher ident.NodeID) int {
+	seen := make(map[ident.NodeID]bool, 8)
+	for _, p := range c {
+		for _, s := range subscribersOf[p] {
+			if s != publisher {
+				seen[s] = true
+			}
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,205 @@
+// Package sim implements the discrete-event simulation kernel that
+// replaces OMNeT++ in the paper's evaluation: a virtual clock, a
+// binary-heap future-event set with deterministic tie-breaking, and
+// seeded random-number streams.
+//
+// The kernel is single-threaded and fully deterministic: two runs with
+// the same seed and the same schedule of callbacks produce identical
+// traces. Parallelism belongs one level up, where independent
+// simulations of a parameter sweep each run on their own kernel in
+// their own goroutine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured from the start of the
+// simulation. It reuses time.Duration so that literals such as
+// 30*time.Millisecond read naturally in scenario code.
+type Time = time.Duration
+
+// Handler is a callback executed at its scheduled virtual time.
+type Handler func()
+
+// entry is one element of the future-event set.
+type entry struct {
+	at   Time
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   Handler
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// eventHeap orders entries by (time, insertion sequence).
+type eventHeap []*entry
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*entry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Canceler cancels a scheduled event. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+type Canceler struct {
+	e *entry
+}
+
+// Cancel prevents the associated handler from running.
+func (c Canceler) Cancel() {
+	if c.e != nil {
+		c.e.dead = true
+	}
+}
+
+// Kernel is a discrete-event simulator instance.
+//
+// A Kernel must not be shared between goroutines.
+type Kernel struct {
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	rng       *rand.Rand
+	seed      int64
+	processed uint64
+	stopped   bool
+}
+
+// New returns a kernel whose random streams derive from seed.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Rand returns the kernel's root random stream. Components that need
+// independent streams should derive them with NewStream.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// NewStream derives an independent, deterministic random stream from
+// the kernel seed and the given tag. Streams created with the same
+// (seed, tag) pair are identical across runs.
+func (k *Kernel) NewStream(tag int64) *rand.Rand {
+	// SplitMix-style scramble keeps streams decorrelated even for
+	// adjacent tags.
+	z := uint64(k.seed) + uint64(tag)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled entries not yet drained).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at virtual time at. Scheduling in the past
+// panics: it is always a bug in the caller.
+func (k *Kernel) At(at Time, fn Handler) Canceler {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	e := &entry{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return Canceler{e: e}
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn Handler) Canceler {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing handler.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the future-event set is
+// empty, the next event is past the horizon, or Stop is called. It
+// returns the number of events executed by this call. The clock is left
+// at the horizon when the run drained up to it, so that a subsequent
+// Run with a later horizon continues seamlessly.
+func (k *Kernel) Run(until Time) uint64 {
+	var n uint64
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.dead {
+			continue
+		}
+		k.now = next.at
+		next.fn()
+		n++
+		k.processed++
+	}
+	if k.now < until && !k.stopped {
+		k.now = until
+	}
+	return n
+}
+
+// RunAll executes every scheduled event regardless of time, leaving
+// the clock at the last executed event (so more work can be scheduled
+// afterwards). Intended for tests; simulations should bound Run with a
+// horizon.
+func (k *Kernel) RunAll() uint64 {
+	var n uint64
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		heap.Pop(&k.queue)
+		if next.dead {
+			continue
+		}
+		k.now = next.at
+		next.fn()
+		n++
+		k.processed++
+	}
+	return n
+}

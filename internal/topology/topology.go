@@ -1,0 +1,426 @@
+// Package topology models the overlay network of dispatchers: an
+// unrooted tree with bounded node degree (the paper connects each
+// dispatcher to at most four others, Sec. IV-A), plus the mutation
+// operations used by the reconfiguration scenario — breaking a link and
+// replacing it with another that keeps the network connected
+// (Sec. IV-A, "Frequency of reconfiguration").
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ident"
+)
+
+// Common errors returned by mutation operations.
+var (
+	ErrNoSuchLink   = errors.New("topology: no such link")
+	ErrLinkExists   = errors.New("topology: link already exists")
+	ErrDegreeFull   = errors.New("topology: node degree limit reached")
+	ErrWouldCycle   = errors.New("topology: link would create a cycle")
+	ErrSameEndpoint = errors.New("topology: self link")
+)
+
+// Link is an undirected edge between two dispatchers. The canonical
+// form has A < B.
+type Link struct {
+	A, B ident.NodeID
+}
+
+// Canon returns the link with endpoints in canonical order.
+func (l Link) Canon() Link {
+	if l.A > l.B {
+		return Link{A: l.B, B: l.A}
+	}
+	return l
+}
+
+// Other returns the endpoint opposite to n. It panics when n is not an
+// endpoint of the link.
+func (l Link) Other(n ident.NodeID) ident.NodeID {
+	switch n {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		panic(fmt.Sprintf("topology: %v is not an endpoint of %v-%v", n, l.A, l.B))
+	}
+}
+
+// Tree is a mutable overlay topology. During normal operation it is a
+// spanning tree of the dispatchers; while a reconfiguration is in
+// progress (between RemoveLink and AddLink) it is a two-component
+// forest.
+//
+// Tree is not safe for concurrent use.
+type Tree struct {
+	n         int
+	maxDegree int
+	adj       [][]ident.NodeID
+	links     int
+	version   uint64
+	// incarnation counts how many times each (canonical) link has been
+	// created. A re-created link is a new connection: messages in
+	// flight on the previous incarnation must not be delivered on the
+	// new one.
+	incarnation map[Link]uint64
+
+	// distance cache, rebuilt lazily per version
+	distVersion uint64
+	dist        [][]int16
+}
+
+// New builds a random spanning tree over n dispatchers with node degree
+// at most maxDegree. Nodes join one at a time and attach to a uniformly
+// random node among those at the smallest depth that still has a free
+// slot; this yields the "balanced-ish" trees described in DESIGN.md,
+// whose mean pairwise distance at N=100, maxDegree=4 matches the
+// paper's baseline delivery anchors.
+func New(n, maxDegree int, rng *rand.Rand) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 node, got %d", n)
+	}
+	if maxDegree < 2 && n > 2 {
+		return nil, fmt.Errorf("topology: maxDegree %d cannot connect %d nodes", maxDegree, n)
+	}
+	t := &Tree{
+		n:         n,
+		maxDegree: maxDegree,
+		adj:       make([][]ident.NodeID, n),
+	}
+	depth := make([]int, n)
+	for i := 1; i < n; i++ {
+		// Collect nodes with a free slot at the minimum depth.
+		best := -1
+		var candidates []ident.NodeID
+		for j := 0; j < i; j++ {
+			if len(t.adj[j]) >= maxDegree {
+				continue
+			}
+			switch {
+			case best == -1 || depth[j] < best:
+				best = depth[j]
+				candidates = candidates[:0]
+				candidates = append(candidates, ident.NodeID(j))
+			case depth[j] == best:
+				candidates = append(candidates, ident.NodeID(j))
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("topology: no free slots for node %d (maxDegree=%d)", i, maxDegree)
+		}
+		parent := candidates[rng.Intn(len(candidates))]
+		t.addEdge(parent, ident.NodeID(i))
+		depth[i] = depth[parent] + 1
+	}
+	return t, nil
+}
+
+// NewLine builds a path topology 0-1-2-...-(n-1). Used by tests that
+// need predictable hop counts.
+func NewLine(n int) *Tree {
+	t := &Tree{n: n, maxDegree: 2, adj: make([][]ident.NodeID, n)}
+	for i := 0; i < n-1; i++ {
+		t.addEdge(ident.NodeID(i), ident.NodeID(i+1))
+	}
+	return t
+}
+
+// NewStar builds a star with node 0 at the center. Used by tests.
+func NewStar(n int) *Tree {
+	t := &Tree{n: n, maxDegree: n - 1, adj: make([][]ident.NodeID, n)}
+	for i := 1; i < n; i++ {
+		t.addEdge(0, ident.NodeID(i))
+	}
+	return t
+}
+
+func (t *Tree) addEdge(a, b ident.NodeID) {
+	t.adj[a] = append(t.adj[a], b)
+	t.adj[b] = append(t.adj[b], a)
+	t.links++
+	t.version++
+	if t.incarnation == nil {
+		t.incarnation = make(map[Link]uint64)
+	}
+	t.incarnation[Link{A: a, B: b}.Canon()]++
+}
+
+// LinkIncarnation returns how many times the link between a and b has
+// been created so far (0 when it never existed). Transport layers use
+// it to drop traffic that was in flight on a previous incarnation of a
+// re-created link.
+func (t *Tree) LinkIncarnation(a, b ident.NodeID) uint64 {
+	return t.incarnation[Link{A: a, B: b}.Canon()]
+}
+
+// N returns the number of dispatchers.
+func (t *Tree) N() int { return t.n }
+
+// MaxDegree returns the degree bound.
+func (t *Tree) MaxDegree() int { return t.maxDegree }
+
+// Version increases on every mutation; callers use it to invalidate
+// derived state.
+func (t *Tree) Version() uint64 { return t.version }
+
+// NumLinks returns the number of links currently present.
+func (t *Tree) NumLinks() int { return t.links }
+
+// Degree returns the number of neighbors of n.
+func (t *Tree) Degree(n ident.NodeID) int { return len(t.adj[n]) }
+
+// Neighbors returns the neighbors of n. The returned slice is owned by
+// the tree and must not be mutated or retained across mutations.
+func (t *Tree) Neighbors(n ident.NodeID) []ident.NodeID { return t.adj[n] }
+
+// HasLink reports whether a and b are directly connected.
+func (t *Tree) HasLink(a, b ident.NodeID) bool {
+	for _, x := range t.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Links returns every link in canonical order. The slice is freshly
+// allocated.
+func (t *Tree) Links() []Link {
+	out := make([]Link, 0, t.links)
+	for a := 0; a < t.n; a++ {
+		for _, b := range t.adj[a] {
+			if ident.NodeID(a) < b {
+				out = append(out, Link{A: ident.NodeID(a), B: b})
+			}
+		}
+	}
+	return out
+}
+
+// RandomLink returns a uniformly random link. It panics on an empty
+// topology.
+func (t *Tree) RandomLink(rng *rand.Rand) Link {
+	links := t.Links()
+	if len(links) == 0 {
+		panic("topology: no links")
+	}
+	return links[rng.Intn(len(links))]
+}
+
+// RemoveLink deletes the link between a and b, splitting the tree into
+// two components.
+func (t *Tree) RemoveLink(a, b ident.NodeID) error {
+	if !t.HasLink(a, b) {
+		return fmt.Errorf("%w: %v-%v", ErrNoSuchLink, a, b)
+	}
+	t.adj[a] = removeNode(t.adj[a], b)
+	t.adj[b] = removeNode(t.adj[b], a)
+	t.links--
+	t.version++
+	return nil
+}
+
+func removeNode(s []ident.NodeID, n ident.NodeID) []ident.NodeID {
+	for i, x := range s {
+		if x == n {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// AddLink connects a and b. It fails when the link exists, an endpoint
+// is at its degree limit, or the endpoints are already connected (a new
+// link inside one component would create a cycle).
+func (t *Tree) AddLink(a, b ident.NodeID) error {
+	switch {
+	case a == b:
+		return ErrSameEndpoint
+	case t.HasLink(a, b):
+		return fmt.Errorf("%w: %v-%v", ErrLinkExists, a, b)
+	case len(t.adj[a]) >= t.maxDegree:
+		return fmt.Errorf("%w: %v", ErrDegreeFull, a)
+	case len(t.adj[b]) >= t.maxDegree:
+		return fmt.Errorf("%w: %v", ErrDegreeFull, b)
+	case t.sameComponent(a, b):
+		return fmt.Errorf("%w: %v-%v", ErrWouldCycle, a, b)
+	}
+	t.addEdge(a, b)
+	return nil
+}
+
+// sameComponent reports whether a BFS from a reaches b.
+func (t *Tree) sameComponent(a, b ident.NodeID) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, t.n)
+	seen[a] = true
+	queue := []ident.NodeID{a}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range t.adj[x] {
+			if y == b {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return false
+}
+
+// Component returns the IDs of every node reachable from a, including a
+// itself, in BFS order.
+func (t *Tree) Component(a ident.NodeID) []ident.NodeID {
+	seen := make([]bool, t.n)
+	seen[a] = true
+	queue := []ident.NodeID{a}
+	for i := 0; i < len(queue); i++ {
+		for _, y := range t.adj[queue[i]] {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return queue
+}
+
+// Connected reports whether the topology is a single component.
+func (t *Tree) Connected() bool {
+	return len(t.Component(0)) == t.n
+}
+
+// IsTree reports whether the topology is connected and acyclic.
+func (t *Tree) IsTree() bool {
+	return t.links == t.n-1 && t.Connected()
+}
+
+// ReplacementLink chooses a random link (x, y) that reconnects the two
+// components around the removed link broken, respecting the degree
+// bound. The topology may be a forest with further links missing
+// (overlapping reconfigurations, paper Sec. IV-A): only the components
+// containing broken.A and broken.B are considered, which keeps each
+// repair independent. The replacement differs from the broken link
+// whenever any other valid pair exists.
+func (t *Tree) ReplacementLink(broken Link, rng *rand.Rand) (Link, error) {
+	if t.HasLink(broken.A, broken.B) {
+		return Link{}, fmt.Errorf("topology: link %v-%v still present", broken.A, broken.B)
+	}
+	compA := t.Component(broken.A)
+	for _, x := range compA {
+		if x == broken.B {
+			return Link{}, fmt.Errorf("topology: endpoints of %v-%v already reconnected", broken.A, broken.B)
+		}
+	}
+	compB := t.Component(broken.B)
+	freeA := freeSlots(t, compA)
+	freeB := freeSlots(t, compB)
+	if len(freeA) == 0 || len(freeB) == 0 {
+		return Link{}, fmt.Errorf("topology: no degree-%d slots to reconnect %v-%v", t.maxDegree, broken.A, broken.B)
+	}
+	// Prefer a replacement different from the broken link.
+	var candA []ident.NodeID
+	for _, x := range freeA {
+		if x != broken.A {
+			candA = append(candA, x)
+		}
+	}
+	var candB []ident.NodeID
+	for _, y := range freeB {
+		if y != broken.B {
+			candB = append(candB, y)
+		}
+	}
+	a, b := broken.A, broken.B
+	switch {
+	case len(candA) > 0 && len(candB) > 0:
+		a = candA[rng.Intn(len(candA))]
+		b = candB[rng.Intn(len(candB))]
+	case len(candA) > 0:
+		a = candA[rng.Intn(len(candA))]
+		b = broken.B
+	case len(candB) > 0:
+		a = broken.A
+		b = candB[rng.Intn(len(candB))]
+	}
+	return Link{A: a, B: b}.Canon(), nil
+}
+
+func freeSlots(t *Tree, comp []ident.NodeID) []ident.NodeID {
+	var out []ident.NodeID
+	for _, n := range comp {
+		if len(t.adj[n]) < t.maxDegree {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Dist returns the hop distance between a and b, or -1 when they are in
+// different components. Distances are cached per topology version.
+func (t *Tree) Dist(a, b ident.NodeID) int {
+	t.ensureDist()
+	return int(t.dist[a][b])
+}
+
+func (t *Tree) ensureDist() {
+	if t.dist != nil && t.distVersion == t.version {
+		return
+	}
+	if t.dist == nil {
+		t.dist = make([][]int16, t.n)
+		for i := range t.dist {
+			t.dist[i] = make([]int16, t.n)
+		}
+	}
+	queue := make([]ident.NodeID, 0, t.n)
+	for src := 0; src < t.n; src++ {
+		row := t.dist[src]
+		for i := range row {
+			row[i] = -1
+		}
+		row[src] = 0
+		queue = queue[:0]
+		queue = append(queue, ident.NodeID(src))
+		for i := 0; i < len(queue); i++ {
+			x := queue[i]
+			for _, y := range t.adj[x] {
+				if row[y] == -1 {
+					row[y] = row[x] + 1
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	t.distVersion = t.version
+}
+
+// MeanPairwiseDistance returns the mean hop distance over all ordered
+// pairs of distinct nodes in the same component. Used to calibrate the
+// loss model against the paper's baseline delivery anchors.
+func (t *Tree) MeanPairwiseDistance() float64 {
+	t.ensureDist()
+	var sum, cnt float64
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if a == b || t.dist[a][b] < 0 {
+				continue
+			}
+			sum += float64(t.dist[a][b])
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / cnt
+}

@@ -1,0 +1,165 @@
+// Package trace records protocol activity into a bounded in-memory
+// ring, for debugging simulations and inspecting what the protocols
+// actually did: publishes, deliveries, recoveries, transmissions,
+// losses, and reconfigurations. Recording is cheap (one slice write)
+// and the ring never grows, so tracing can stay on for full-scale
+// runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Kind classifies one trace record.
+type Kind uint8
+
+// Record kinds.
+const (
+	Publish Kind = iota + 1
+	Deliver
+	Recover
+	Send
+	Loss
+	LinkDown
+	LinkUp
+)
+
+var kindNames = map[Kind]string{
+	Publish:  "publish",
+	Deliver:  "deliver",
+	Recover:  "recover",
+	Send:     "send",
+	Loss:     "loss",
+	LinkDown: "link-down",
+	LinkUp:   "link-up",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one traced protocol step.
+type Record struct {
+	At   sim.Time
+	Kind Kind
+	// Node is the acting dispatcher (sender for Send/Loss).
+	Node ident.NodeID
+	// Peer is the other dispatcher involved, or ident.None.
+	Peer ident.NodeID
+	// Event identifies the event concerned, when any.
+	Event ident.EventID
+	// Msg is the message kind for Send/Loss records.
+	Msg wire.Kind
+}
+
+// String renders one record compactly.
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v %-9s node=%d", r.At.Round(time.Microsecond), r.Kind, int32(r.Node))
+	if r.Peer != ident.None {
+		fmt.Fprintf(&b, " peer=%d", int32(r.Peer))
+	}
+	if r.Event != (ident.EventID{}) {
+		fmt.Fprintf(&b, " %v", r.Event)
+	}
+	if r.Msg != 0 {
+		fmt.Fprintf(&b, " msg=%v", r.Msg)
+	}
+	return b.String()
+}
+
+// Ring is a bounded trace buffer. The zero value is unusable; use New.
+// Ring is not safe for concurrent use (the simulator is
+// single-threaded).
+type Ring struct {
+	buf    []Record
+	next   int
+	total  uint64
+	counts map[Kind]uint64
+}
+
+// New returns a ring holding the last capacity records.
+func New(capacity int) *Ring {
+	if capacity < 1 {
+		panic(fmt.Sprintf("trace: capacity %d < 1", capacity))
+	}
+	return &Ring{
+		buf:    make([]Record, 0, capacity),
+		counts: make(map[Kind]uint64),
+	}
+}
+
+// Add appends one record, evicting the oldest when full.
+func (r *Ring) Add(rec Record) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.counts[rec.Kind]++
+}
+
+// Total returns how many records were ever added.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Count returns how many records of kind k were ever added.
+func (r *Ring) Count(k Kind) uint64 { return r.counts[k] }
+
+// Snapshot returns the retained records, oldest first.
+func (r *Ring) Snapshot() []Record {
+	out := make([]Record, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Filter returns the retained records matching keep, oldest first.
+func (r *Ring) Filter(keep func(Record) bool) []Record {
+	var out []Record
+	for _, rec := range r.Snapshot() {
+		if keep(rec) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// ForEvent returns the retained records concerning one event — its
+// publish, every delivery, every recovery.
+func (r *Ring) ForEvent(id ident.EventID) []Record {
+	return r.Filter(func(rec Record) bool { return rec.Event == id })
+}
+
+// Dump writes the retained records to w, oldest first, with a summary
+// line of the lifetime counts.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, rec := range r.Snapshot() {
+		if _, err := fmt.Fprintln(w, rec); err != nil {
+			return err
+		}
+	}
+	var parts []string
+	for k := Publish; k <= LinkUp; k++ {
+		if c := r.counts[k]; c > 0 {
+			parts = append(parts, fmt.Sprintf("%v=%d", k, c))
+		}
+	}
+	_, err := fmt.Fprintf(w, "# total=%d retained=%d (%s)\n",
+		r.total, len(r.buf), strings.Join(parts, " "))
+	return err
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/wire"
+)
+
+func rec(at int, k Kind, node int) Record {
+	return Record{
+		At:   time.Duration(at) * time.Millisecond,
+		Kind: k,
+		Node: ident.NodeID(node),
+		Peer: ident.None,
+	}
+}
+
+func TestRingRetainsLastN(t *testing.T) {
+	r := New(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(rec(i, Publish, i))
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d, want 3", len(snap))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if snap[i].Node != ident.NodeID(want) {
+			t.Fatalf("snapshot[%d].Node = %v, want %d (oldest first)", i, snap[i].Node, want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := New(10)
+	r.Add(rec(1, Publish, 1))
+	r.Add(rec(2, Deliver, 2))
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Kind != Publish || snap[1].Kind != Deliver {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRingCounts(t *testing.T) {
+	r := New(2) // smaller than the stream: counts still see everything
+	r.Add(rec(1, Publish, 1))
+	r.Add(rec(2, Deliver, 2))
+	r.Add(rec(3, Deliver, 3))
+	r.Add(rec(4, Recover, 4))
+	if r.Count(Deliver) != 2 || r.Count(Publish) != 1 || r.Count(Recover) != 1 {
+		t.Fatal("lifetime counts wrong")
+	}
+	if r.Count(Loss) != 0 {
+		t.Fatal("unseen kind counted")
+	}
+}
+
+func TestFilterAndForEvent(t *testing.T) {
+	r := New(10)
+	id := ident.EventID{Source: 3, Seq: 9}
+	r.Add(Record{Kind: Publish, Node: 3, Peer: ident.None, Event: id})
+	r.Add(Record{Kind: Deliver, Node: 5, Peer: ident.None, Event: id})
+	r.Add(Record{Kind: Deliver, Node: 6, Peer: ident.None, Event: ident.EventID{Source: 1, Seq: 1}})
+	got := r.ForEvent(id)
+	if len(got) != 2 {
+		t.Fatalf("ForEvent returned %d records, want 2", len(got))
+	}
+	losses := r.Filter(func(rec Record) bool { return rec.Kind == Loss })
+	if losses != nil {
+		t.Fatalf("Filter(Loss) = %v, want none", losses)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{
+		At:    1500 * time.Microsecond,
+		Kind:  Send,
+		Node:  2,
+		Peer:  5,
+		Event: ident.EventID{Source: 2, Seq: 7},
+		Msg:   wire.KindEvent,
+	}
+	s := r.String()
+	for _, want := range []string{"send", "node=2", "peer=5", "event(2:7)", "msg=event"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Record.String() = %q missing %q", s, want)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind String wrong")
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := New(4)
+	r.Add(rec(1, Publish, 1))
+	r.Add(rec(2, LinkDown, 2))
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "publish") || !strings.Contains(out, "link-down") {
+		t.Fatalf("dump missing records:\n%s", out)
+	}
+	if !strings.Contains(out, "total=2") {
+		t.Fatalf("dump missing summary:\n%s", out)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+)
+
+// Decode parses one message from data. It fails on truncation, unknown
+// kinds, and trailing garbage.
+func Decode(data []byte) (Message, error) {
+	r := reader{buf: data}
+	msg, err := r.message()
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d of %d bytes consumed", ErrTrailing, r.pos, len(data))
+	}
+	return msg, nil
+}
+
+// reader is a bounds-checked cursor over an encoded message.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w at offset %d", ErrTruncated, r.pos)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.pos+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.pos+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) skip(n int) {
+	if r.err != nil || r.pos+n > len(r.buf) {
+		r.fail()
+		return
+	}
+	r.pos += n
+}
+
+func (r *reader) node() ident.NodeID       { return ident.NodeID(r.u32()) }
+func (r *reader) pattern() ident.PatternID { return ident.PatternID(r.u32()) }
+
+func (r *reader) eventID() ident.EventID {
+	return ident.EventID{Source: r.node(), Seq: r.u32()}
+}
+
+func (r *reader) lost() []LostEntry {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	out := make([]LostEntry, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, LostEntry{Source: r.node(), Pattern: r.pattern(), Seq: r.u32()})
+	}
+	return out
+}
+
+func (r *reader) nodes16() []ident.NodeID {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	out := make([]ident.NodeID, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.node())
+	}
+	return out
+}
+
+func (r *reader) message() (Message, error) {
+	kind := Kind(r.u8())
+	if r.err != nil {
+		return nil, r.err
+	}
+	var msg Message
+	switch kind {
+	case KindEvent:
+		msg = r.event()
+	case KindSubscribe:
+		msg = &Subscribe{Pattern: r.pattern()}
+	case KindUnsubscribe:
+		msg = &Unsubscribe{Pattern: r.pattern()}
+	case KindGossipPush:
+		g := &GossipPush{Gossiper: r.node(), Pattern: r.pattern()}
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			g.Digest = append(g.Digest, r.eventID())
+		}
+		msg = g
+	case KindGossipSubPull:
+		msg = &GossipSubPull{Gossiper: r.node(), Pattern: r.pattern(), Wanted: r.lost()}
+	case KindGossipPubPull:
+		msg = &GossipPubPull{
+			Gossiper: r.node(),
+			Source:   r.node(),
+			Wanted:   r.lost(),
+			Route:    r.nodes16(),
+			Next:     r.u16(),
+		}
+	case KindGossipRandom:
+		msg = &GossipRandom{Gossiper: r.node(), Wanted: r.lost()}
+	case KindRequest:
+		req := &Request{Requester: r.node()}
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			req.IDs = append(req.IDs, r.eventID())
+		}
+		msg = req
+	case KindRetransmit:
+		rt := &Retransmit{Responder: r.node()}
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			if k := Kind(r.u8()); k != KindEvent && r.err == nil {
+				return nil, fmt.Errorf("%w: kind %v inside retransmit", ErrUnknownKind, k)
+			}
+			rt.Events = append(rt.Events, r.event())
+		}
+		msg = rt
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(kind))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return msg, nil
+}
+
+// event parses an Event body (the kind byte has been consumed).
+func (r *reader) event() *Event {
+	e := &Event{
+		ID:          r.eventID(),
+		PublishedAt: int64(r.u64()),
+		PayloadLen:  r.u16(),
+	}
+	nc := int(r.u8())
+	content := make(matching.Content, 0, nc)
+	for i := 0; i < nc && r.err == nil; i++ {
+		content = append(content, r.pattern())
+	}
+	e.Content = content
+	nt := int(r.u8())
+	for i := 0; i < nt && r.err == nil; i++ {
+		e.Tags = append(e.Tags, ident.PatternSeq{Pattern: r.pattern(), Seq: r.u32()})
+	}
+	e.Route = r.nodes16()
+	r.skip(int(e.PayloadLen))
+	return e
+}

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+)
+
+// FuzzDecode drives arbitrary bytes through the decoder: it must never
+// panic, and on success the message must re-encode to a decodable
+// form (not necessarily byte-identical — the decoder is the arbiter).
+func FuzzDecode(f *testing.F) {
+	for _, msg := range []Message{
+		&Event{
+			ID:          ident.EventID{Source: 3, Seq: 7},
+			Content:     matching.Content{1, 2, 3},
+			Tags:        []ident.PatternSeq{{Pattern: 1, Seq: 4}},
+			Route:       []ident.NodeID{3, 1},
+			PublishedAt: 99,
+			PayloadLen:  4,
+		},
+		&Subscribe{Pattern: 9},
+		&Unsubscribe{Pattern: 9},
+		&GossipPush{Gossiper: 1, Pattern: 2, Digest: []ident.EventID{{Source: 1, Seq: 1}}},
+		&GossipSubPull{Gossiper: 1, Pattern: 2, Wanted: []LostEntry{{Source: 1, Pattern: 2, Seq: 3}}},
+		&GossipPubPull{Gossiper: 1, Source: 2, Route: []ident.NodeID{2, 4}, Next: 1},
+		&GossipRandom{Gossiper: 1, Wanted: []LostEntry{{Source: 1, Pattern: 2, Seq: 3}}},
+		&Request{Requester: 5, IDs: []ident.EventID{{Source: 2, Seq: 9}}},
+		&Retransmit{Responder: 5, Events: []*Event{{ID: ident.EventID{Source: 1, Seq: 1}}}},
+	} {
+		f.Add(Encode(msg))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(msg)
+		if len(re) != msg.WireSize() {
+			t.Fatalf("WireSize %d != encoded length %d for decoded %v",
+				msg.WireSize(), len(re), msg.Kind())
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoding of decoded message does not decode: %v", err)
+		}
+	})
+}

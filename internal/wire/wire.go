@@ -1,0 +1,407 @@
+// Package wire defines every message exchanged by dispatchers — events,
+// subscription control, the three kinds of gossip digests, and the
+// out-of-band recovery messages — together with a compact binary codec.
+//
+// Inside the simulator messages travel as Go values; the codec exists
+// so that (a) transmission times can be derived from true encoded sizes
+// when the equal-size assumption of the paper (Sec. IV-E) is switched
+// off, and (b) the formats are ready for a real UDP/TCP transport.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. Gossip kinds carry recovery digests; Request and
+// Retransmit travel out-of-band (paper Sec. III-B).
+const (
+	KindEvent Kind = iota + 1
+	KindSubscribe
+	KindUnsubscribe
+	KindGossipPush    // push: positive digest of cached event IDs
+	KindGossipSubPull // subscriber-based pull: negative digest, pattern-routed
+	KindGossipPubPull // publisher-based pull: negative digest, source-routed
+	KindGossipRandom  // random pull baseline: negative digest, random walk
+	KindRequest       // push receiver → gossiper: IDs of missing events
+	KindRetransmit    // cached events sent back to a recovering node
+)
+
+var kindNames = map[Kind]string{
+	KindEvent:         "event",
+	KindSubscribe:     "subscribe",
+	KindUnsubscribe:   "unsubscribe",
+	KindGossipPush:    "gossip-push",
+	KindGossipSubPull: "gossip-subpull",
+	KindGossipPubPull: "gossip-pubpull",
+	KindGossipRandom:  "gossip-random",
+	KindRequest:       "request",
+	KindRetransmit:    "retransmit",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsGossip reports whether messages of this kind count as gossip
+// overhead (digests and recovery requests), as opposed to event
+// traffic (events and retransmitted events).
+func (k Kind) IsGossip() bool {
+	switch k {
+	case KindGossipPush, KindGossipSubPull, KindGossipPubPull, KindGossipRandom, KindRequest:
+		return true
+	default:
+		return false
+	}
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	// Kind returns the message discriminator.
+	Kind() Kind
+	// WireSize returns the exact number of bytes Append would produce,
+	// including the kind byte.
+	WireSize() int
+	// Append serializes the message (kind byte first) onto buf.
+	Append(buf []byte) []byte
+}
+
+// Decode errors.
+var (
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrUnknownKind = errors.New("wire: unknown message kind")
+	ErrTrailing    = errors.New("wire: trailing bytes after message")
+)
+
+// Event is a published event. Tags carry the per-(source, pattern)
+// sequence numbers stamped at the source, which the pull algorithms use
+// for loss detection; Route accumulates the dispatchers traversed so
+// far (publisher-based pull only — empty otherwise).
+type Event struct {
+	ID          ident.EventID
+	Content     matching.Content
+	Tags        []ident.PatternSeq
+	Route       []ident.NodeID
+	PublishedAt int64 // virtual-time nanoseconds at the source
+	PayloadLen  uint16
+}
+
+var _ Message = (*Event)(nil)
+
+// Kind implements Message.
+func (e *Event) Kind() Kind { return KindEvent }
+
+// SeqFor returns the per-pattern sequence number stamped for p, or
+// (0, false) when the event carries no tag for p.
+func (e *Event) SeqFor(p ident.PatternID) (uint32, bool) {
+	for _, t := range e.Tags {
+		if t.Pattern == p {
+			return t.Seq, true
+		}
+	}
+	return 0, false
+}
+
+// Clone returns a deep copy. Forwarding on the tree clones events
+// because each branch appends its own hops to Route.
+func (e *Event) Clone() *Event {
+	out := *e
+	out.Content = e.Content.Clone()
+	out.Tags = append([]ident.PatternSeq(nil), e.Tags...)
+	out.Route = append([]ident.NodeID(nil), e.Route...)
+	return &out
+}
+
+// WireSize implements Message.
+func (e *Event) WireSize() int {
+	return 1 + // kind
+		8 + // ID
+		8 + // PublishedAt
+		2 + // PayloadLen
+		1 + 4*len(e.Content) +
+		1 + 8*len(e.Tags) +
+		2 + 4*len(e.Route) +
+		int(e.PayloadLen)
+}
+
+// Append implements Message.
+func (e *Event) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindEvent))
+	buf = appendEventID(buf, e.ID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.PublishedAt))
+	buf = binary.LittleEndian.AppendUint16(buf, e.PayloadLen)
+	buf = append(buf, byte(len(e.Content)))
+	for _, p := range e.Content {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	}
+	buf = append(buf, byte(len(e.Tags)))
+	for _, t := range e.Tags {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Pattern))
+		buf = binary.LittleEndian.AppendUint32(buf, t.Seq)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Route)))
+	for _, n := range e.Route {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	}
+	// The payload itself is synthetic filler; emit zeros.
+	for i := 0; i < int(e.PayloadLen); i++ {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// Subscribe advertises interest in a pattern to a neighbor
+// (subscription forwarding, paper Sec. II).
+type Subscribe struct {
+	Pattern ident.PatternID
+}
+
+var _ Message = (*Subscribe)(nil)
+
+// Kind implements Message.
+func (s *Subscribe) Kind() Kind { return KindSubscribe }
+
+// WireSize implements Message.
+func (s *Subscribe) WireSize() int { return 1 + 4 }
+
+// Append implements Message.
+func (s *Subscribe) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindSubscribe))
+	return binary.LittleEndian.AppendUint32(buf, uint32(s.Pattern))
+}
+
+// Unsubscribe withdraws interest in a pattern from a neighbor.
+type Unsubscribe struct {
+	Pattern ident.PatternID
+}
+
+var _ Message = (*Unsubscribe)(nil)
+
+// Kind implements Message.
+func (u *Unsubscribe) Kind() Kind { return KindUnsubscribe }
+
+// WireSize implements Message.
+func (u *Unsubscribe) WireSize() int { return 1 + 4 }
+
+// Append implements Message.
+func (u *Unsubscribe) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindUnsubscribe))
+	return binary.LittleEndian.AppendUint32(buf, uint32(u.Pattern))
+}
+
+// GossipPush is the proactive push digest: the identifiers of every
+// cached event matching Pattern, routed on the tree like an event
+// matching Pattern (paper Sec. III-B, "Push").
+type GossipPush struct {
+	Gossiper ident.NodeID
+	Pattern  ident.PatternID
+	Digest   []ident.EventID
+}
+
+var _ Message = (*GossipPush)(nil)
+
+// Kind implements Message.
+func (g *GossipPush) Kind() Kind { return KindGossipPush }
+
+// WireSize implements Message.
+func (g *GossipPush) WireSize() int { return 1 + 4 + 4 + 2 + 8*len(g.Digest) }
+
+// Append implements Message.
+func (g *GossipPush) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindGossipPush))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Gossiper))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Pattern))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.Digest)))
+	for _, id := range g.Digest {
+		buf = appendEventID(buf, id)
+	}
+	return buf
+}
+
+// LostEntry identifies one detected-lost event in the pull schemes: the
+// source, the pattern on whose sequence the gap was observed, and the
+// missing per-(source, pattern) sequence number.
+type LostEntry struct {
+	Source  ident.NodeID
+	Pattern ident.PatternID
+	Seq     uint32
+}
+
+// String implements fmt.Stringer.
+func (l LostEntry) String() string {
+	return fmt.Sprintf("lost(%d:%v#%d)", int32(l.Source), l.Pattern, l.Seq)
+}
+
+// GossipSubPull is the subscriber-based negative digest: the Lost
+// entries related to Pattern, routed on the tree like an event matching
+// Pattern. Any dispatcher holding a wanted event answers out-of-band.
+type GossipSubPull struct {
+	Gossiper ident.NodeID
+	Pattern  ident.PatternID
+	Wanted   []LostEntry
+}
+
+var _ Message = (*GossipSubPull)(nil)
+
+// Kind implements Message.
+func (g *GossipSubPull) Kind() Kind { return KindGossipSubPull }
+
+// WireSize implements Message.
+func (g *GossipSubPull) WireSize() int { return 1 + 4 + 4 + 2 + 12*len(g.Wanted) }
+
+// Append implements Message.
+func (g *GossipSubPull) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindGossipSubPull))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Gossiper))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Pattern))
+	return appendLost(buf, g.Wanted)
+}
+
+// GossipPubPull is the publisher-based negative digest: Lost entries
+// for events published by Source, source-routed back toward the
+// publisher along Route (most recent route observed for Source). Next
+// indexes the hop that should receive the message next; the route is
+// walked from the end (the dispatcher closest to the gossiper) toward
+// index 0 (the publisher).
+type GossipPubPull struct {
+	Gossiper ident.NodeID
+	Source   ident.NodeID
+	Wanted   []LostEntry
+	Route    []ident.NodeID
+	Next     uint16
+}
+
+var _ Message = (*GossipPubPull)(nil)
+
+// Kind implements Message.
+func (g *GossipPubPull) Kind() Kind { return KindGossipPubPull }
+
+// WireSize implements Message.
+func (g *GossipPubPull) WireSize() int {
+	return 1 + 4 + 4 + 2 + 12*len(g.Wanted) + 2 + 4*len(g.Route) + 2
+}
+
+// Append implements Message.
+func (g *GossipPubPull) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindGossipPubPull))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Gossiper))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Source))
+	buf = appendLost(buf, g.Wanted)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.Route)))
+	for _, n := range g.Route {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	}
+	return binary.LittleEndian.AppendUint16(buf, g.Next)
+}
+
+// GossipRandom is the random-pull baseline digest: Lost entries for all
+// patterns, forwarded as a random walk on the tree ignoring
+// subscription tables (paper Sec. IV, "random pull").
+type GossipRandom struct {
+	Gossiper ident.NodeID
+	Wanted   []LostEntry
+}
+
+var _ Message = (*GossipRandom)(nil)
+
+// Kind implements Message.
+func (g *GossipRandom) Kind() Kind { return KindGossipRandom }
+
+// WireSize implements Message.
+func (g *GossipRandom) WireSize() int { return 1 + 4 + 2 + 12*len(g.Wanted) }
+
+// Append implements Message.
+func (g *GossipRandom) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindGossipRandom))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Gossiper))
+	return appendLost(buf, g.Wanted)
+}
+
+// Request asks a push gossiper for the events in IDs, out-of-band.
+type Request struct {
+	Requester ident.NodeID
+	IDs       []ident.EventID
+}
+
+var _ Message = (*Request)(nil)
+
+// Kind implements Message.
+func (r *Request) Kind() Kind { return KindRequest }
+
+// WireSize implements Message.
+func (r *Request) WireSize() int { return 1 + 4 + 2 + 8*len(r.IDs) }
+
+// Append implements Message.
+func (r *Request) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindRequest))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Requester))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.IDs)))
+	for _, id := range r.IDs {
+		buf = appendEventID(buf, id)
+	}
+	return buf
+}
+
+// Retransmit carries cached events back to a recovering dispatcher,
+// out-of-band. Each contained event is an event message in its own
+// right for overhead accounting.
+type Retransmit struct {
+	Responder ident.NodeID
+	Events    []*Event
+}
+
+var _ Message = (*Retransmit)(nil)
+
+// Kind implements Message.
+func (r *Retransmit) Kind() Kind { return KindRetransmit }
+
+// WireSize implements Message.
+func (r *Retransmit) WireSize() int {
+	n := 1 + 4 + 2
+	for _, e := range r.Events {
+		n += e.WireSize()
+	}
+	return n
+}
+
+// Append implements Message.
+func (r *Retransmit) Append(buf []byte) []byte {
+	buf = append(buf, byte(KindRetransmit))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Responder))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Events)))
+	for _, e := range r.Events {
+		buf = e.Append(buf)
+	}
+	return buf
+}
+
+func appendEventID(buf []byte, id ident.EventID) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id.Source))
+	return binary.LittleEndian.AppendUint32(buf, id.Seq)
+}
+
+func appendLost(buf []byte, ls []LostEntry) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ls)))
+	for _, l := range ls {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l.Source))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l.Pattern))
+		buf = binary.LittleEndian.AppendUint32(buf, l.Seq)
+	}
+	return buf
+}
+
+// Encode serializes msg into a fresh buffer.
+func Encode(msg Message) []byte {
+	return msg.Append(make([]byte, 0, msg.WireSize()))
+}

@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+)
+
+func sampleEvent() *Event {
+	return &Event{
+		ID:          ident.EventID{Source: 7, Seq: 42},
+		Content:     matching.Content{3, 17, 42},
+		Tags:        []ident.PatternSeq{{Pattern: 3, Seq: 9}, {Pattern: 17, Seq: 1}},
+		Route:       []ident.NodeID{7, 2, 5},
+		PublishedAt: 123456789,
+		PayloadLen:  16,
+	}
+}
+
+func allMessages() []Message {
+	return []Message{
+		sampleEvent(),
+		&Event{ID: ident.EventID{Source: 0, Seq: 1}}, // minimal event
+		&Subscribe{Pattern: 5},
+		&Unsubscribe{Pattern: 5},
+		&GossipPush{Gossiper: 3, Pattern: 9, Digest: []ident.EventID{{Source: 1, Seq: 2}, {Source: 4, Seq: 8}}},
+		&GossipPush{Gossiper: 3, Pattern: 9}, // empty digest
+		&GossipSubPull{Gossiper: 2, Pattern: 4, Wanted: []LostEntry{{Source: 1, Pattern: 4, Seq: 3}}},
+		&GossipPubPull{
+			Gossiper: 9, Source: 1,
+			Wanted: []LostEntry{{Source: 1, Pattern: 2, Seq: 3}, {Source: 1, Pattern: 5, Seq: 7}},
+			Route:  []ident.NodeID{1, 4, 6},
+			Next:   2,
+		},
+		&GossipRandom{Gossiper: 0, Wanted: []LostEntry{{Source: 3, Pattern: 1, Seq: 1}}},
+		&Request{Requester: 8, IDs: []ident.EventID{{Source: 2, Seq: 19}}},
+		&Retransmit{Responder: 4, Events: []*Event{sampleEvent(), sampleEvent()}},
+		&Retransmit{Responder: 4}, // empty
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, msg := range allMessages() {
+		data := Encode(msg)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", msg.Kind(), err)
+		}
+		norm := normalize(msg)
+		if !reflect.DeepEqual(norm, normalize(got)) {
+			t.Fatalf("%v: round trip mismatch:\n in: %#v\nout: %#v", msg.Kind(), norm, got)
+		}
+	}
+}
+
+// normalize maps nil slices to empty slices so DeepEqual compares
+// semantic content; the decoder never distinguishes nil from empty.
+func normalize(m Message) Message {
+	data := Encode(m)
+	out, err := Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	for _, msg := range allMessages() {
+		if got, want := len(Encode(msg)), msg.WireSize(); got != want {
+			t.Fatalf("%v: encoded %d bytes, WireSize says %d", msg.Kind(), got, want)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for _, msg := range allMessages() {
+		data := Encode(msg)
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := Decode(data[:cut]); err == nil {
+				t.Fatalf("%v: decoding %d of %d bytes succeeded", msg.Kind(), cut, len(data))
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	data := append(Encode(&Subscribe{Pattern: 1}), 0xFF)
+	if _, err := Decode(data); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	if _, err := Decode([]byte{0xEE}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("err = %v, want ErrUnknownKind", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestEventClone(t *testing.T) {
+	e := sampleEvent()
+	c := e.Clone()
+	c.Route = append(c.Route, 99)
+	c.Content[0] = 1
+	c.Tags[0].Seq = 1000
+	if len(e.Route) != 3 {
+		t.Fatal("Clone shares Route backing array")
+	}
+	if e.Content[0] != 3 {
+		t.Fatal("Clone shares Content backing array")
+	}
+	if e.Tags[0].Seq != 9 {
+		t.Fatal("Clone shares Tags backing array")
+	}
+}
+
+func TestEventSeqFor(t *testing.T) {
+	e := sampleEvent()
+	if seq, ok := e.SeqFor(17); !ok || seq != 1 {
+		t.Fatalf("SeqFor(17) = %d, %v; want 1, true", seq, ok)
+	}
+	if _, ok := e.SeqFor(99); ok {
+		t.Fatal("SeqFor(99) = true, want false")
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	gossip := []Kind{KindGossipPush, KindGossipSubPull, KindGossipPubPull, KindGossipRandom, KindRequest}
+	for _, k := range gossip {
+		if !k.IsGossip() {
+			t.Fatalf("%v.IsGossip() = false, want true", k)
+		}
+	}
+	events := []Kind{KindEvent, KindRetransmit, KindSubscribe, KindUnsubscribe}
+	for _, k := range events {
+		if k.IsGossip() {
+			t.Fatalf("%v.IsGossip() = true, want false", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindEvent.String() != "event" {
+		t.Fatalf("KindEvent.String() = %q", KindEvent.String())
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatalf("unknown kind String() = %q", Kind(200).String())
+	}
+}
+
+// TestRoundTripProperty fuzzes structured random messages through the
+// codec.
+func TestRoundTripProperty(t *testing.T) {
+	u := matching.DefaultUniverse()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		msgs := []Message{
+			randomEvent(rng, u),
+			&GossipPush{Gossiper: ident.NodeID(rng.Intn(100)), Pattern: ident.PatternID(rng.Intn(70)), Digest: randomIDs(rng)},
+			&GossipSubPull{Gossiper: ident.NodeID(rng.Intn(100)), Pattern: ident.PatternID(rng.Intn(70)), Wanted: randomLost(rng)},
+			&GossipPubPull{Gossiper: ident.NodeID(rng.Intn(100)), Source: ident.NodeID(rng.Intn(100)), Wanted: randomLost(rng), Route: randomRoute(rng), Next: uint16(rng.Intn(4))},
+			&GossipRandom{Gossiper: ident.NodeID(rng.Intn(100)), Wanted: randomLost(rng)},
+			&Request{Requester: ident.NodeID(rng.Intn(100)), IDs: randomIDs(rng)},
+			&Retransmit{Responder: ident.NodeID(rng.Intn(100)), Events: []*Event{randomEvent(rng, u)}},
+		}
+		for _, msg := range msgs {
+			data := Encode(msg)
+			if len(data) != msg.WireSize() {
+				return false
+			}
+			got, err := Decode(data)
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(Encode(got), data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomEvent(rng *rand.Rand, u matching.Universe) *Event {
+	e := &Event{
+		ID:          ident.EventID{Source: ident.NodeID(rng.Intn(100)), Seq: rng.Uint32()},
+		Content:     u.RandomContent(rng),
+		PublishedAt: rng.Int63(),
+		PayloadLen:  uint16(rng.Intn(64)),
+		Route:       randomRoute(rng),
+	}
+	for _, p := range e.Content {
+		e.Tags = append(e.Tags, ident.PatternSeq{Pattern: p, Seq: rng.Uint32()})
+	}
+	return e
+}
+
+func randomIDs(rng *rand.Rand) []ident.EventID {
+	out := make([]ident.EventID, rng.Intn(8))
+	for i := range out {
+		out[i] = ident.EventID{Source: ident.NodeID(rng.Intn(100)), Seq: rng.Uint32()}
+	}
+	return out
+}
+
+func randomLost(rng *rand.Rand) []LostEntry {
+	out := make([]LostEntry, rng.Intn(8))
+	for i := range out {
+		out[i] = LostEntry{Source: ident.NodeID(rng.Intn(100)), Pattern: ident.PatternID(rng.Intn(70)), Seq: rng.Uint32()}
+	}
+	return out
+}
+
+func randomRoute(rng *rand.Rand) []ident.NodeID {
+	out := make([]ident.NodeID, rng.Intn(6))
+	for i := range out {
+		out[i] = ident.NodeID(rng.Intn(100))
+	}
+	return out
+}
+
+func BenchmarkEncodeEvent(b *testing.B) {
+	e := sampleEvent()
+	buf := make([]byte, 0, e.WireSize())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = e.Append(buf[:0])
+	}
+}
+
+func BenchmarkDecodeEvent(b *testing.B) {
+	data := Encode(sampleEvent())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventClone(b *testing.B) {
+	e := sampleEvent()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.Clone()
+	}
+}
