@@ -14,8 +14,23 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 )
+
+// Hot-path micro-benchmarks (shared with cmd/bench, which records them
+// into BENCH_hotpath.json): the kernel schedule/dispatch path, the
+// network send path, the metrics tracker, and a small end-to-end run.
+
+func BenchmarkHotPathKernelScheduleDispatch(b *testing.B) { bench.KernelScheduleDispatch(b) }
+
+func BenchmarkHotPathKernelScheduleCancel(b *testing.B) { bench.KernelScheduleCancel(b) }
+
+func BenchmarkHotPathNetworkSend(b *testing.B) { bench.NetworkSend(b) }
+
+func BenchmarkHotPathMetricsTracker(b *testing.B) { bench.MetricsTracker(b) }
+
+func BenchmarkHotPathEndToEnd(b *testing.B) { bench.EndToEnd(b) }
 
 // benchFigure regenerates one figure identifier in Quick mode, b.N
 // times with distinct seeds, and reports the headline series of the

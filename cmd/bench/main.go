@@ -1,0 +1,125 @@
+// Command bench runs the hot-path micro-benchmarks of internal/bench
+// and appends one entry to the benchmark trajectory file
+// (BENCH_hotpath.json by default). Every PR that touches a hot path
+// re-runs it, so the file records how the per-event cost of the
+// simulator evolves over time:
+//
+//	go run ./cmd/bench -label "pr1-pooled-kernel"
+//
+// Compare entries with any JSON tool; the interesting columns are
+// ns_per_op and allocs_per_op on the kernel and network paths, and
+// sim_events_per_sec end to end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// measurement is the recorded result of one benchmark function.
+type measurement struct {
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	Iterations      int     `json:"iterations"`
+	SimEventsPerSec float64 `json:"sim_events_per_sec,omitempty"`
+}
+
+// entry is one point of the trajectory: all benchmarks from one run.
+type entry struct {
+	Label      string                 `json:"label"`
+	Date       string                 `json:"date"`
+	Commit     string                 `json:"commit,omitempty"`
+	GoVersion  string                 `json:"go"`
+	Benchmarks map[string]measurement `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "trajectory label for this run (required)")
+	out := flag.String("out", "BENCH_hotpath.json", "trajectory file to append to")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "bench: -label is required (e.g. -label pr1-pooled-kernel)")
+		os.Exit(2)
+	}
+
+	// Validate the trajectory file before spending minutes on the
+	// benchmarks themselves.
+	var trajectory []entry
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &trajectory); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s is not a valid trajectory: %v\n", *out, err)
+			os.Exit(1)
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "bench: reading %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+
+	suite := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"KernelScheduleDispatch", bench.KernelScheduleDispatch},
+		{"KernelScheduleCancel", bench.KernelScheduleCancel},
+		{"NetworkSend", bench.NetworkSend},
+		{"MetricsTracker", bench.MetricsTracker},
+		{"EndToEnd", bench.EndToEnd},
+	}
+
+	e := entry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Commit:     gitCommit(),
+		GoVersion:  runtime.Version(),
+		Benchmarks: make(map[string]measurement, len(suite)),
+	}
+	for _, s := range suite {
+		r := testing.Benchmark(s.fn)
+		m := measurement{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		if v, ok := r.Extra["simevents/s"]; ok {
+			m.SimEventsPerSec = v
+		}
+		e.Benchmarks[s.name] = m
+		fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op", s.name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		if m.SimEventsPerSec > 0 {
+			fmt.Printf(" %14.0f simevents/s", m.SimEventsPerSec)
+		}
+		fmt.Println()
+	}
+
+	trajectory = append(trajectory, e)
+	data, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %q to %s (%d entries)\n", *label, *out, len(trajectory))
+}
+
+// gitCommit returns the short HEAD hash, or "" outside a git checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,161 @@
+// Package bench holds the hot-path micro-benchmarks behind cmd/bench.
+//
+// The benchmarks live in a regular (non-test) package so that the
+// cmd/bench harness can execute them with testing.Benchmark and record
+// ns/op, allocs/op, and simulated-events/sec into BENCH_hotpath.json —
+// the measured trajectory that every PR extends. The same functions are
+// exposed as ordinary `go test -bench` benchmarks by the wrappers in
+// the repository root's bench_test.go.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// KernelScheduleDispatch measures the kernel's per-event cost on the
+// schedule/dispatch path: every executed handler reschedules itself,
+// so each benchmark op is exactly one heap push, one heap pop, and one
+// handler dispatch over a standing population of timers.
+func KernelScheduleDispatch(b *testing.B) {
+	const population = 256
+	k := sim.New(1)
+	rng := k.NewStream(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		k.After(sim.Time(rng.Intn(1000))*time.Microsecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < population; i++ {
+		k.At(sim.Time(i)*time.Microsecond, tick)
+	}
+	k.RunAll()
+}
+
+// KernelScheduleCancel measures the schedule-then-cancel path: each op
+// schedules one timer and cancels it before it fires, the lifecycle of
+// every retransmission timeout that is satisfied in time.
+func KernelScheduleCancel(b *testing.B) {
+	k := sim.New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := k.After(time.Millisecond, fn)
+		c.Cancel()
+		if i%1024 == 1023 {
+			// Drain the cancelled backlog the way a real run would:
+			// virtual time advances past the dead entries.
+			k.Run(k.Now() + 2*time.Millisecond)
+		}
+	}
+	k.RunAll()
+}
+
+// NetworkSend measures Network.Send with FIFO queueing enabled: the
+// per-transmission link-state lookup plus the delivery event. Sends
+// cycle over every directed link of a default-shaped tree.
+func NetworkSend(b *testing.B) {
+	k := sim.New(1)
+	topo, err := topology.New(100, 4, k.NewStream(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := network.DefaultConfig()
+	cfg.LossRate = 0 // measure the send path, not the loss path
+	nw := network.New(k, topo, cfg, nil)
+	for i := 0; i < topo.N(); i++ {
+		nw.Register(ident.NodeID(i), nopHandler{})
+	}
+	links := topo.Links()
+	msg := &wire.Event{
+		ID:      ident.EventID{Source: 0, Seq: 1},
+		Content: matching.Content{0},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := links[i%len(links)]
+		if i%2 == 0 {
+			nw.Send(l.A, l.B, msg)
+		} else {
+			nw.Send(l.B, l.A, msg)
+		}
+		if i%256 == 255 {
+			k.RunAll() // drain deliveries so the FES stays small
+		}
+	}
+	k.RunAll()
+}
+
+type nopHandler struct{}
+
+func (nopHandler) HandleMessage(ident.NodeID, wire.Message, bool) {}
+
+// MetricsTracker measures the DeliveryTracker pipeline: one publish
+// plus eight deliveries per op, and a TimeSeries aggregation at the
+// end, amortized over all ops.
+func MetricsTracker(b *testing.B) {
+	tr := metrics.NewDeliveryTracker(nil)
+	ev := &wire.Event{ID: ident.EventID{Source: 0, Seq: 0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.ID.Seq = uint32(i)
+		at := sim.Time(i) * time.Microsecond
+		tr.OnPublish(ev.ID, 8, at)
+		for d := 0; d < 8; d++ {
+			tr.OnDeliver(ident.NodeID(d+1), ev, d%4 == 0)
+		}
+	}
+	pts := tr.TimeSeries(100 * time.Millisecond)
+	b.StopTimer()
+	if len(pts) == 0 && b.N > 0 {
+		b.Fatal("empty time series")
+	}
+}
+
+// EndToEnd measures a full small combined-pull simulation — the
+// package's end-to-end hot path — and reports simulated kernel
+// events per wall-clock second.
+func EndToEnd(b *testing.B) {
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := scenario.DefaultParams()
+		p.Seed = int64(i + 1)
+		p.N = 25
+		p.Duration = 2 * time.Second
+		p.MeasureFrom = 300 * time.Millisecond
+		p.MeasureTo = 1500 * time.Millisecond
+		p.PublishRate = 15
+		p.Algorithm = core.CombinedPull
+		p.Gossip = core.DefaultConfig(core.CombinedPull)
+		res, err := scenario.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.KernelEvents
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "simevents/s")
+	}
+}

@@ -162,6 +162,7 @@ func (c *Cache) Put(ev *wire.Event) {
 		c.keys = append(c.keys, ev.ID)
 	default:
 		c.order = append(c.order, orderEntry{id: ev.ID, tick: c.tick})
+		c.maybeCompact()
 	}
 }
 
@@ -169,6 +170,11 @@ func (c *Cache) touch(id ident.EventID, s *slot) {
 	c.tick++
 	s.tick = c.tick
 	c.order = append(c.order, orderEntry{id: id, tick: c.tick})
+	// A cache that never fills (large β, light load) never runs
+	// evictOne, so the stale entries every touch leaves behind must be
+	// reclaimed here too, or order grows without bound for the whole
+	// run.
+	c.maybeCompact()
 }
 
 func (c *Cache) evictOne() {
@@ -202,11 +208,23 @@ func (c *Cache) evictOne() {
 	}
 }
 
-// maybeCompact trims the consumed prefix of the order queue once it
-// dominates the slice, keeping memory bounded over long runs.
+// maybeCompact rewrites the order queue once stale entries — the
+// consumed prefix plus interior entries superseded by fresher LRU
+// touches — outnumber the live population. Every live slot has exactly
+// one matching entry, so the queue is compacted to at most Len()
+// entries whenever it exceeds twice that (plus a floor that keeps tiny
+// caches from compacting constantly). This bounds memory even when the
+// cache never fills and evictOne never runs (large β, light load).
 func (c *Cache) maybeCompact() {
-	if c.head > 4096 && c.head*2 > len(c.order) {
-		c.order = append([]orderEntry(nil), c.order[c.head:]...)
-		c.head = 0
+	if len(c.order) <= 2*len(c.slots)+64 {
+		return
 	}
+	live := c.order[:0]
+	for _, e := range c.order[c.head:] {
+		if s, ok := c.slots[e.id]; ok && s.tick == e.tick {
+			live = append(live, e)
+		}
+	}
+	c.order = live
+	c.head = 0
 }

@@ -254,3 +254,57 @@ func BenchmarkCacheGet(b *testing.B) {
 		_ = c.Get(id(0, i%1500))
 	}
 }
+
+// TestLRUOrderBoundedWithoutEviction is the regression test for the
+// cache-growth bug: under LRUPolicy every Get appends a fresh entry to
+// the order queue, but compaction used to run only inside evictOne — a
+// cache that never fills (large β, light load) grew the queue without
+// bound for the whole run.
+func TestLRUOrderBoundedWithoutEviction(t *testing.T) {
+	const n = 8
+	c := New(1024, LRUPolicy, nil) // never fills: no eviction ever runs
+	for i := 0; i < n; i++ {
+		c.Put(ev(1, i))
+	}
+	for round := 0; round < 100_000; round++ {
+		if c.Get(id(1, round%n)) == nil {
+			t.Fatalf("event %d missing", round%n)
+		}
+		if got, bound := len(c.order), 2*n+64+1; got > bound {
+			t.Fatalf("order queue grew to %d entries after %d touches (bound %d)", got, round+1, bound)
+		}
+	}
+	if c.Evicted() != 0 {
+		t.Fatalf("evictions = %d, want 0", c.Evicted())
+	}
+	// Eviction order must still be pure LRU after all that compaction.
+	// Fill to capacity exactly, refresh one original, then overflow by
+	// one: the eviction must take the least-recently-used original.
+	for i := 0; i < 1024-n; i++ {
+		c.Put(ev(2, i))
+	}
+	c.Get(id(1, 3)) // refresh one original event
+	c.Put(ev(3, 0)) // overflow: evicts the oldest original, (1, 0)
+	if c.Has(id(1, 0)) {
+		t.Fatal("LRU kept the least-recently-used event past capacity")
+	}
+	if !c.Has(id(1, 3)) || !c.Has(id(1, 1)) {
+		t.Fatal("LRU evicted the wrong victim after compaction")
+	}
+}
+
+// TestLRURePutBoundedWithoutEviction covers the Put-side of the same
+// bug: re-Put of buffered events also appends to the order queue.
+func TestLRURePutBoundedWithoutEviction(t *testing.T) {
+	const n = 8
+	c := New(1024, LRUPolicy, nil)
+	for round := 0; round < 100_000; round++ {
+		c.Put(ev(1, round%n))
+		if got, bound := len(c.order), 2*n+64+1; got > bound {
+			t.Fatalf("order queue grew to %d entries after %d re-puts (bound %d)", got, round+1, bound)
+		}
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d, want %d", c.Len(), n)
+	}
+}

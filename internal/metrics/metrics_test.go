@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -161,5 +162,32 @@ func TestTrafficEmptyRatios(t *testing.T) {
 	tr := NewTraffic(0)
 	if tr.GossipPerDispatcher() != 0 || tr.GossipEventRatio() != 0 {
 		t.Fatal("empty traffic should report zero ratios")
+	}
+}
+
+// TestTimeSeriesUnsortedPublishes exercises the defensive merge path of
+// the slab-based TimeSeries: even if records were registered out of
+// publish order, buckets must come out sorted and fully aggregated.
+func TestTimeSeriesUnsortedPublishes(t *testing.T) {
+	tr := NewDeliveryTracker(nil)
+	at := []sim.Time{5 * time.Second, time.Second, 5 * time.Second, 3 * time.Second, time.Second}
+	for i, a := range at {
+		id := ident.EventID{Source: 1, Seq: uint32(i)}
+		tr.OnPublish(id, 2, a)
+		tr.OnDeliver(2, &wire.Event{ID: id}, false)
+	}
+	pts := tr.TimeSeries(time.Second)
+	want := []Point{
+		{Time: time.Second, Rate: 0.5, Expected: 4, Delivered: 2},
+		{Time: 3 * time.Second, Rate: 0.5, Expected: 2, Delivered: 1},
+		{Time: 5 * time.Second, Rate: 0.5, Expected: 4, Delivered: 2},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("%d buckets, want %d: %+v", len(pts), len(want), pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, pts[i], want[i])
+		}
 	}
 }

@@ -106,6 +106,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// linkState is the FIFO occupancy of one directed adjacency slot. A
+// slot belongs to a specific (neighbor, incarnation) pair: when the
+// topology re-creates a link (new incarnation) or a different neighbor
+// takes over the slot, the queued backlog belonged to a connection that
+// no longer exists and is discarded.
+type linkState struct {
+	to    ident.NodeID
+	inc   uint64
+	until sim.Time // when the last queued transmission finishes
+}
+
 // Network delivers messages between dispatchers over the overlay tree
 // and the out-of-band channel, in virtual time.
 type Network struct {
@@ -116,9 +127,11 @@ type Network struct {
 	obs      Observer
 	rng      *rand.Rand
 
-	// busyUntil[from][to] is when the directed link (from, to) finishes
-	// its last queued transmission.
-	busyUntil []map[ident.NodeID]sim.Time
+	// busy[from] holds one linkState per adjacency slot of from
+	// (degree ≤ MaxDegree), indexed by topology.NeighborSlot. Dense
+	// storage replaces the per-send map hashing of the earlier
+	// busyUntil []map[ident.NodeID]sim.Time representation.
+	busy [][]linkState
 
 	sent      uint64
 	delivered uint64
@@ -133,18 +146,23 @@ func New(k *sim.Kernel, topo *topology.Tree, cfg Config, obs Observer) *Network 
 		obs = NopObserver{}
 	}
 	n := topo.N()
-	busy := make([]map[ident.NodeID]sim.Time, n)
+	deg := topo.MaxDegree()
+	slots := make([]linkState, n*deg)
+	for i := range slots {
+		slots[i].to = ident.None
+	}
+	busy := make([][]linkState, n)
 	for i := range busy {
-		busy[i] = make(map[ident.NodeID]sim.Time, topo.MaxDegree())
+		busy[i] = slots[i*deg : (i+1)*deg : (i+1)*deg]
 	}
 	return &Network{
-		k:         k,
-		topo:      topo,
-		cfg:       cfg,
-		handlers:  make([]Handler, n),
-		obs:       obs,
-		rng:       k.NewStream(0x6e657477), // "netw"
-		busyUntil: busy,
+		k:        k,
+		topo:     topo,
+		cfg:      cfg,
+		handlers: make([]Handler, n),
+		obs:      obs,
+		rng:      k.NewStream(0x6e657477), // "netw"
+		busy:     busy,
 	}
 }
 
@@ -184,24 +202,24 @@ func (nw *Network) txTime(msg wire.Message) sim.Time {
 func (nw *Network) Send(from, to ident.NodeID, msg wire.Message) {
 	nw.sent++
 	nw.obs.OnSend(from, to, msg, false)
-	if !nw.topo.HasLink(from, to) {
+	slot := nw.topo.NeighborSlot(from, to)
+	if slot < 0 {
 		nw.lost++
 		nw.obs.OnLoss(from, to, msg, false)
 		return
 	}
-	start := nw.k.Now()
-	if nw.cfg.ModelQueueing {
-		if busy := nw.busyUntil[from][to]; busy > start {
-			start = busy
-		}
-	}
-	done := start + nw.txTime(msg)
-	if nw.cfg.ModelQueueing {
-		nw.busyUntil[from][to] = done
-	}
-	arrival := done + nw.cfg.PropDelay
-	dropped := nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate
 	incarnation := nw.topo.LinkIncarnation(from, to)
+	start := nw.k.Now()
+	tx := nw.txTime(msg)
+	if nw.cfg.ModelQueueing {
+		st := nw.queueState(from, to, slot, incarnation)
+		if st.until > start {
+			start = st.until
+		}
+		st.until = start + tx
+	}
+	arrival := start + tx + nw.cfg.PropDelay
+	dropped := nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate
 	nw.k.At(arrival, func() {
 		// A link that disappeared mid-flight loses the message even if
 		// the loss trial passed; so does a link that was re-created in
@@ -214,6 +232,30 @@ func (nw *Network) Send(from, to ident.NodeID, msg wire.Message) {
 		}
 		nw.deliver(from, to, msg, false)
 	})
+}
+
+// queueState returns the FIFO state of the directed link (from, to)
+// currently occupying adjacency slot, creating or resetting it as
+// needed. A slot whose recorded (neighbor, incarnation) differs from
+// the current link's is stale: either a RemoveLink at from compacted
+// the adjacency list (the state may have moved to another slot — it is
+// swapped back so a surviving link keeps its genuine backlog), or the
+// link was re-created (a new incarnation is a new connection and must
+// NOT inherit the phantom backlog of its predecessor).
+func (nw *Network) queueState(from, to ident.NodeID, slot int, inc uint64) *linkState {
+	s := nw.busy[from]
+	st := &s[slot]
+	if st.to == to && st.inc == inc {
+		return st
+	}
+	for j := range s {
+		if j != slot && s[j].to == to && s[j].inc == inc {
+			s[slot], s[j] = s[j], s[slot]
+			return st
+		}
+	}
+	*st = linkState{to: to, inc: inc}
+	return st
 }
 
 // SendOOB transmits msg between two arbitrary dispatchers on the

@@ -299,3 +299,91 @@ func BenchmarkSend(b *testing.B) {
 	}
 	k.RunAll()
 }
+
+// TestRecreatedLinkDoesNotInheritBacklog is the regression test for the
+// stale-link bug: a link that is removed and re-created (a new
+// incarnation) must start with an empty FIFO queue. Before the fix, the
+// per-link busy time survived RemoveLink, so post-repair messages under
+// ModelQueueing were delayed by serialization queued on a connection
+// that no longer existed.
+func TestRecreatedLinkDoesNotInheritBacklog(t *testing.T) {
+	cfg := reliableCfg()
+	cfg.ModelQueueing = true
+	cfg.MessageBytes = 125_000 // 1 Mbit => 100 ms serialization at 10 Mbit/s
+	k, topo, nw, rec := setup(t, cfg)
+
+	// Build a deep backlog on 0->1: five messages queue 500 ms of
+	// serialization time.
+	for i := 0; i < 5; i++ {
+		nw.Send(0, 1, &wire.Subscribe{Pattern: 1})
+	}
+
+	// The link breaks and is immediately re-created.
+	if err := topo.RemoveLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A message on the fresh link must serialize immediately: one
+	// 100 ms transmission plus propagation, not 500 ms of phantom
+	// backlog first.
+	nw.Send(0, 1, &wire.Subscribe{Pattern: 2})
+	k.Run(10 * time.Second)
+
+	var fresh []delivery
+	for _, d := range rec.got {
+		if sub, ok := d.msg.(*wire.Subscribe); ok && sub.Pattern == 2 {
+			fresh = append(fresh, d)
+		}
+	}
+	if len(fresh) != 1 {
+		t.Fatalf("%d deliveries of the post-repair message, want 1", len(fresh))
+	}
+	want := 100*time.Millisecond + cfg.PropDelay
+	if fresh[0].at != want {
+		t.Fatalf("post-repair delivery at %v, want %v (no inherited backlog)", fresh[0].at, want)
+	}
+}
+
+// TestSurvivingLinkKeepsBacklogAcrossUnrelatedRemoval pins the flip
+// side: removing one link at a node must not reset the FIFO backlog of
+// its other links, even though the removal compacts the adjacency slots
+// the dense queue state is keyed by.
+func TestSurvivingLinkKeepsBacklogAcrossUnrelatedRemoval(t *testing.T) {
+	cfg := reliableCfg()
+	cfg.ModelQueueing = true
+	cfg.MessageBytes = 125_000 // 100 ms serialization per message
+	k := sim.New(42)
+	topo := topology.NewStar(4) // 0 is connected to 1, 2, 3
+	rec := &recorder{}
+	nw := New(k, topo, cfg, nil)
+	for i := 0; i < 4; i++ {
+		nw.Register(ident.NodeID(i), &recHandler{r: rec, k: k, id: ident.NodeID(i)})
+	}
+
+	// Queue two messages on 0->2 (slot 1), then remove 0-1 (slot 0),
+	// which compacts 2 into slot 0.
+	nw.Send(0, 2, &wire.Subscribe{Pattern: 1})
+	nw.Send(0, 2, &wire.Subscribe{Pattern: 1})
+	if err := topo.RemoveLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(0, 2, &wire.Subscribe{Pattern: 2})
+	k.Run(10 * time.Second)
+
+	var last []delivery
+	for _, d := range rec.got {
+		if sub, ok := d.msg.(*wire.Subscribe); ok && sub.Pattern == 2 {
+			last = append(last, d)
+		}
+	}
+	if len(last) != 1 {
+		t.Fatalf("%d deliveries of the third message, want 1", len(last))
+	}
+	want := 300*time.Millisecond + cfg.PropDelay // behind 200 ms of real backlog
+	if last[0].at != want {
+		t.Fatalf("third delivery at %v, want %v (backlog preserved across slot compaction)", last[0].at, want)
+	}
+}

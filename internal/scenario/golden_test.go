@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// goldenMetrics is the exact metric output of one fixed-seed run,
+// captured from the pre-pooling seed implementation (kernel entries
+// allocated per event, map-based link queue state, map-of-pointers
+// delivery tracker). The allocation-lean hot paths must reproduce these
+// values bit for bit: pooling, dense queue slots, and the record slab
+// are pure representation changes with no observable effect on the
+// simulation.
+type goldenMetrics struct {
+	alg            core.Algorithm
+	reconfig       time.Duration
+	rate           float64
+	recoveredShare float64
+	receivers      float64
+	published      uint64
+	expected       uint64
+	delivered      uint64
+	recovered      uint64
+	kernelEvents   uint64
+	reconfigs      uint64
+	buckets        int
+}
+
+// TestGoldenMetricsMatchSeedImplementation asserts byte-identical
+// metric output between the current hot paths and the seed
+// implementation for seed 42. If this test fails after a performance
+// change, the change altered simulation behavior, not just its cost.
+//
+// The golden values were recorded by running the seed implementation
+// (commit 878488d) with exactly the parameters below.
+func TestGoldenMetricsMatchSeedImplementation(t *testing.T) {
+	golden := []goldenMetrics{
+		{core.NoRecovery, 0, 0.6709129511677282, 0, 1.9624999999999999, 776, 1530, 1021, 0, 3925, 0, 20},
+		{core.Push, 0, 0.78025477707006374, 0.17414965986394557, 1.9624999999999999, 776, 1530, 1199, 180, 8693, 0, 20},
+		{core.CombinedPull, 0, 0.79087048832271767, 0.1395973154362416, 1.9624999999999999, 776, 1530, 1186, 145, 6568, 0, 20},
+		{core.NoRecovery, 250 * time.Millisecond, 0.61252653927813161, 0, 1.9624999999999999, 776, 1530, 938, 0, 5257, 8, 20},
+		{core.Push, 250 * time.Millisecond, 0.74097664543524411, 0.12607449856733524, 1.9624999999999999, 776, 1530, 1088, 137, 9956, 8, 20},
+		{core.CombinedPull, 250 * time.Millisecond, 0.73673036093418254, 0.14265129682997119, 1.9624999999999999, 776, 1530, 1084, 134, 7843, 8, 20},
+	}
+	for _, g := range golden {
+		g := g
+		name := g.alg.String()
+		if g.reconfig > 0 {
+			name += "-reconfig"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := DefaultParams()
+			p.Seed = 42
+			p.N = 25
+			p.Duration = 2 * time.Second
+			p.MeasureFrom = 300 * time.Millisecond
+			p.MeasureTo = 1500 * time.Millisecond
+			p.PublishRate = 15
+			p.ReconfigInterval = g.reconfig
+			p.Algorithm = g.alg
+			p.Gossip = core.DefaultConfig(g.alg)
+			r, err := Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.DeliveryRate != g.rate {
+				t.Errorf("DeliveryRate = %.17g, want %.17g", r.DeliveryRate, g.rate)
+			}
+			if r.RecoveredShare != g.recoveredShare {
+				t.Errorf("RecoveredShare = %.17g, want %.17g", r.RecoveredShare, g.recoveredShare)
+			}
+			if r.ReceiversPerEvent != g.receivers {
+				t.Errorf("ReceiversPerEvent = %.17g, want %.17g", r.ReceiversPerEvent, g.receivers)
+			}
+			if r.EventsPublished != g.published {
+				t.Errorf("EventsPublished = %d, want %d", r.EventsPublished, g.published)
+			}
+			if r.ExpectedDeliveries != g.expected {
+				t.Errorf("ExpectedDeliveries = %d, want %d", r.ExpectedDeliveries, g.expected)
+			}
+			if r.Deliveries != g.delivered {
+				t.Errorf("Deliveries = %d, want %d", r.Deliveries, g.delivered)
+			}
+			if r.Recoveries != g.recovered {
+				t.Errorf("Recoveries = %d, want %d", r.Recoveries, g.recovered)
+			}
+			if r.KernelEvents != g.kernelEvents {
+				t.Errorf("KernelEvents = %d, want %d", r.KernelEvents, g.kernelEvents)
+			}
+			if r.Reconfigurations != g.reconfigs {
+				t.Errorf("Reconfigurations = %d, want %d", r.Reconfigurations, g.reconfigs)
+			}
+			if len(r.TimeSeries) != g.buckets {
+				t.Errorf("len(TimeSeries) = %d, want %d", len(r.TimeSeries), g.buckets)
+			}
+		})
+	}
+}

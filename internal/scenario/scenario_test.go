@@ -286,3 +286,19 @@ func TestReceiversPerEventGrowsWithPatterns(t *testing.T) {
 			b.ReceiversPerEvent, a.ReceiversPerEvent)
 	}
 }
+
+// TestRunSeedsRejectsNonPositiveK is the regression test for the
+// RunSeeds(p, 0) edge: zero runs used to produce Mean = NaN (0/0) and
+// Min/Max = ±Inf leaking into SeedStats; now it is an explicit error.
+func TestRunSeedsRejectsNonPositiveK(t *testing.T) {
+	p := quickParams()
+	for _, k := range []int{0, -3} {
+		stats, err := RunSeeds(p, k)
+		if err == nil {
+			t.Fatalf("RunSeeds(k=%d) succeeded with stats %+v, want error", k, stats)
+		}
+		if stats.Mean != 0 || stats.Std != 0 || stats.Min != 0 || stats.Max != 0 || stats.Values != nil {
+			t.Fatalf("RunSeeds(k=%d) returned non-zero stats %+v alongside error", k, stats)
+		}
+	}
+}

@@ -51,7 +51,10 @@ func RunAll(params []Params) ([]Result, error) {
 	return results, nil
 }
 
-// SeedStats summarizes one metric across several seeds.
+// SeedStats summarizes one metric across several seeds. Std is the
+// population standard deviation (σ, dividing by k), not the sample
+// estimator: the k seeds are the whole population under study, not a
+// sample of a larger one.
 type SeedStats struct {
 	Mean, Std, Min, Max float64
 	Values              []float64
@@ -69,8 +72,12 @@ func (s SeedStats) RelSpread() float64 {
 
 // RunSeeds runs the same configuration under seeds 1..k and summarizes
 // the delivery rate. The paper used 10 seeds to establish that a
-// single run is representative.
+// single run is representative. k must be at least 1: zero runs have
+// no mean (0/0) and would leak NaN/±Inf into SeedStats.
 func RunSeeds(p Params, k int) (SeedStats, error) {
+	if k < 1 {
+		return SeedStats{}, fmt.Errorf("scenario: RunSeeds needs k >= 1 seeds, got %d", k)
+	}
 	params := make([]Params, k)
 	for i := range params {
 		params[i] = p

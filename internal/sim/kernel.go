@@ -25,13 +25,19 @@ type Time = time.Duration
 // Handler is a callback executed at its scheduled virtual time.
 type Handler func()
 
-// entry is one element of the future-event set.
+// entry is one element of the future-event set. Entries are pooled on
+// the kernel's free list: after an event fires (or a cancelled entry is
+// drained) the entry is recycled into the next At/After call instead of
+// being garbage. gen disambiguates recycled entries so that a stale
+// Canceler held across the recycle boundary cannot cancel the wrong
+// event (ABA).
 type entry struct {
 	at   Time
 	seq  uint64 // insertion order; breaks ties deterministically
 	fn   Handler
-	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
+	gen  uint64 // bumped on recycle; must match Canceler.gen
+	dead bool   // cancelled
+	idx  int    // heap index, -1 when popped
 }
 
 // eventHeap orders entries by (time, insertion sequence).
@@ -69,15 +75,24 @@ func (h *eventHeap) Pop() any {
 }
 
 // Canceler cancels a scheduled event. Cancelling an event that already
-// fired (or was already cancelled) is a no-op.
+// fired (or was already cancelled) is a no-op, even when the kernel has
+// since recycled the underlying entry for a different event.
 type Canceler struct {
-	e *entry
+	k   *Kernel
+	e   *entry
+	gen uint64
 }
 
 // Cancel prevents the associated handler from running.
 func (c Canceler) Cancel() {
-	if c.e != nil {
-		c.e.dead = true
+	if c.e == nil || c.e.gen != c.gen || c.e.dead {
+		return
+	}
+	c.e.dead = true
+	c.e.fn = nil // release the closure now; the entry drains lazily
+	if c.e.idx >= 0 {
+		c.k.dead++
+		c.k.maybeSweep()
 	}
 }
 
@@ -88,6 +103,8 @@ type Kernel struct {
 	now       Time
 	seq       uint64
 	queue     eventHeap
+	free      []*entry // recycled entries for At/After
+	dead      int      // cancelled entries still in queue
 	rng       *rand.Rand
 	seed      int64
 	processed uint64
@@ -138,10 +155,54 @@ func (k *Kernel) At(at Time, fn Handler) Canceler {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
-	e := &entry{at: at, seq: k.seq, fn: fn}
+	var e *entry
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = new(entry)
+	}
+	e.at, e.seq, e.fn, e.dead = at, k.seq, fn, false
 	k.seq++
 	heap.Push(&k.queue, e)
-	return Canceler{e: e}
+	return Canceler{k: k, e: e, gen: e.gen}
+}
+
+// recycle returns a popped entry to the free list, invalidating any
+// outstanding Cancelers for it.
+func (k *Kernel) recycle(e *entry) {
+	e.gen++
+	e.fn = nil
+	k.free = append(k.free, e)
+}
+
+// maybeSweep drains cancelled entries in bulk once they dominate the
+// future-event set, so mass cancellations (e.g. tearing down many
+// timers) do not pin memory until virtual time reaches them. The O(n)
+// rebuild is amortized: it runs at most once per n/2 cancellations.
+func (k *Kernel) maybeSweep() {
+	if k.dead < 64 || k.dead*2 <= len(k.queue) {
+		return
+	}
+	live := k.queue[:0]
+	for _, e := range k.queue {
+		if e.dead {
+			e.idx = -1
+			k.recycle(e)
+			continue
+		}
+		live = append(live, e)
+	}
+	for i := len(live); i < len(k.queue); i++ {
+		k.queue[i] = nil
+	}
+	k.queue = live
+	for i, e := range k.queue {
+		e.idx = i
+	}
+	heap.Init(&k.queue)
+	k.dead = 0
 }
 
 // After schedules fn to run d after the current time.
@@ -170,10 +231,14 @@ func (k *Kernel) Run(until Time) uint64 {
 		}
 		heap.Pop(&k.queue)
 		if next.dead {
+			k.dead--
+			k.recycle(next)
 			continue
 		}
 		k.now = next.at
-		next.fn()
+		fn := next.fn
+		k.recycle(next)
+		fn()
 		n++
 		k.processed++
 	}
@@ -194,10 +259,14 @@ func (k *Kernel) RunAll() uint64 {
 		next := k.queue[0]
 		heap.Pop(&k.queue)
 		if next.dead {
+			k.dead--
+			k.recycle(next)
 			continue
 		}
 		k.now = next.at
-		next.fn()
+		fn := next.fn
+		k.recycle(next)
+		fn()
 		n++
 		k.processed++
 	}

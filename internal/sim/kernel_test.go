@@ -271,3 +271,96 @@ func BenchmarkKernelScheduleAndRun(b *testing.B) {
 	}
 	k.RunAll()
 }
+
+func TestKernelEntryRecyclingReusesEntries(t *testing.T) {
+	k := New(1)
+	var ran int
+	for i := 0; i < 1000; i++ {
+		k.After(time.Millisecond, func() { ran++ })
+		k.RunAll()
+	}
+	if ran != 1000 {
+		t.Fatalf("ran = %d, want 1000", ran)
+	}
+	// After the first iterations the free list feeds every At call:
+	// scheduling must not grow the heap beyond the standing population.
+	if got := testing.AllocsPerRun(100, func() {
+		k.After(time.Millisecond, func() {})
+		k.RunAll()
+	}); got > 0 {
+		t.Fatalf("schedule/dispatch allocates %v objects per event, want 0", got)
+	}
+}
+
+func TestKernelStaleCancelerIsNoOpAfterRecycle(t *testing.T) {
+	k := New(1)
+	var first, second bool
+	c := k.After(time.Millisecond, func() { first = true })
+	k.RunAll()
+	// The entry behind c has been recycled; the next After may reuse it.
+	for i := 0; i < 10; i++ {
+		k.After(time.Millisecond, func() { second = true })
+	}
+	c.Cancel() // must not cancel the recycled entry's new event
+	k.RunAll()
+	if !first || !second {
+		t.Fatalf("first = %v, second = %v, want both true", first, second)
+	}
+}
+
+func TestKernelCancelDuringOwnHandlerIsNoOp(t *testing.T) {
+	k := New(1)
+	var c Canceler
+	ran := false
+	c = k.After(time.Millisecond, func() {
+		ran = true
+		c.Cancel() // self-cancel mid-execution must not corrupt the pool
+	})
+	k.RunAll()
+	if !ran {
+		t.Fatal("handler did not run")
+	}
+	fired := false
+	k.After(time.Millisecond, func() { fired = true })
+	k.RunAll()
+	if !fired {
+		t.Fatal("self-cancel leaked into a later event")
+	}
+}
+
+func TestKernelMassCancellationDrainsLazily(t *testing.T) {
+	k := New(1)
+	cancels := make([]Canceler, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		cancels = append(cancels, k.After(time.Hour, func() {}))
+	}
+	keep := k.After(time.Minute, func() {})
+	_ = keep
+	for _, c := range cancels {
+		c.Cancel()
+	}
+	// The sweep must have reclaimed the cancelled bulk without virtual
+	// time ever reaching the cancelled timestamps.
+	if p := k.Pending(); p > 128 {
+		t.Fatalf("Pending = %d after mass cancel, want sweep to have drained it", p)
+	}
+	if n := k.Run(2 * time.Minute); n != 1 {
+		t.Fatalf("executed %d events, want just the surviving one", n)
+	}
+}
+
+func TestKernelDoubleCancelCountsOnce(t *testing.T) {
+	k := New(1)
+	var ran int
+	for i := 0; i < 200; i++ {
+		k.After(time.Hour, func() { ran++ })
+	}
+	c := k.After(time.Hour, func() { ran++ })
+	for i := 0; i < 1000; i++ {
+		c.Cancel() // repeated cancels must not inflate the dead count
+	}
+	k.RunAll()
+	if ran != 200 {
+		t.Fatalf("ran = %d, want 200", ran)
+	}
+}

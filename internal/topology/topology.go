@@ -179,12 +179,21 @@ func (t *Tree) Neighbors(n ident.NodeID) []ident.NodeID { return t.adj[n] }
 
 // HasLink reports whether a and b are directly connected.
 func (t *Tree) HasLink(a, b ident.NodeID) bool {
-	for _, x := range t.adj[a] {
+	return t.NeighborSlot(a, b) >= 0
+}
+
+// NeighborSlot returns the index of b in a's adjacency list, or -1 when
+// a and b are not directly connected. Slots are stable between
+// mutations of a's adjacency; a RemoveLink at a may compact later slots
+// down by one. Transport layers use the slot to key dense per-neighbor
+// state (e.g. FIFO queue occupancy) without hashing.
+func (t *Tree) NeighborSlot(a, b ident.NodeID) int {
+	for i, x := range t.adj[a] {
 		if x == b {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // Links returns every link in canonical order. The slice is freshly

@@ -312,3 +312,28 @@ func BenchmarkDistAfterMutation(b *testing.B) {
 		_ = tr.Dist(0, ident.NodeID(i%200))
 	}
 }
+
+func TestNeighborSlot(t *testing.T) {
+	tr := NewStar(4) // 0 - {1, 2, 3}
+	for i, want := range []ident.NodeID{1, 2, 3} {
+		if got := tr.NeighborSlot(0, want); got != i {
+			t.Fatalf("NeighborSlot(0, %v) = %d, want %d", want, got, i)
+		}
+		if got := tr.NeighborSlot(want, 0); got != 0 {
+			t.Fatalf("NeighborSlot(%v, 0) = %d, want 0", want, got)
+		}
+	}
+	if got := tr.NeighborSlot(1, 2); got != -1 {
+		t.Fatalf("NeighborSlot(1, 2) = %d, want -1", got)
+	}
+	// RemoveLink compacts later slots down by one.
+	if err := tr.RemoveLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.NeighborSlot(0, 2); got != 0 {
+		t.Fatalf("NeighborSlot(0, 2) after removal = %d, want 0", got)
+	}
+	if got := tr.NeighborSlot(0, 1); got != -1 {
+		t.Fatalf("NeighborSlot(0, 1) after removal = %d, want -1", got)
+	}
+}

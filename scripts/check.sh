@@ -1,0 +1,13 @@
+#!/bin/sh
+# Pre-PR verification: vet, build, then the full test suite under the
+# race detector, which exercises the parallel sweep runner
+# (scenario.RunAll) and the live UDP runtime over real goroutines.
+#
+#   ./scripts/check.sh          # full suite
+#   ./scripts/check.sh -short   # skip the long calibration runs
+set -eu
+cd "$(dirname "$0")/.."
+set -x
+go vet ./...
+go build ./...
+go test -race "$@" ./...
