@@ -30,6 +30,12 @@ func BenchmarkHotPathNetworkSend(b *testing.B) { bench.NetworkSend(b) }
 
 func BenchmarkHotPathMetricsTracker(b *testing.B) { bench.MetricsTracker(b) }
 
+func BenchmarkHotPathGossipRound(b *testing.B) { bench.GossipRound(b) }
+
+func BenchmarkHotPathDigestBuild(b *testing.B) { bench.DigestBuild(b) }
+
+func BenchmarkHotPathLostBuffer(b *testing.B) { bench.LostBuffer(b) }
+
 func BenchmarkHotPathEndToEnd(b *testing.B) { bench.EndToEnd(b) }
 
 // benchFigure regenerates one figure identifier in Quick mode, b.N

@@ -73,6 +73,9 @@ func main() {
 		{"KernelScheduleCancel", bench.KernelScheduleCancel},
 		{"NetworkSend", bench.NetworkSend},
 		{"MetricsTracker", bench.MetricsTracker},
+		{"GossipRound", bench.GossipRound},
+		{"DigestBuild", bench.DigestBuild},
+		{"LostBuffer", bench.LostBuffer},
 		{"EndToEnd", bench.EndToEnd},
 	}
 

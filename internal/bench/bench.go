@@ -17,6 +17,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/pubsub"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -128,6 +129,127 @@ func MetricsTracker(b *testing.B) {
 	b.StopTimer()
 	if len(pts) == 0 && b.N > 0 {
 		b.Fatal("empty time series")
+	}
+}
+
+// GossipRound measures one quiescent combined-pull gossip round: the
+// per-round fixed cost every engine pays every interval T regardless of
+// load. With nothing outstanding in the Lost buffer, a round scans the
+// local subscription list and the digest indexes and skips; since PR 2
+// this path performs zero heap allocations, so the benchmark doubles as
+// the steady-state allocation regression check recorded in the
+// trajectory file.
+func GossipRound(b *testing.B) {
+	const n = 25
+	k := sim.New(1)
+	topo, err := topology.New(n, 4, k.NewStream(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ncfg := network.DefaultConfig()
+	ncfg.LossRate = 0
+	ncfg.OOBLossRate = 0
+	nw := network.New(k, topo, ncfg, nil)
+	pcfg := pubsub.Config{
+		RecordRoutes: true,
+		OnDeliver:    func(ident.NodeID, *wire.Event, bool) {},
+	}
+	nodes := make([]*pubsub.Node, n)
+	for i := range nodes {
+		id := ident.NodeID(i)
+		nodes[i] = pubsub.NewNode(id, k, nw, topo.Neighbors(id), pcfg)
+	}
+	u := matching.Universe{NumPatterns: 100, MaxMatch: 5}
+	subRNG := k.NewStream(3)
+	subs := make([][]ident.PatternID, n)
+	for i := range subs {
+		subs[i] = u.RandomSubscriptions(10, subRNG)
+	}
+	pubsub.InstallStableSubscriptions(topo, nodes, subs)
+	engines := make([]*core.Engine, n)
+	for i, node := range nodes {
+		e, err := core.NewEngine(node, core.DefaultConfig(core.CombinedPull))
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[i] = e
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engines[i%n].RunRound()
+	}
+}
+
+// DigestBuild measures steady-state digest reads: every view the pull
+// gossipers consult each round (full, per-pattern, per-source, and the
+// distinct pattern/source lists) plus a push digest from a cached
+// EventIDSet, against a populated but unchanging Lost buffer. All views
+// are served from incremental indexes and cached snapshots, so the
+// steady state allocates nothing.
+func DigestBuild(b *testing.B) {
+	const patterns, sources, perPair = 8, 8, 4
+	lb := core.NewLostBuffer(4096, 10*time.Second)
+	now := sim.Time(time.Millisecond)
+	for s := 0; s < sources; s++ {
+		for p := 0; p < patterns; p++ {
+			for q := 1; q <= perPair; q++ {
+				lb.Add(wire.LostEntry{
+					Source:  ident.NodeID(s),
+					Pattern: ident.PatternID(p),
+					Seq:     uint32(q),
+				}, now)
+			}
+		}
+	}
+	set := ident.NewEventIDSet(128)
+	for i := 0; i < 128; i++ {
+		set.Add(ident.EventID{Source: ident.NodeID(i % 8), Seq: uint32(i)})
+	}
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += len(lb.All(now))
+		sink += len(lb.Patterns(now))
+		sink += len(lb.Sources(now))
+		sink += len(lb.ForPattern(ident.PatternID(i%patterns), now))
+		sink += len(lb.ForSource(ident.NodeID(i%sources), now))
+		sink += len(set.Sorted())
+	}
+	b.StopTimer()
+	if sink == 0 && b.N > 0 {
+		b.Fatal("empty digests")
+	}
+}
+
+// LostBuffer measures the mutation path of the Lost buffer: one
+// detection (sorted insert into three indexes), one digest read of the
+// mutated pattern (snapshot re-clone), and one recovery removal per op,
+// over a standing population of entries.
+func LostBuffer(b *testing.B) {
+	const standing = 512
+	lb := core.NewLostBuffer(4096, 10*time.Second)
+	now := sim.Time(time.Millisecond)
+	entry := func(i int) wire.LostEntry {
+		return wire.LostEntry{
+			Source:  ident.NodeID(i % 16),
+			Pattern: ident.PatternID(i % 32),
+			Seq:     uint32(i),
+		}
+	}
+	for i := 0; i < standing; i++ {
+		lb.Add(entry(i), now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entry(standing + i)
+		lb.Add(e, now)
+		if len(lb.ForPattern(e.Pattern, now)) == 0 {
+			b.Fatal("entry not indexed")
+		}
+		lb.Remove(entry(i))
 	}
 }
 

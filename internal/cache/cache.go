@@ -38,7 +38,9 @@ func (p Policy) String() string {
 	}
 }
 
-// slot is one buffered event plus its latest access tick.
+// slot is one buffered event plus its latest access tick. Slots are
+// stored by value in the cache map, so inserting an event allocates
+// nothing beyond the map's own growth.
 type slot struct {
 	ev   *wire.Event
 	tick uint64
@@ -60,7 +62,7 @@ type Cache struct {
 	capacity int
 	policy   Policy
 	rng      *rand.Rand
-	slots    map[ident.EventID]*slot
+	slots    map[ident.EventID]slot
 	tick     uint64
 	evicted  uint64
 	inserted uint64
@@ -87,7 +89,7 @@ func New(capacity int, policy Policy, rng *rand.Rand) *Cache {
 		capacity: capacity,
 		policy:   policy,
 		rng:      rng,
-		slots:    make(map[ident.EventID]*slot, capacity+1),
+		slots:    make(map[ident.EventID]slot, capacity+1),
 	}
 	switch policy {
 	case RandomPolicy:
@@ -135,7 +137,7 @@ func (c *Cache) Get(id ident.EventID) *wire.Event {
 		return nil
 	}
 	if c.policy == LRUPolicy {
-		c.touch(id, s)
+		c.touch(id)
 	}
 	return s.ev
 }
@@ -144,9 +146,9 @@ func (c *Cache) Get(id ident.EventID) *wire.Event {
 // buffered event refreshes its position under LRU and is otherwise a
 // no-op.
 func (c *Cache) Put(ev *wire.Event) {
-	if s, ok := c.slots[ev.ID]; ok {
+	if _, ok := c.slots[ev.ID]; ok {
 		if c.policy == LRUPolicy {
-			c.touch(ev.ID, s)
+			c.touch(ev.ID)
 		}
 		return
 	}
@@ -154,7 +156,7 @@ func (c *Cache) Put(ev *wire.Event) {
 		c.evictOne()
 	}
 	c.tick++
-	c.slots[ev.ID] = &slot{ev: ev, tick: c.tick}
+	c.slots[ev.ID] = slot{ev: ev, tick: c.tick}
 	c.inserted++
 	switch c.policy {
 	case RandomPolicy:
@@ -166,9 +168,11 @@ func (c *Cache) Put(ev *wire.Event) {
 	}
 }
 
-func (c *Cache) touch(id ident.EventID, s *slot) {
+func (c *Cache) touch(id ident.EventID) {
 	c.tick++
+	s := c.slots[id]
 	s.tick = c.tick
+	c.slots[id] = s
 	c.order = append(c.order, orderEntry{id: id, tick: c.tick})
 	// A cache that never fills (large β, light load) never runs
 	// evictOne, so the stale entries every touch leaves behind must be

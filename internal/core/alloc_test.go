@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Allocation-regression pins for the gossip hot path. These tests
+// encode PR 2's zero-allocation guarantees with testing.AllocsPerRun so
+// a future change that re-introduces per-round garbage fails loudly
+// rather than silently regressing throughput.
+
+// TestQuiescentRoundAllocsZero pins the steady-state cost of a gossip
+// round with nothing to recover: every engine pays this fixed cost
+// every interval T, so it must not allocate at all.
+func TestQuiescentRoundAllocsZero(t *testing.T) {
+	topo, err := topology.New(9, 3, sim.New(7).NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([][]ident.PatternID, topo.N())
+	for i := range subs {
+		subs[i] = []ident.PatternID{pat32(i % 4), pat32((i + 1) % 4)}
+	}
+	for _, algo := range []Algorithm{Push, SubscriberPull, PublisherPull, CombinedPull, RandomPull} {
+		t.Run(algo.String(), func(t *testing.T) {
+			r := newRig(t, topo, subs, DefaultConfig(algo))
+			// Warm once: first reads may materialize cached snapshots.
+			for _, e := range r.engines {
+				e.RunRound()
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				for _, e := range r.engines {
+					e.RunRound()
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("quiescent %v round: %v allocs/run, want 0", algo, allocs)
+			}
+		})
+	}
+}
+
+// TestLostBufferDigestReadAllocsZero pins the read path of a populated
+// but unchanging Lost buffer: every view the pull gossipers consult is
+// served from incremental indexes and cached snapshots.
+func TestLostBufferDigestReadAllocsZero(t *testing.T) {
+	lb := NewLostBuffer(1024, 10*time.Second)
+	now := sim32(1)
+	for s := 0; s < 4; s++ {
+		for p := 0; p < 4; p++ {
+			for q := 1; q <= 8; q++ {
+				lb.Add(wire.LostEntry{Source: ident32(s), Pattern: pat32(p), Seq: uint32(q)}, now)
+			}
+		}
+	}
+	// Warm the snapshots once.
+	lb.All(now)
+	lb.Patterns(now)
+	lb.Sources(now)
+	lb.ForPattern(pat32(0), now)
+	lb.ForSource(ident32(0), now)
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(lb.All(now)) == 0 ||
+			len(lb.Patterns(now)) == 0 ||
+			len(lb.Sources(now)) == 0 ||
+			len(lb.ForPattern(pat32(1), now)) == 0 ||
+			len(lb.ForSource(ident32(1), now)) == 0 {
+			t.Fatal("digest unexpectedly empty")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady digest reads: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestEventIDSetSortedCachedAllocsZero pins the push digest: Sorted on
+// an unchanged set returns the cached snapshot without allocating.
+func TestEventIDSetSortedCachedAllocsZero(t *testing.T) {
+	set := ident.NewEventIDSet(64)
+	for i := 0; i < 64; i++ {
+		set.Add(ident.EventID{Source: ident32(i % 8), Seq: uint32(i)})
+	}
+	set.Sorted() // warm the snapshot
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(set.Sorted()) != 64 {
+			t.Fatal("wrong digest length")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Sorted: %v allocs/run, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/ident"
@@ -67,6 +68,18 @@ type Engine struct {
 	// requestsSinceRound feeds the adaptive controller under push,
 	// where the Lost buffer is unused.
 	requestsSinceRound int
+
+	// Reusable scratch buffers for the per-round and per-message hot
+	// paths. They are only ever handed to callees that consume them
+	// synchronously; anything embedded in an outgoing message is cloned
+	// first (messages outlive the round — the network delivers them at
+	// a later virtual time).
+	patScratch  []ident.PatternID
+	srcScratch  []ident.NodeID
+	nbScratch   []ident.NodeID
+	idScratch   []ident.EventID
+	evScratch   []*wire.Event
+	wantScratch []wire.LostEntry
 }
 
 var _ pubsub.Recovery = (*Engine)(nil)
@@ -222,6 +235,11 @@ func (e *Engine) detect(ev *wire.Event) {
 	}
 }
 
+// RunRound executes one gossip round immediately, outside the ticker.
+// It exists for benchmarks and tests that drive rounds explicitly; in
+// normal operation rounds are driven by Start.
+func (e *Engine) RunRound() { e.round() }
+
 // round runs one gossip round.
 func (e *Engine) round() {
 	var sent bool
@@ -320,12 +338,13 @@ func (e *Engine) forwardPattern(msg wire.Message, p ident.PatternID, from ident.
 // digest toward its other subscribers.
 func (e *Engine) gossipSubPull() bool {
 	now := e.k.Now()
-	var candidates []ident.PatternID
+	candidates := e.patScratch[:0]
 	for _, p := range e.node.LocalPatterns() {
 		if len(e.lost.ForPattern(p, now)) > 0 {
 			candidates = append(candidates, p)
 		}
 	}
+	e.patScratch = candidates
 	if len(candidates) == 0 {
 		return false
 	}
@@ -343,12 +362,13 @@ func (e *Engine) gossipSubPull() bool {
 // along that route toward the publisher.
 func (e *Engine) gossipPubPull() bool {
 	now := e.k.Now()
-	var candidates []ident.NodeID
+	candidates := e.srcScratch[:0]
 	for _, s := range e.lost.Sources(now) {
 		if len(e.routes[s]) > 0 {
 			candidates = append(candidates, s)
 		}
 	}
+	e.srcScratch = candidates
 	if len(candidates) == 0 {
 		return false
 	}
@@ -408,7 +428,7 @@ func (e *Engine) HandleRecovery(from ident.NodeID, msg wire.Message, oob bool) {
 func (e *Engine) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
 	if e.node.IsLocal(m.Pattern) {
 		now := e.k.Now()
-		var missing []ident.EventID
+		missing := e.idScratch[:0]
 		for _, id := range m.Digest {
 			if e.node.HasReceived(id) {
 				continue
@@ -419,9 +439,11 @@ func (e *Engine) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
 			e.pending[id] = now
 			missing = append(missing, id)
 		}
+		e.idScratch = missing
 		if len(missing) > 0 {
 			e.stats.RequestsSent++
-			e.node.SendOOB(m.Gossiper, &wire.Request{Requester: e.node.ID(), IDs: missing})
+			// The request outlives this handler; it gets its own copy.
+			e.node.SendOOB(m.Gossiper, &wire.Request{Requester: e.node.ID(), IDs: slices.Clone(missing)})
 		}
 	}
 	e.forwardPattern(m, m.Pattern, from)
@@ -436,7 +458,7 @@ func (e *Engine) onGossipSubPull(from ident.NodeID, m *wire.GossipSubPull) {
 	if len(remaining) == 0 {
 		return
 	}
-	fwd := &wire.GossipSubPull{Gossiper: m.Gossiper, Pattern: m.Pattern, Wanted: remaining}
+	fwd := &wire.GossipSubPull{Gossiper: m.Gossiper, Pattern: m.Pattern, Wanted: slices.Clone(remaining)}
 	e.forwardPattern(fwd, m.Pattern, from)
 }
 
@@ -454,7 +476,7 @@ func (e *Engine) onGossipPubPull(m *wire.GossipPubPull) {
 	fwd := &wire.GossipPubPull{
 		Gossiper: m.Gossiper,
 		Source:   m.Source,
-		Wanted:   remaining,
+		Wanted:   slices.Clone(remaining),
 		Route:    m.Route,
 		Next:     uint16(i - 1),
 	}
@@ -474,29 +496,31 @@ func (e *Engine) onGossipRandom(from ident.NodeID, m *wire.GossipRandom) {
 	if e.rng.Float64() >= e.cfg.PForward {
 		return
 	}
-	var nbs []ident.NodeID
+	nbs := e.nbScratch[:0]
 	for _, nb := range e.node.Neighbors() {
 		if nb != from && nb != m.Gossiper {
 			nbs = append(nbs, nb)
 		}
 	}
+	e.nbScratch = nbs
 	if len(nbs) == 0 {
 		return
 	}
-	fwd := &wire.GossipRandom{Gossiper: m.Gossiper, Wanted: remaining}
+	fwd := &wire.GossipRandom{Gossiper: m.Gossiper, Wanted: slices.Clone(remaining)}
 	e.node.SendTree(nbs[e.rng.Intn(len(nbs))], fwd)
 }
 
 // serve sends the wanted events present in the local buffer back to the
-// gossiper out-of-band and returns the entries still missing.
+// gossiper out-of-band and returns the entries still missing. The
+// returned slice is engine-owned scratch, valid until the next serve
+// call; callers embedding it in a message must clone it.
 func (e *Engine) serve(gossiper ident.NodeID, wanted []wire.LostEntry) []wire.LostEntry {
 	if gossiper == e.node.ID() {
 		// A stale route or random walk brought our own digest back.
 		return nil
 	}
-	var events []*wire.Event
-	seen := make(map[ident.EventID]bool, len(wanted))
-	var remaining []wire.LostEntry
+	events := e.evScratch[:0]
+	remaining := e.wantScratch[:0]
 	for _, w := range wanted {
 		id, ok := e.tagIdx[w]
 		if !ok {
@@ -509,32 +533,45 @@ func (e *Engine) serve(gossiper ident.NodeID, wanted []wire.LostEntry) []wire.Lo
 			remaining = append(remaining, w)
 			continue
 		}
-		if !seen[id] {
-			seen[id] = true
+		// Several wanted tags can map to one event; a linear scan over
+		// the handful collected so far replaces the old per-call map.
+		if !containsEvent(events, id) {
 			events = append(events, ev)
 		}
 	}
+	e.evScratch = events
+	e.wantScratch = remaining
 	if len(events) > 0 {
 		e.stats.RetransmitsServed += uint64(len(events))
-		e.node.SendOOB(gossiper, &wire.Retransmit{Responder: e.node.ID(), Events: events})
+		e.node.SendOOB(gossiper, &wire.Retransmit{Responder: e.node.ID(), Events: slices.Clone(events)})
 	}
 	return remaining
+}
+
+func containsEvent(events []*wire.Event, id ident.EventID) bool {
+	for _, ev := range events {
+		if ev.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // onRequest serves a push request from the local buffer.
 func (e *Engine) onRequest(m *wire.Request) {
 	e.requestsSinceRound++
-	var events []*wire.Event
+	events := e.evScratch[:0]
 	for _, id := range m.IDs {
 		if ev := e.buf.Get(id); ev != nil {
 			events = append(events, ev)
 		}
 	}
+	e.evScratch = events
 	if len(events) == 0 {
 		return
 	}
 	e.stats.RetransmitsServed += uint64(len(events))
-	e.node.SendOOB(m.Requester, &wire.Retransmit{Responder: e.node.ID(), Events: events})
+	e.node.SendOOB(m.Requester, &wire.Retransmit{Responder: e.node.ID(), Events: slices.Clone(events)})
 }
 
 // onRetransmit integrates recovered events: deliver locally, cache,

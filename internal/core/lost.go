@@ -1,12 +1,86 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/ident"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
+
+// compareLost orders entries (source, pattern, seq) — the canonical
+// digest order of every negative digest on the wire.
+func compareLost(a, b wire.LostEntry) int {
+	switch {
+	case a.Source != b.Source:
+		if a.Source < b.Source {
+			return -1
+		}
+		return 1
+	case a.Pattern != b.Pattern:
+		if a.Pattern < b.Pattern {
+			return -1
+		}
+		return 1
+	case a.Seq != b.Seq:
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// digestView is one incrementally maintained digest index: a slab of
+// entries kept in canonical digest order, plus a lazily materialized
+// snapshot that is handed to callers.
+//
+// The slab is mutated in place (binary-search insert/delete, no
+// re-sort); the snapshot is immutable once handed out. Gossip messages
+// embed the snapshot and may outlive the current buffer state (the
+// simulator delivers them at a later virtual time), so a mutation never
+// touches a previously returned snapshot — it only marks the cached one
+// stale, and the next read clones the slab afresh.
+type digestView struct {
+	items []wire.LostEntry // authoritative, sorted
+	snap  []wire.LostEntry // cached immutable snapshot; nil when stale
+}
+
+func (v *digestView) insert(e wire.LostEntry) {
+	i, _ := slices.BinarySearchFunc(v.items, e, compareLost)
+	v.items = slices.Insert(v.items, i, e)
+	v.snap = nil
+}
+
+func (v *digestView) remove(e wire.LostEntry) {
+	i, ok := slices.BinarySearchFunc(v.items, e, compareLost)
+	if !ok {
+		return
+	}
+	v.items = slices.Delete(v.items, i, i+1)
+	v.snap = nil
+}
+
+// view returns the current entries as an immutable snapshot. Callers
+// must not mutate it; it may be embedded directly in gossip messages.
+func (v *digestView) view() []wire.LostEntry {
+	if len(v.items) == 0 {
+		return nil
+	}
+	if v.snap == nil {
+		v.snap = slices.Clone(v.items)
+	}
+	return v.snap
+}
+
+// detection is one Add recorded in FIFO order. A detection becomes
+// stale when its entry is removed or re-added later (the map carries
+// the current detection time); stale positions are skipped lazily.
+type detection struct {
+	e  wire.LostEntry
+	at sim.Time
+}
 
 // LostBuffer is the Lost buffer of the pull algorithms (paper
 // Sec. III-B): the set of detected-but-not-yet-recovered events, each
@@ -15,12 +89,27 @@ import (
 // and entries expire after a TTL, so undetectable or unrecoverable
 // losses do not pin memory; the paper specifies neither bound (see
 // DESIGN.md).
+//
+// Digest reads (All, ForPattern, ForSource, Patterns, Sources) are
+// served from incrementally maintained sorted indexes and return cached
+// snapshots: a gossip round that finds the buffer unchanged since the
+// last round performs no allocation and no sorting.
 type LostBuffer struct {
 	capacity int
 	ttl      sim.Time
-	entries  map[wire.LostEntry]sim.Time // detection time
-	queue    []wire.LostEntry
-	head     int
+	entries  map[wire.LostEntry]sim.Time // current detection time
+	queue    []detection                 // Add order; may hold stale positions
+	head     int                         // eviction cursor (FIFO)
+	exp      int                         // expiry cursor; queue[:exp] is fully expired
+
+	all   digestView
+	byPat map[ident.PatternID]*digestView
+	bySrc map[ident.NodeID]*digestView
+
+	pats      []ident.PatternID // cached sorted patterns with entries
+	srcs      []ident.NodeID    // cached sorted sources with entries
+	patsStale bool
+	srcsStale bool
 }
 
 func NewLostBuffer(capacity int, ttl sim.Time) *LostBuffer {
@@ -28,6 +117,8 @@ func NewLostBuffer(capacity int, ttl sim.Time) *LostBuffer {
 		capacity: capacity,
 		ttl:      ttl,
 		entries:  make(map[wire.LostEntry]sim.Time, capacity/4+1),
+		byPat:    make(map[ident.PatternID]*digestView),
+		bySrc:    make(map[ident.NodeID]*digestView),
 	}
 }
 
@@ -36,7 +127,9 @@ func NewLostBuffer(capacity int, ttl sim.Time) *LostBuffer {
 func (b *LostBuffer) Len() int { return len(b.entries) }
 
 // Add records a newly detected loss. Re-detecting an outstanding entry
-// is a no-op.
+// is a no-op. Detection times must be non-decreasing across Adds (both
+// the kernel clock and the live node's monotonic clock guarantee this);
+// the lazy expiry sweep relies on it.
 func (b *LostBuffer) Add(e wire.LostEntry, now sim.Time) {
 	if _, ok := b.entries[e]; ok {
 		return
@@ -45,20 +138,77 @@ func (b *LostBuffer) Add(e wire.LostEntry, now sim.Time) {
 		b.evictOldest()
 	}
 	b.entries[e] = now
-	b.queue = append(b.queue, e)
+	b.queue = append(b.queue, detection{e: e, at: now})
+	b.indexEntry(e)
 }
 
 func (b *LostBuffer) evictOldest() {
 	for {
-		e := b.queue[b.head]
+		d := b.queue[b.head]
 		b.head++
-		if b.head > 4096 && b.head*2 > len(b.queue) {
-			b.queue = append([]wire.LostEntry(nil), b.queue[b.head:]...)
-			b.head = 0
-		}
-		if _, ok := b.entries[e]; ok {
-			delete(b.entries, e)
+		b.maybeCompact()
+		if _, ok := b.entries[d.e]; ok {
+			b.dropEntry(d.e)
 			return
+		}
+	}
+}
+
+// maybeCompact reclaims the consumed queue prefix in place once it
+// dominates the slice, keeping both cursors consistent.
+func (b *LostBuffer) maybeCompact() {
+	if b.head <= 4096 || b.head*2 <= len(b.queue) {
+		return
+	}
+	n := copy(b.queue, b.queue[b.head:])
+	b.queue = b.queue[:n]
+	if b.exp < b.head {
+		b.exp = b.head
+	}
+	b.exp -= b.head
+	b.head = 0
+}
+
+// indexEntry inserts e into the global, per-pattern, and per-source
+// digest indexes.
+func (b *LostBuffer) indexEntry(e wire.LostEntry) {
+	b.all.insert(e)
+	pv := b.byPat[e.Pattern]
+	if pv == nil {
+		pv = &digestView{}
+		b.byPat[e.Pattern] = pv
+	}
+	if len(pv.items) == 0 {
+		b.patsStale = true
+	}
+	pv.insert(e)
+	sv := b.bySrc[e.Source]
+	if sv == nil {
+		sv = &digestView{}
+		b.bySrc[e.Source] = sv
+	}
+	if len(sv.items) == 0 {
+		b.srcsStale = true
+	}
+	sv.insert(e)
+}
+
+// dropEntry removes e from the entry map and every digest index. The
+// per-pattern and per-source views are kept (empty) for reuse; only the
+// distinct-pattern/source lists are invalidated when a view empties.
+func (b *LostBuffer) dropEntry(e wire.LostEntry) {
+	delete(b.entries, e)
+	b.all.remove(e)
+	if pv := b.byPat[e.Pattern]; pv != nil {
+		pv.remove(e)
+		if len(pv.items) == 0 {
+			b.patsStale = true
+		}
+	}
+	if sv := b.bySrc[e.Source]; sv != nil {
+		sv.remove(e)
+		if len(sv.items) == 0 {
+			b.srcsStale = true
 		}
 	}
 }
@@ -69,7 +219,7 @@ func (b *LostBuffer) Remove(e wire.LostEntry) bool {
 	if _, ok := b.entries[e]; !ok {
 		return false
 	}
-	delete(b.entries, e)
+	b.dropEntry(e)
 	return true
 }
 
@@ -80,7 +230,7 @@ func (b *LostBuffer) Has(e wire.LostEntry, now sim.Time) bool {
 		return false
 	}
 	if b.expired(at, now) {
-		delete(b.entries, e)
+		b.dropEntry(e)
 		return false
 	}
 	return true
@@ -90,85 +240,95 @@ func (b *LostBuffer) expired(at, now sim.Time) bool {
 	return b.ttl > 0 && now-at > b.ttl
 }
 
-// ForPattern returns the fresh entries whose pattern is p, in a
-// deterministic order, sweeping expired ones.
+// sweep lazily expires entries. Detection times are non-decreasing in
+// queue order and an entry's current detection time is always at its
+// latest queue position, so every expired entry lives in the queue
+// prefix ahead of the expiry cursor; the sweep advances the cursor over
+// that prefix and stops at the first non-expired position. When nothing
+// has expired since the last sweep this is a single comparison.
+func (b *LostBuffer) sweep(now sim.Time) {
+	if b.ttl <= 0 {
+		return
+	}
+	if b.exp < b.head {
+		b.exp = b.head
+	}
+	for b.exp < len(b.queue) {
+		d := b.queue[b.exp]
+		if !b.expired(d.at, now) {
+			return
+		}
+		if at, ok := b.entries[d.e]; ok && at == d.at {
+			b.dropEntry(d.e)
+		}
+		b.exp++
+	}
+}
+
+// ForPattern returns the fresh entries whose pattern is p, in canonical
+// digest order, sweeping expired ones. The returned slice is an
+// immutable snapshot shared across calls; callers must not mutate it.
 func (b *LostBuffer) ForPattern(p ident.PatternID, now sim.Time) []wire.LostEntry {
-	return b.collect(now, func(e wire.LostEntry) bool { return e.Pattern == p })
+	b.sweep(now)
+	v := b.byPat[p]
+	if v == nil {
+		return nil
+	}
+	return v.view()
 }
 
-// ForSource returns the fresh entries whose source is s, sweeping
-// expired ones.
+// ForSource returns the fresh entries whose source is s, in canonical
+// digest order, sweeping expired ones. The returned slice is an
+// immutable snapshot shared across calls; callers must not mutate it.
 func (b *LostBuffer) ForSource(s ident.NodeID, now sim.Time) []wire.LostEntry {
-	return b.collect(now, func(e wire.LostEntry) bool { return e.Source == s })
+	b.sweep(now)
+	v := b.bySrc[s]
+	if v == nil {
+		return nil
+	}
+	return v.view()
 }
 
-// All returns every fresh entry.
+// All returns every fresh entry in canonical digest order. The returned
+// slice is an immutable snapshot shared across calls; callers must not
+// mutate it.
 func (b *LostBuffer) All(now sim.Time) []wire.LostEntry {
-	return b.collect(now, func(wire.LostEntry) bool { return true })
-}
-
-func (b *LostBuffer) collect(now sim.Time, keep func(wire.LostEntry) bool) []wire.LostEntry {
-	var out []wire.LostEntry
-	var stale []wire.LostEntry
-	for e, at := range b.entries {
-		if b.expired(at, now) {
-			stale = append(stale, e)
-			continue
-		}
-		if keep(e) {
-			out = append(out, e)
-		}
-	}
-	for _, e := range stale {
-		delete(b.entries, e)
-	}
-	sortLost(out)
-	return out
+	b.sweep(now)
+	return b.all.view()
 }
 
 // Patterns returns the distinct patterns with fresh entries, sorted.
+// The returned slice is a cached snapshot; callers must not mutate it.
 func (b *LostBuffer) Patterns(now sim.Time) []ident.PatternID {
-	seen := make(map[ident.PatternID]bool)
-	for e, at := range b.entries {
-		if !b.expired(at, now) {
-			seen[e.Pattern] = true
+	b.sweep(now)
+	if b.patsStale || b.pats == nil {
+		pats := make([]ident.PatternID, 0, len(b.byPat))
+		for p, v := range b.byPat {
+			if len(v.items) > 0 {
+				pats = append(pats, p)
+			}
 		}
+		slices.Sort(pats)
+		b.pats = pats
+		b.patsStale = false
 	}
-	out := make([]ident.PatternID, 0, len(seen))
-	for p := range seen {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return b.pats
 }
 
-// Sources returns the distinct sources with fresh entries, sorted.
+// Sources returns the distinct sources with fresh entries, sorted. The
+// returned slice is a cached snapshot; callers must not mutate it.
 func (b *LostBuffer) Sources(now sim.Time) []ident.NodeID {
-	seen := make(map[ident.NodeID]bool)
-	for e, at := range b.entries {
-		if !b.expired(at, now) {
-			seen[e.Source] = true
+	b.sweep(now)
+	if b.srcsStale || b.srcs == nil {
+		srcs := make([]ident.NodeID, 0, len(b.bySrc))
+		for s, v := range b.bySrc {
+			if len(v.items) > 0 {
+				srcs = append(srcs, s)
+			}
 		}
+		slices.Sort(srcs)
+		b.srcs = srcs
+		b.srcsStale = false
 	}
-	out := make([]ident.NodeID, 0, len(seen))
-	for s := range seen {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// sortLost orders entries (source, pattern, seq) for deterministic
-// digests.
-func sortLost(ls []wire.LostEntry) {
-	sort.Slice(ls, func(i, j int) bool {
-		a, b := ls[i], ls[j]
-		if a.Source != b.Source {
-			return a.Source < b.Source
-		}
-		if a.Pattern != b.Pattern {
-			return a.Pattern < b.Pattern
-		}
-		return a.Seq < b.Seq
-	})
+	return b.srcs
 }

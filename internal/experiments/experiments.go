@@ -8,7 +8,7 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/core"
@@ -87,7 +87,7 @@ func IDs() []string {
 	for id := range generators {
 		out = append(out, id)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -195,7 +195,16 @@ func (s sweep) run(p0 scenario.Params) ([][]Series, error) {
 		}
 		for _, a := range s.algorithms {
 			pts := bySeries[a]
-			sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+			slices.SortFunc(pts, func(a, b Point) int {
+				switch {
+				case a.X < b.X:
+					return -1
+				case a.X > b.X:
+					return 1
+				default:
+					return 0
+				}
+			})
 			out[mi] = append(out[mi], Series{Name: a.String(), Points: pts})
 		}
 	}

@@ -7,7 +7,7 @@ package ident
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a dispatcher in the overlay network.
@@ -84,8 +84,14 @@ func (ps PatternSeq) String() string {
 // EventIDSet is a set of event identifiers. The zero value is ready to
 // use with Add via the nil-map-safe methods below only after
 // initialization; use NewEventIDSet.
+//
+// Sorted caches its result between mutations: the push gossiper reads
+// the same digest every round, so a set that did not change since the
+// last round hands back the cached snapshot without iterating or
+// sorting anything.
 type EventIDSet struct {
-	m map[EventID]struct{}
+	m    map[EventID]struct{}
+	snap []EventID // cached Sorted() result; nil when stale
 }
 
 // NewEventIDSet returns an empty set with capacity hint n.
@@ -99,6 +105,7 @@ func (s *EventIDSet) Add(id EventID) bool {
 		return false
 	}
 	s.m[id] = struct{}{}
+	s.snap = nil
 	return true
 }
 
@@ -114,18 +121,33 @@ func (s *EventIDSet) Remove(id EventID) bool {
 		return false
 	}
 	delete(s.m, id)
+	s.snap = nil
 	return true
 }
 
 // Len returns the number of elements.
 func (s *EventIDSet) Len() int { return len(s.m) }
 
-// Sorted returns the elements in canonical (source-major) order.
+// Sorted returns the elements in canonical (source-major) order. The
+// returned slice is an immutable snapshot shared across calls until the
+// next mutation; callers must not modify it.
 func (s *EventIDSet) Sorted() []EventID {
-	out := make([]EventID, 0, len(s.m))
-	for id := range s.m {
-		out = append(out, id)
+	if s.snap == nil {
+		out := make([]EventID, 0, len(s.m))
+		for id := range s.m {
+			out = append(out, id)
+		}
+		slices.SortFunc(out, func(a, b EventID) int {
+			switch {
+			case a.Less(b):
+				return -1
+			case b.Less(a):
+				return 1
+			default:
+				return 0
+			}
+		})
+		s.snap = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return s.snap
 }

@@ -269,13 +269,32 @@ func (n *Node) now() time.Duration { return time.Since(n.start) }
 // band), then the wire-encoded message.
 const envelopeLen = 5
 
-func (n *Node) encodeEnvelope(msg wire.Message, oob bool) []byte {
-	buf := make([]byte, envelopeLen, envelopeLen+msg.WireSize())
+// envelopePool recycles encode buffers across sends. WriteToUDP copies
+// the payload into the kernel synchronously, so a buffer can be reused
+// as soon as the write returns.
+var envelopePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+func (n *Node) encodeEnvelope(buf []byte, msg wire.Message, oob bool) []byte {
+	buf = append(buf[:0], 0, 0, 0, 0, 0)
 	binary.LittleEndian.PutUint32(buf, uint32(n.cfg.ID))
 	if oob {
 		buf[4] = 1
 	}
 	return msg.Append(buf)
+}
+
+// sendEnvelope encodes msg into a pooled buffer, writes it to addr, and
+// returns the buffer to the pool.
+func (n *Node) sendEnvelope(addr *net.UDPAddr, msg wire.Message, oob bool) {
+	bp := envelopePool.Get().(*[]byte)
+	*bp = n.encodeEnvelope(*bp, msg, oob)
+	n.write(addr, *bp)
+	envelopePool.Put(bp)
 }
 
 // sendTree transmits msg to a direct neighbor, subject to injected
@@ -301,7 +320,7 @@ func (n *Node) sendTree(to ident.NodeID, msg wire.Message) {
 	if addr == nil || drop {
 		return
 	}
-	n.write(addr, n.encodeEnvelope(msg, false))
+	n.sendEnvelope(addr, msg, false)
 }
 
 // sendOOB transmits msg to any dispatcher in the directory.
@@ -319,7 +338,7 @@ func (n *Node) sendOOB(to ident.NodeID, msg wire.Message) {
 	if addr == nil {
 		return
 	}
-	n.write(addr, n.encodeEnvelope(msg, true))
+	n.sendEnvelope(addr, msg, true)
 }
 
 func (n *Node) write(addr *net.UDPAddr, data []byte) {

@@ -9,7 +9,7 @@ package matching
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/ident"
 )
@@ -71,7 +71,7 @@ func (u Universe) RandomContent(rng *rand.Rand) Content {
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -86,7 +86,7 @@ func (u Universe) RandomSubscriptions(k int, rng *rand.Rand) []ident.PatternID {
 	for i, p := range perm {
 		out[i] = ident.PatternID(p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

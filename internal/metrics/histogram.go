@@ -3,7 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/sim"
@@ -153,7 +153,7 @@ func ExactQuantile(samples []sim.Time, q float64) sim.Time {
 		return 0
 	}
 	s := append([]sim.Time(nil), samples...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	idx := int(math.Ceil(q*float64(len(s)))) - 1
 	if idx < 0 {
 		idx = 0

@@ -7,7 +7,7 @@
 package metrics
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/ident"
 	"repro/internal/network"
@@ -215,7 +215,16 @@ func (t *DeliveryTracker) TimeSeries(bucket sim.Time) []Point {
 		p.Delivered += uint64(rec.delivered)
 	}
 	if !sorted {
-		sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+		slices.SortFunc(out, func(a, b Point) int {
+			switch {
+			case a.Time < b.Time:
+				return -1
+			case a.Time > b.Time:
+				return 1
+			default:
+				return 0
+			}
+		})
 		merged := out[:0]
 		for _, p := range out {
 			if n := len(merged); n > 0 && merged[n-1].Time == p.Time {

@@ -133,9 +133,59 @@ type Network struct {
 	// busyUntil []map[ident.NodeID]sim.Time representation.
 	busy [][]linkState
 
+	// freeDeliv recycles in-flight delivery records (and their bound
+	// run closures) so that Send/SendOOB schedule without allocating.
+	freeDeliv []*inflight
+
 	sent      uint64
 	delivered uint64
 	lost      uint64
+}
+
+// inflight is one in-flight transmission: the state the delivery
+// callback needs at arrival time. Records are pooled on the network's
+// free list — the run closure is bound once, when the record is first
+// created, and reused for every later flight of the record.
+type inflight struct {
+	nw       *Network
+	from, to ident.NodeID
+	msg      wire.Message
+	inc      uint64 // link incarnation at send time (tree sends)
+	dropped  bool   // loss trial outcome, drawn at send time
+	oob      bool
+	run      func() // bound to this record; allocated once
+}
+
+// getDelivery pops a pooled record or builds a fresh one.
+func (nw *Network) getDelivery() *inflight {
+	if n := len(nw.freeDeliv); n > 0 {
+		d := nw.freeDeliv[n-1]
+		nw.freeDeliv = nw.freeDeliv[:n-1]
+		return d
+	}
+	d := &inflight{nw: nw}
+	d.run = d.arrive
+	return d
+}
+
+// arrive completes one transmission at its virtual arrival time and
+// recycles the record.
+func (d *inflight) arrive() {
+	nw := d.nw
+	if d.oob {
+		nw.deliver(d.from, d.to, d.msg, true)
+	} else if d.dropped || !nw.topo.HasLink(d.from, d.to) ||
+		nw.topo.LinkIncarnation(d.from, d.to) != d.inc {
+		// A link that disappeared mid-flight loses the message even if
+		// the loss trial passed; so does a link that was re-created in
+		// the meantime (a new incarnation is a new connection).
+		nw.lost++
+		nw.obs.OnLoss(d.from, d.to, d.msg, false)
+	} else {
+		nw.deliver(d.from, d.to, d.msg, false)
+	}
+	d.msg = nil // release the message; the record outlives it
+	nw.freeDeliv = append(nw.freeDeliv, d)
 }
 
 // New builds a network over topo. Handlers are registered later with
@@ -220,18 +270,10 @@ func (nw *Network) Send(from, to ident.NodeID, msg wire.Message) {
 	}
 	arrival := start + tx + nw.cfg.PropDelay
 	dropped := nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate
-	nw.k.At(arrival, func() {
-		// A link that disappeared mid-flight loses the message even if
-		// the loss trial passed; so does a link that was re-created in
-		// the meantime (a new incarnation is a new connection).
-		if dropped || !nw.topo.HasLink(from, to) ||
-			nw.topo.LinkIncarnation(from, to) != incarnation {
-			nw.lost++
-			nw.obs.OnLoss(from, to, msg, false)
-			return
-		}
-		nw.deliver(from, to, msg, false)
-	})
+	d := nw.getDelivery()
+	d.from, d.to, d.msg = from, to, msg
+	d.inc, d.dropped, d.oob = incarnation, dropped, false
+	nw.k.At(arrival, d.run)
 }
 
 // queueState returns the FIFO state of the directed link (from, to)
@@ -279,9 +321,10 @@ func (nw *Network) SendOOB(from, to ident.NodeID, msg wire.Message) {
 		hops = nw.topo.N() / 2 // partitioned overlay: assume far apart
 	}
 	delay := nw.cfg.OOBBaseDelay + sim.Time(hops)*nw.cfg.PropDelay + nw.txTime(msg)
-	nw.k.At(nw.k.Now()+delay, func() {
-		nw.deliver(from, to, msg, true)
-	})
+	d := nw.getDelivery()
+	d.from, d.to, d.msg = from, to, msg
+	d.inc, d.dropped, d.oob = 0, false, true
+	nw.k.At(nw.k.Now()+delay, d.run)
 }
 
 func (nw *Network) deliver(from, to ident.NodeID, msg wire.Message, oob bool) {

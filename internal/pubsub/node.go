@@ -11,6 +11,7 @@ package pubsub
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/ident"
@@ -75,6 +76,15 @@ type Node struct {
 	local     map[ident.PatternID]bool
 	localList []ident.PatternID // sorted; kept in sync with local
 	table     map[ident.PatternID][]ident.NodeID
+
+	// known caches KnownPatterns between subscription-state changes:
+	// the push gossiper calls it every round, the table changes only on
+	// (un)subscriptions and reconfigurations. nil marks it stale.
+	known []ident.PatternID
+
+	// fwdScratch deduplicates forwarding directions per event without a
+	// per-call map; reused across forwards (single-threaded kernel).
+	fwdScratch []ident.NodeID
 
 	nextSeq  uint32
 	patSeq   map[ident.PatternID]uint32
@@ -142,22 +152,26 @@ func (n *Node) LocalMatch(c matching.Content) bool {
 
 // KnownPatterns returns every pattern with local or remote interest,
 // sorted — the "whole subscription table" the push gossiper draws from
-// (paper Sec. III-B).
+// (paper Sec. III-B). The slice is a cached snapshot, rebuilt only
+// after subscription state changed; callers must not mutate it.
 func (n *Node) KnownPatterns() []ident.PatternID {
-	out := make([]ident.PatternID, 0, len(n.table)+len(n.localList))
-	seen := make(map[ident.PatternID]bool, len(n.table)+len(n.localList))
-	for _, p := range n.localList {
-		out = append(out, p)
-		seen[p] = true
-	}
-	for p, dirs := range n.table {
-		if len(dirs) > 0 && !seen[p] {
-			out = append(out, p)
+	if n.known == nil {
+		out := make([]ident.PatternID, 0, len(n.table)+len(n.localList))
+		out = append(out, n.localList...)
+		for p, dirs := range n.table {
+			if len(dirs) > 0 && !n.local[p] {
+				out = append(out, p)
+			}
 		}
+		slices.Sort(out)
+		n.known = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return n.known
 }
+
+// invalidateKnown marks the KnownPatterns cache stale. Every mutation
+// of local or table goes through it.
+func (n *Node) invalidateKnown() { n.known = nil }
 
 // InterestDirections returns the neighbors with (remote) interest in p.
 // The slice is owned by the node and must not be mutated.
@@ -212,13 +226,13 @@ func (n *Node) Publish(content matching.Content, payload uint16) *wire.Event {
 // forward routes ev to every neighbor with matching interest, except
 // the one it came from.
 func (n *Node) forward(ev *wire.Event, from ident.NodeID) {
-	sent := make(map[ident.NodeID]bool, 4)
+	sent := n.fwdScratch[:0]
 	for _, p := range ev.Content {
 		for _, nb := range n.table[p] {
-			if nb == from || sent[nb] {
+			if nb == from || slices.Contains(sent, nb) {
 				continue
 			}
-			sent[nb] = true
+			sent = append(sent, nb)
 			out := ev
 			if n.cfg.RecordRoutes && from != ident.None {
 				out = ev.Clone()
@@ -227,6 +241,7 @@ func (n *Node) forward(ev *wire.Event, from ident.NodeID) {
 			n.SendTree(nb, out)
 		}
 	}
+	n.fwdScratch = sent
 }
 
 // HandleMessage implements network.Handler.
@@ -302,6 +317,7 @@ func (n *Node) Subscribe(p ident.PatternID) {
 	}
 	n.local[p] = true
 	n.localList = insertSorted(n.localList, p)
+	n.invalidateKnown()
 }
 
 // Unsubscribe removes a local subscription and propagates the removal.
@@ -311,6 +327,7 @@ func (n *Node) Unsubscribe(p ident.PatternID) {
 	}
 	delete(n.local, p)
 	n.localList = removeSorted(n.localList, p)
+	n.invalidateKnown()
 	for _, nb := range n.neighbors {
 		if !n.advertisedTo(p, nb) {
 			n.SendTree(nb, &wire.Unsubscribe{Pattern: p})
@@ -329,6 +346,7 @@ func (n *Node) SetLocalInstant(ps []ident.PatternID) {
 			n.localList = insertSorted(n.localList, p)
 		}
 	}
+	n.invalidateKnown()
 }
 
 // SetTableInstant installs a remote-interest direction without
@@ -340,6 +358,7 @@ func (n *Node) SetTableInstant(p ident.PatternID, dir ident.NodeID) {
 		}
 	}
 	n.table[p] = append(n.table[p], dir)
+	n.invalidateKnown()
 }
 
 // addInterest records that neighbor from is interested in p and
@@ -356,6 +375,7 @@ func (n *Node) addInterest(p ident.PatternID, from ident.NodeID) {
 		}
 	}
 	n.table[p] = append(n.table[p], from)
+	n.invalidateKnown()
 }
 
 // removeInterest drops neighbor from's interest in p and propagates
@@ -373,6 +393,7 @@ func (n *Node) removeInterest(p ident.PatternID, from ident.NodeID) {
 	if !found {
 		return
 	}
+	n.invalidateKnown()
 	if len(n.table[p]) == 0 {
 		delete(n.table, p)
 	}
@@ -397,7 +418,7 @@ func (n *Node) OnLinkDown(nbr ident.NodeID) {
 			}
 		}
 	}
-	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	slices.Sort(stale)
 	for _, p := range stale {
 		n.removeInterest(p, nbr)
 	}

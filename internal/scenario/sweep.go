@@ -27,7 +27,9 @@ func RunAll(params []Params) ([]Result, error) {
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	// Buffering to len(params) lets the feeder below enqueue everything
+	// without blocking on worker pace.
+	jobs := make(chan int, len(params))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -87,7 +89,11 @@ func RunSeeds(p Params, k int) (SeedStats, error) {
 	if err != nil {
 		return SeedStats{}, err
 	}
-	stats := SeedStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	stats := SeedStats{
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+		Values: make([]float64, 0, k),
+	}
 	for _, r := range results {
 		v := r.DeliveryRate
 		stats.Values = append(stats.Values, v)

@@ -28,6 +28,44 @@ func FuzzDecode(f *testing.F) {
 		&GossipRandom{Gossiper: 1, Wanted: []LostEntry{{Source: 1, Pattern: 2, Seq: 3}}},
 		&Request{Requester: 5, IDs: []ident.EventID{{Source: 2, Seq: 9}}},
 		&Retransmit{Responder: 5, Events: []*Event{{ID: ident.EventID{Source: 1, Seq: 1}}}},
+
+		// Boundary shapes per gossip message type: empty digests, the
+		// zero-length route, multi-entry digests spanning sources and
+		// patterns, and a multi-event retransmission carrying the full
+		// event shape (tags, route, payload).
+		&Event{ID: ident.EventID{Source: 0, Seq: 0}},
+		&GossipPush{Gossiper: 2, Pattern: 0, Digest: nil},
+		&GossipPush{Gossiper: 0, Pattern: 7, Digest: []ident.EventID{
+			{Source: 0, Seq: 1}, {Source: 0, Seq: 2}, {Source: 4, Seq: 1}, {Source: 9, Seq: 200},
+		}},
+		&GossipSubPull{Gossiper: 3, Pattern: 5, Wanted: nil},
+		&GossipSubPull{Gossiper: 3, Pattern: 5, Wanted: []LostEntry{
+			{Source: 1, Pattern: 5, Seq: 1}, {Source: 1, Pattern: 5, Seq: 2}, {Source: 6, Pattern: 5, Seq: 40},
+		}},
+		&GossipPubPull{Gossiper: 8, Source: 2, Wanted: []LostEntry{
+			{Source: 2, Pattern: 1, Seq: 3}, {Source: 2, Pattern: 9, Seq: 3},
+		}, Route: []ident.NodeID{2, 7, 4, 8}, Next: 3},
+		&GossipPubPull{Gossiper: 1, Source: 0, Wanted: nil, Route: nil, Next: 0},
+		&GossipRandom{Gossiper: 6, Wanted: nil},
+		&GossipRandom{Gossiper: 6, Wanted: []LostEntry{
+			{Source: 0, Pattern: 0, Seq: 1}, {Source: 3, Pattern: 2, Seq: 9}, {Source: 3, Pattern: 4, Seq: 9},
+		}},
+		&Request{Requester: 4, IDs: nil},
+		&Request{Requester: 4, IDs: []ident.EventID{
+			{Source: 0, Seq: 1}, {Source: 1, Seq: 1}, {Source: 1, Seq: 2},
+		}},
+		&Retransmit{Responder: 2, Events: nil},
+		&Retransmit{Responder: 2, Events: []*Event{
+			{
+				ID:          ident.EventID{Source: 4, Seq: 12},
+				Content:     matching.Content{0, 5, 9},
+				Tags:        []ident.PatternSeq{{Pattern: 0, Seq: 3}, {Pattern: 5, Seq: 1}},
+				Route:       []ident.NodeID{4, 2, 0},
+				PublishedAt: 12345,
+				PayloadLen:  64,
+			},
+			{ID: ident.EventID{Source: 5, Seq: 1}, Content: matching.Content{2}},
+		}},
 	} {
 		f.Add(Encode(msg))
 	}
