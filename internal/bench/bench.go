@@ -255,9 +255,13 @@ func LostBuffer(b *testing.B) {
 
 // EndToEnd measures a full small combined-pull simulation — the
 // package's end-to-end hot path — and reports simulated kernel
-// events per wall-clock second.
+// events per wall-clock second. Runs go through one scenario.Runner,
+// exactly like a sweep worker, so the number reflects the steady-state
+// per-simulation cost with run state (kernel slab, engine scratch)
+// reused across runs rather than the one-off cold-start cost.
 func EndToEnd(b *testing.B) {
 	var events uint64
+	var runner scenario.Runner
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -270,7 +274,7 @@ func EndToEnd(b *testing.B) {
 		p.PublishRate = 15
 		p.Algorithm = core.CombinedPull
 		p.Gossip = core.DefaultConfig(core.CombinedPull)
-		res, err := scenario.Run(p)
+		res, err := runner.Run(p)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -105,6 +105,41 @@ func New(capacity int, policy Policy, rng *rand.Rand) *Cache {
 	return c
 }
 
+// Reset empties the cache and re-targets it at a new capacity, policy,
+// and rng, reusing the maps and slices the previous configuration grew.
+// Counters restart from zero and any OnEvict callback is dropped. The
+// validation rules match New. Sweep workers use this to recycle one
+// cache across many engine lifetimes instead of reallocating β-sized
+// tables per run.
+func (c *Cache) Reset(capacity int, policy Policy, rng *rand.Rand) {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: capacity %d < 1", capacity))
+	}
+	switch policy {
+	case RandomPolicy:
+		if rng == nil {
+			panic("cache: RandomPolicy requires an rng")
+		}
+		if c.pos == nil {
+			c.keys = make([]ident.EventID, 0, capacity)
+			c.pos = make(map[ident.EventID]int, capacity+1)
+		}
+	case FIFOPolicy, LRUPolicy:
+	default:
+		panic(fmt.Sprintf("cache: unknown policy %d", int(policy)))
+	}
+	c.capacity, c.policy, c.rng = capacity, policy, rng
+	clear(c.slots)
+	c.order = c.order[:0]
+	c.head = 0
+	c.keys = c.keys[:0]
+	if c.pos != nil {
+		clear(c.pos)
+	}
+	c.tick, c.evicted, c.inserted = 0, 0, 0
+	c.onEvict = nil
+}
+
 // SetOnEvict installs a callback invoked for every evicted event.
 // The recovery engine uses it to keep its (source, pattern, seq) index
 // in sync with the buffer.

@@ -80,6 +80,10 @@ type Engine struct {
 	idScratch   []ident.EventID
 	evScratch   []*wire.Event
 	wantScratch []wire.LostEntry
+
+	// pool, when non-nil, is where Release returns the scratch buffers
+	// for reuse by a later engine on the same goroutine.
+	pool *ScratchPool
 }
 
 var _ pubsub.Recovery = (*Engine)(nil)
@@ -87,6 +91,15 @@ var _ pubsub.Recovery = (*Engine)(nil)
 // NewEngine builds a recovery engine for node. The engine installs
 // itself as the node's Recovery hook. Use Start to begin gossiping.
 func NewEngine(node *pubsub.Node, cfg Config) (*Engine, error) {
+	return NewEngineIn(node, cfg, nil)
+}
+
+// NewEngineIn is NewEngine with a scratch pool: the engine's reusable
+// round buffers are acquired from pool (when non-nil) and handed back
+// by Release, so a sweep worker building engines run after run stops
+// re-growing them from nil. The pool must belong to the goroutine that
+// runs the engine.
+func NewEngineIn(node *pubsub.Node, cfg Config, pool *ScratchPool) (*Engine, error) {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return nil, err
@@ -97,24 +110,79 @@ func NewEngine(node *pubsub.Node, cfg Config) (*Engine, error) {
 	k := node.Kernel()
 	rng := k.NewStream(0x636f7265 + int64(node.ID())) // "core" + node
 	e := &Engine{
-		node:    node,
-		k:       k,
-		cfg:     cfg,
-		rng:     rng,
-		buf:     cache.New(cfg.BufferSize, cfg.BufferPolicy, rng),
-		patIdx:  make(map[ident.PatternID]*ident.EventIDSet),
-		tagIdx:  make(map[wire.LostEntry]ident.EventID),
-		lost:    NewLostBuffer(cfg.LostCapacity, cfg.LostTTL),
-		high:    make(map[srcPattern]uint32),
-		routes:  make(map[ident.NodeID][]ident.NodeID),
-		pending: make(map[ident.EventID]sim.Time),
+		node: node,
+		k:    k,
+		cfg:  cfg,
+		rng:  rng,
 
 		needPatIdx: cfg.Algorithm == Push,
 		needTagIdx: cfg.Algorithm.NeedsSeqTags(),
+
+		pool: pool,
+	}
+	if pool != nil {
+		// Recycle the previous engine's structures: the cache and Lost
+		// buffer are emptied and re-targeted at this config, the maps
+		// come back cleared but with their buckets intact. Behavior is
+		// identical to freshly built state — nothing observable survives
+		// a Reset/clear.
+		s := pool.get()
+		e.patScratch, e.srcScratch, e.nbScratch = s.pat, s.src, s.nb
+		e.idScratch, e.evScratch, e.wantScratch = s.id, s.ev, s.want
+		e.buf, e.lost = s.buf, s.lost
+		e.patIdx, e.tagIdx = s.patIdx, s.tagIdx
+		e.high, e.routes, e.pending = s.high, s.routes, s.pending
+	}
+	if e.buf != nil {
+		e.buf.Reset(cfg.BufferSize, cfg.BufferPolicy, rng)
+	} else {
+		e.buf = cache.New(cfg.BufferSize, cfg.BufferPolicy, rng)
+	}
+	if e.lost != nil {
+		e.lost.Reset(cfg.LostCapacity, cfg.LostTTL)
+	} else {
+		e.lost = NewLostBuffer(cfg.LostCapacity, cfg.LostTTL)
+	}
+	if e.patIdx == nil {
+		e.patIdx = make(map[ident.PatternID]*ident.EventIDSet)
+	}
+	if e.tagIdx == nil {
+		e.tagIdx = make(map[wire.LostEntry]ident.EventID)
+	}
+	if e.high == nil {
+		e.high = make(map[srcPattern]uint32)
+	}
+	if e.routes == nil {
+		e.routes = make(map[ident.NodeID][]ident.NodeID)
+	}
+	if e.pending == nil {
+		e.pending = make(map[ident.EventID]sim.Time)
 	}
 	e.buf.SetOnEvict(e.unindex)
 	node.SetRecovery(e)
 	return e, nil
+}
+
+// Release returns the engine's scratch buffers to the pool it was built
+// with. The engine must not be used afterwards. A no-op for engines
+// built without a pool.
+func (e *Engine) Release() {
+	if e.pool == nil {
+		return
+	}
+	e.pool.put(engineScratch{
+		pat: e.patScratch, src: e.srcScratch, nb: e.nbScratch,
+		id: e.idScratch, ev: e.evScratch, want: e.wantScratch,
+		buf: e.buf, lost: e.lost,
+		patIdx: e.patIdx, tagIdx: e.tagIdx,
+		high: e.high, routes: e.routes, pending: e.pending,
+	})
+	e.patScratch, e.srcScratch, e.nbScratch = nil, nil, nil
+	e.idScratch, e.evScratch, e.wantScratch = nil, nil, nil
+	e.buf, e.lost = nil, nil
+	e.patIdx, e.tagIdx = nil, nil
+	e.high, e.routes, e.pending = nil, nil, nil
+	e.pool = nil
 }
 
 // Start begins periodic gossip rounds, desynchronized by a random
@@ -336,19 +404,40 @@ func (e *Engine) forwardPattern(msg wire.Message, p ident.PatternID, from ident.
 // gossipSubPull starts a subscriber-based pull round: pick a locally
 // subscribed pattern with outstanding losses and gossip a negative
 // digest toward its other subscribers.
+//
+// The candidate set is the intersection of two bitsets: local
+// subscriptions and patterns with outstanding losses. Because bitset
+// iteration ascends like the sorted lists it replaced, the i-th
+// candidate is the same pattern the slice scan would have produced,
+// so the rng draw picks identically and fixed-seed traces are
+// unchanged.
 func (e *Engine) gossipSubPull() bool {
 	now := e.k.Now()
-	candidates := e.patScratch[:0]
-	for _, p := range e.node.LocalPatterns() {
-		if len(e.lost.ForPattern(p, now)) > 0 {
-			candidates = append(candidates, p)
+	var p ident.PatternID
+	lostSet, lostExact := e.lost.PatternSet(now)
+	localSet, localExact := e.node.LocalPatternSet()
+	if lostExact && localExact {
+		cand := lostSet.Intersect(localSet)
+		n := cand.Len()
+		if n == 0 {
+			return false
 		}
+		p = cand.At(e.rng.Intn(n))
+	} else {
+		// Some pattern fell outside the bitset range: the exact slice
+		// scan, in the same ascending order.
+		candidates := e.patScratch[:0]
+		for _, q := range e.node.LocalPatterns() {
+			if len(e.lost.ForPattern(q, now)) > 0 {
+				candidates = append(candidates, q)
+			}
+		}
+		e.patScratch = candidates
+		if len(candidates) == 0 {
+			return false
+		}
+		p = candidates[e.rng.Intn(len(candidates))]
 	}
-	e.patScratch = candidates
-	if len(candidates) == 0 {
-		return false
-	}
-	p := candidates[e.rng.Intn(len(candidates))]
 	msg := &wire.GossipSubPull{
 		Gossiper: e.node.ID(),
 		Pattern:  p,

@@ -110,6 +110,13 @@ type LostBuffer struct {
 	srcs      []ident.NodeID    // cached sorted sources with entries
 	patsStale bool
 	srcsStale bool
+
+	// patSet mirrors the distinct in-range patterns with entries as a
+	// bitset, maintained at the same empty↔non-empty transitions that
+	// invalidate pats. patBig counts out-of-range patterns with
+	// entries; while it is zero the bitset is the exact pattern set.
+	patSet ident.PatternSet
+	patBig int
 }
 
 func NewLostBuffer(capacity int, ttl sim.Time) *LostBuffer {
@@ -125,6 +132,34 @@ func NewLostBuffer(capacity int, ttl sim.Time) *LostBuffer {
 // Len returns the number of outstanding entries (including any that
 // have expired but were not yet swept).
 func (b *LostBuffer) Len() int { return len(b.entries) }
+
+// Reset empties the buffer and re-targets it at a new capacity and TTL,
+// keeping the entry map, detection queue, and digest-view slabs the
+// previous run grew. The per-pattern and per-source views are truncated
+// in place, never freed, so a recycled buffer reaches its steady-state
+// footprint once and stays there across a whole parameter sweep.
+// Previously returned snapshots are unaffected (they are separate
+// clones).
+func (b *LostBuffer) Reset(capacity int, ttl sim.Time) {
+	b.capacity, b.ttl = capacity, ttl
+	clear(b.entries)
+	b.queue = b.queue[:0]
+	b.head, b.exp = 0, 0
+	b.all.items = b.all.items[:0]
+	b.all.snap = nil
+	for _, v := range b.byPat {
+		v.items = v.items[:0]
+		v.snap = nil
+	}
+	for _, v := range b.bySrc {
+		v.items = v.items[:0]
+		v.snap = nil
+	}
+	b.pats, b.srcs = nil, nil
+	b.patsStale, b.srcsStale = false, false
+	b.patSet = ident.PatternSet{}
+	b.patBig = 0
+}
 
 // Add records a newly detected loss. Re-detecting an outstanding entry
 // is a no-op. Detection times must be non-decreasing across Adds (both
@@ -180,6 +215,9 @@ func (b *LostBuffer) indexEntry(e wire.LostEntry) {
 	}
 	if len(pv.items) == 0 {
 		b.patsStale = true
+		if !b.patSet.Add(e.Pattern) {
+			b.patBig++
+		}
 	}
 	pv.insert(e)
 	sv := b.bySrc[e.Source]
@@ -203,6 +241,11 @@ func (b *LostBuffer) dropEntry(e wire.LostEntry) {
 		pv.remove(e)
 		if len(pv.items) == 0 {
 			b.patsStale = true
+			if ident.PatternInSetRange(e.Pattern) {
+				b.patSet.Remove(e.Pattern)
+			} else {
+				b.patBig--
+			}
 		}
 	}
 	if sv := b.bySrc[e.Source]; sv != nil {
@@ -297,18 +340,33 @@ func (b *LostBuffer) All(now sim.Time) []wire.LostEntry {
 	return b.all.view()
 }
 
+// PatternSet returns the distinct in-range patterns with fresh entries
+// as a bitset, sweeping expired ones first. exact is false when some
+// outstanding entry carries a pattern outside the bitset range; the
+// set then understates the buffer and callers must fall back to
+// Patterns.
+func (b *LostBuffer) PatternSet(now sim.Time) (s ident.PatternSet, exact bool) {
+	b.sweep(now)
+	return b.patSet, b.patBig == 0
+}
+
 // Patterns returns the distinct patterns with fresh entries, sorted.
 // The returned slice is a cached snapshot; callers must not mutate it.
 func (b *LostBuffer) Patterns(now sim.Time) []ident.PatternID {
 	b.sweep(now)
 	if b.patsStale || b.pats == nil {
-		pats := make([]ident.PatternID, 0, len(b.byPat))
-		for p, v := range b.byPat {
-			if len(v.items) > 0 {
-				pats = append(pats, p)
+		pats := make([]ident.PatternID, 0, b.patSet.Len()+b.patBig)
+		if b.patBig == 0 {
+			// Ascending bitset iteration is already sorted order.
+			pats = b.patSet.AppendTo(pats)
+		} else {
+			for p, v := range b.byPat {
+				if len(v.items) > 0 {
+					pats = append(pats, p)
+				}
 			}
+			slices.Sort(pats)
 		}
-		slices.Sort(pats)
 		b.pats = pats
 		b.patsStale = false
 	}

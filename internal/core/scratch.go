@@ -1,0 +1,68 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// ScratchPool recycles engine state across engine lifetimes. A
+// parameter-sweep worker builds one engine per dispatcher per run and
+// discards them all at the end; with a pool, the expensive per-engine
+// structures — the β-sized event cache, the Lost buffer with its digest
+// indexes, the recovery maps, and the per-round scratch slices — are
+// grown to their steady-state size during the first runs and then
+// survive into later runs instead of being reallocated and re-grown
+// from nil every time. A pool must not be shared between goroutines;
+// each sweep worker owns its own.
+type ScratchPool struct {
+	free []engineScratch
+}
+
+// engineScratch is one recyclable bundle of an engine's reusable state
+// (see the corresponding fields on Engine). The cache and Lost buffer
+// are handed back emptied; the maps are cleared but keep their buckets.
+type engineScratch struct {
+	pat  []ident.PatternID
+	src  []ident.NodeID
+	nb   []ident.NodeID
+	id   []ident.EventID
+	ev   []*wire.Event
+	want []wire.LostEntry
+
+	buf     *cache.Cache
+	lost    *LostBuffer
+	patIdx  map[ident.PatternID]*ident.EventIDSet
+	tagIdx  map[wire.LostEntry]ident.EventID
+	high    map[srcPattern]uint32
+	routes  map[ident.NodeID][]ident.NodeID
+	pending map[ident.EventID]sim.Time
+}
+
+func (p *ScratchPool) get() engineScratch {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return engineScratch{}
+}
+
+func (p *ScratchPool) put(s engineScratch) {
+	// Drop every event pointer (scratch slice, cache contents, index
+	// maps) so a pooled bundle cannot pin a finished run's events — or
+	// its engine, via the cache's OnEvict closure — in memory.
+	s.ev = s.ev[:cap(s.ev)]
+	clear(s.ev)
+	s.ev = s.ev[:0]
+	if s.buf != nil {
+		s.buf.Reset(s.buf.Capacity(), cache.FIFOPolicy, nil)
+	}
+	clear(s.patIdx)
+	clear(s.tagIdx)
+	clear(s.high)
+	clear(s.routes)
+	clear(s.pending)
+	p.free = append(p.free, s)
+}

@@ -139,6 +139,12 @@ func Run(p Params) (Result, error) {
 	}
 	tracked := make(map[ident.EventID]*track, 4096)
 
+	// counted/countStamp deduplicate subscribers per publish without a
+	// per-call map: a node is counted when its stamp equals the current
+	// publish's stamp (single-threaded kernel, shared across closures).
+	counted := make([]uint32, p.N)
+	countStamp := uint32(0)
+
 	// gossipTo pushes ev to fanout random peers (excluding self).
 	var gossipTo func(from ident.NodeID, ev event)
 	receive := func(node ident.NodeID, ev event) {
@@ -195,11 +201,11 @@ func Run(p Params) (Result, error) {
 			now := k.Now()
 			if now >= measureFrom && now < measureTo {
 				exp := uint32(0)
-				counted := make(map[ident.NodeID]bool, 8)
+				countStamp++
 				for _, pat := range ev.content {
 					for _, s := range subscribersOf[pat] {
-						if s != node && !counted[s] {
-							counted[s] = true
+						if s != node && counted[s] != countStamp {
+							counted[s] = countStamp
 							exp++
 						}
 					}

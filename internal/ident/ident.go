@@ -109,6 +109,13 @@ func (s *EventIDSet) Add(id EventID) bool {
 	return true
 }
 
+// Clear empties the set in place, keeping the map's buckets for reuse.
+// Previously returned Sorted snapshots are unaffected.
+func (s *EventIDSet) Clear() {
+	clear(s.m)
+	s.snap = nil
+}
+
 // Has reports whether id is in the set.
 func (s *EventIDSet) Has(id EventID) bool {
 	_, ok := s.m[id]

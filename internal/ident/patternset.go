@@ -1,0 +1,145 @@
+package ident
+
+import "math/bits"
+
+// PatternSetCap is the largest pattern universe a PatternSet can hold:
+// patterns 0 .. PatternSetCap-1. The paper's content model fixes
+// Π = 70 patterns (Sec. IV-A), so the whole universe fits in two
+// machine words with room to spare; packages that accept arbitrary
+// PatternIDs keep a map fallback for out-of-range identifiers.
+const PatternSetCap = 128
+
+// PatternSet is a fixed-size bitset over the pattern universe
+// [0, PatternSetCap). It is two machine words, passed and compared by
+// value, which makes subscription matching and digest candidate
+// selection branch-free: membership is one shift and mask, set algebra
+// is two bitwise ops, and iteration ascends in pattern order — the
+// same order a sorted []PatternID slice yields, so replacing sorted
+// slices with bitset iteration cannot change any deterministic trace.
+//
+// The zero value is the empty set.
+type PatternSet [2]uint64
+
+// PatternInSetRange reports whether p can be represented in a
+// PatternSet.
+func PatternInSetRange(p PatternID) bool {
+	return uint32(p) < PatternSetCap
+}
+
+// Add inserts p and reports whether it was stored; p outside
+// [0, PatternSetCap) is not representable and Add returns false
+// without modifying the set. Callers that admit arbitrary pattern
+// identifiers must check the result and fall back to a map.
+func (s *PatternSet) Add(p PatternID) bool {
+	u := uint32(p)
+	if u >= PatternSetCap {
+		return false
+	}
+	s[u>>6] |= 1 << (u & 63)
+	return true
+}
+
+// Remove deletes p from the set. Out-of-range identifiers are a no-op
+// (they can never have been stored).
+func (s *PatternSet) Remove(p PatternID) {
+	u := uint32(p)
+	if u >= PatternSetCap {
+		return
+	}
+	s[u>>6] &^= 1 << (u & 63)
+}
+
+// Has reports whether p is in the set. Out-of-range identifiers are
+// never members.
+func (s PatternSet) Has(p PatternID) bool {
+	u := uint32(p)
+	return u < PatternSetCap && s[u>>6]&(1<<(u&63)) != 0
+}
+
+// Union returns s ∪ o.
+func (s PatternSet) Union(o PatternSet) PatternSet {
+	return PatternSet{s[0] | o[0], s[1] | o[1]}
+}
+
+// Intersect returns s ∩ o.
+func (s PatternSet) Intersect(o PatternSet) PatternSet {
+	return PatternSet{s[0] & o[0], s[1] & o[1]}
+}
+
+// Intersects reports whether s and o share at least one pattern.
+func (s PatternSet) Intersects(o PatternSet) bool {
+	return s[0]&o[0] != 0 || s[1]&o[1] != 0
+}
+
+// Empty reports whether the set has no elements.
+func (s PatternSet) Empty() bool { return s[0] == 0 && s[1] == 0 }
+
+// Len returns the number of patterns in the set.
+func (s PatternSet) Len() int {
+	return bits.OnesCount64(s[0]) + bits.OnesCount64(s[1])
+}
+
+// AppendTo appends the set's patterns to dst in ascending order and
+// returns the extended slice. Ascending bit iteration is exactly the
+// canonical sorted order of the slice-based representations it
+// replaces, so digests and candidate lists built this way are
+// byte-identical to their sorted-slice ancestors.
+func (s PatternSet) AppendTo(dst []PatternID) []PatternID {
+	for w, word := range s {
+		base := PatternID(w << 6)
+		for word != 0 {
+			dst = append(dst, base+PatternID(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// ForEach invokes fn for every pattern in the set in ascending order.
+func (s PatternSet) ForEach(fn func(PatternID)) {
+	for w, word := range s {
+		base := PatternID(w << 6)
+		for word != 0 {
+			fn(base + PatternID(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+}
+
+// At returns the i-th pattern in ascending order. It panics when
+// i is out of range; use Len to bound it. Selection inside a word uses
+// a select-nth-set-bit ladder, so At is O(1) in the universe size —
+// the gossip round's "pick a uniform random candidate" stays constant
+// time instead of materializing the candidate list.
+func (s PatternSet) At(i int) PatternID {
+	if i >= 0 {
+		c0 := bits.OnesCount64(s[0])
+		if i < c0 {
+			return PatternID(selectBit(s[0], uint(i)))
+		}
+		if i < c0+bits.OnesCount64(s[1]) {
+			return PatternID(64 + selectBit(s[1], uint(i-c0)))
+		}
+	}
+	panic("ident: PatternSet.At index out of range")
+}
+
+// selectBit returns the position of the n-th (0-based) set bit of w,
+// scanning from the least significant end.
+func selectBit(w uint64, n uint) int {
+	for ; n > 0; n-- {
+		w &= w - 1
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// NewPatternSet builds a set from a pattern list, ignoring
+// out-of-range identifiers; use Add directly when the caller must
+// detect them.
+func NewPatternSet(ps []PatternID) PatternSet {
+	var s PatternSet
+	for _, p := range ps {
+		s.Add(p)
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package ident
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestPatternSetBasics covers the fixed-point cases the property test
+// can miss: boundaries, the zero value, and out-of-range behavior.
+func TestPatternSetBasics(t *testing.T) {
+	var s PatternSet
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatalf("zero PatternSet: Empty=%v Len=%d, want true 0", s.Empty(), s.Len())
+	}
+	for _, p := range []PatternID{0, 1, 63, 64, 127} {
+		if !s.Add(p) {
+			t.Fatalf("Add(%d) = false, want true", p)
+		}
+		if !s.Has(p) {
+			t.Fatalf("Has(%d) = false after Add", p)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	got := s.AppendTo(nil)
+	want := []PatternID{0, 1, 63, 64, 127}
+	if !slices.Equal(got, want) {
+		t.Fatalf("AppendTo = %v, want %v", got, want)
+	}
+	for i, p := range want {
+		if s.At(i) != p {
+			t.Fatalf("At(%d) = %d, want %d", i, s.At(i), p)
+		}
+	}
+	for _, p := range []PatternID{128, 1000, -1, NoPattern} {
+		if s.Add(p) {
+			t.Fatalf("Add(%d) = true, want false (out of range)", p)
+		}
+		if s.Has(p) {
+			t.Fatalf("Has(%d) = true, want false (out of range)", p)
+		}
+		s.Remove(p) // must not panic or corrupt
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len after out-of-range ops = %d, want 5", s.Len())
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Len() != 4 {
+		t.Fatalf("Remove(63): Has=%v Len=%d, want false 4", s.Has(63), s.Len())
+	}
+}
+
+func TestPatternSetAtPanics(t *testing.T) {
+	s := NewPatternSet([]PatternID{3, 70})
+	for _, i := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			s.At(i)
+		}()
+	}
+}
+
+// TestPatternSetDifferential drives random operation sequences against
+// a map oracle: after every step, membership, cardinality, ascending
+// iteration, and the set-algebra results must agree with the naive
+// map/sorted-slice model the bitset replaced.
+func TestPatternSetDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var s PatternSet
+		oracle := make(map[PatternID]bool)
+		for step := 0; step < 500; step++ {
+			p := PatternID(rng.Intn(PatternSetCap))
+			if rng.Intn(3) == 0 {
+				s.Remove(p)
+				delete(oracle, p)
+			} else {
+				s.Add(p)
+				oracle[p] = true
+			}
+
+			if s.Len() != len(oracle) {
+				t.Fatalf("seed %d step %d: Len = %d, oracle %d", seed, step, s.Len(), len(oracle))
+			}
+			q := PatternID(rng.Intn(PatternSetCap))
+			if s.Has(q) != oracle[q] {
+				t.Fatalf("seed %d step %d: Has(%d) = %v, oracle %v", seed, step, q, s.Has(q), oracle[q])
+			}
+		}
+
+		sorted := make([]PatternID, 0, len(oracle))
+		for p := range oracle {
+			sorted = append(sorted, p)
+		}
+		slices.Sort(sorted)
+		if got := s.AppendTo(nil); !slices.Equal(got, sorted) {
+			t.Fatalf("seed %d: AppendTo = %v, sorted oracle %v", seed, got, sorted)
+		}
+		var walked []PatternID
+		s.ForEach(func(p PatternID) { walked = append(walked, p) })
+		if !slices.Equal(walked, sorted) {
+			t.Fatalf("seed %d: ForEach order %v, want %v", seed, walked, sorted)
+		}
+		for i, p := range sorted {
+			if s.At(i) != p {
+				t.Fatalf("seed %d: At(%d) = %d, want %d", seed, i, s.At(i), p)
+			}
+		}
+
+		other := NewPatternSet(sorted[:len(sorted)/2])
+		union := s.Union(other)
+		inter := s.Intersect(other)
+		for p := PatternID(0); p < PatternSetCap; p++ {
+			if union.Has(p) != (s.Has(p) || other.Has(p)) {
+				t.Fatalf("seed %d: Union.Has(%d) mismatch", seed, p)
+			}
+			if inter.Has(p) != (s.Has(p) && other.Has(p)) {
+				t.Fatalf("seed %d: Intersect.Has(%d) mismatch", seed, p)
+			}
+		}
+		if s.Intersects(other) != !inter.Empty() {
+			t.Fatalf("seed %d: Intersects = %v, Intersect.Empty = %v", seed, s.Intersects(other), inter.Empty())
+		}
+	}
+}
+
+func TestNewPatternSetIgnoresOutOfRange(t *testing.T) {
+	s := NewPatternSet([]PatternID{5, 500, -3, 99})
+	if got := s.AppendTo(nil); !slices.Equal(got, []PatternID{5, 99}) {
+		t.Fatalf("NewPatternSet kept %v, want [5 99]", got)
+	}
+}

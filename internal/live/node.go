@@ -112,6 +112,7 @@ type Node struct {
 	neighbors map[ident.NodeID]*net.UDPAddr
 	directory map[ident.NodeID]*net.UDPAddr
 	local     map[ident.PatternID]bool
+	localSet  ident.PatternSet // in-range mirror of local; event-path fast match
 	table     map[ident.PatternID][]ident.NodeID
 	nextSeq   uint32
 	patSeq    map[ident.PatternID]uint32

@@ -37,6 +37,7 @@ func (n *Node) Subscribe(p ident.PatternID) {
 			}
 		}
 		n.local[p] = true
+		n.localSet.Add(p)
 	}
 	n.mu.Unlock()
 	n.flush(outs)
@@ -48,6 +49,7 @@ func (n *Node) Unsubscribe(p ident.PatternID) {
 	var outs []out
 	if n.local[p] {
 		delete(n.local, p)
+		n.localSet.Remove(p)
 		for nb := range n.neighbors {
 			if !n.advertisedToLocked(p, nb) {
 				outs = append(outs, out{to: nb, msg: &wire.Unsubscribe{Pattern: p}})
@@ -181,9 +183,16 @@ func (n *Node) Publish(content matching.Content) ident.EventID {
 	return ev.ID
 }
 
+// localMatchLocked reports whether the content matches a local
+// subscription. The bitset answers for in-range patterns (the common
+// case — the whole paper universe fits); the map remains authoritative
+// for identifiers outside the bitset range. Callers hold n.mu.
 func (n *Node) localMatchLocked(c matching.Content) bool {
 	for _, p := range c {
-		if n.local[p] {
+		if n.localSet.Has(p) {
+			return true
+		}
+		if !ident.PatternInSetRange(p) && n.local[p] {
 			return true
 		}
 	}

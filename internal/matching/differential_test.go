@@ -1,0 +1,143 @@
+package matching
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// oracleInterest is the pre-bitset Interest: a plain membership map
+// and linear scans. The differential tests below hold the PatternSet
+// implementation to exactly these semantics.
+type oracleInterest struct {
+	member map[ident.PatternID]bool
+}
+
+func newOracle(ps []ident.PatternID) *oracleInterest {
+	o := &oracleInterest{member: make(map[ident.PatternID]bool, len(ps))}
+	for _, p := range ps {
+		o.member[p] = true
+	}
+	return o
+}
+
+func (o *oracleInterest) matches(c Content) bool {
+	for _, p := range c {
+		if o.member[p] {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *oracleInterest) matchedBy(c Content) []ident.PatternID {
+	var out []ident.PatternID
+	for _, p := range c {
+		if o.member[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func oracleContentMatchesAny(c Content, ps []ident.PatternID) bool {
+	for _, p := range ps {
+		if slices.Contains(c, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkInterestAgainstOracle compares every Interest operation against
+// the map/slice oracle for one (subscriptions, content) pair.
+func checkInterestAgainstOracle(t *testing.T, subs []ident.PatternID, c Content) {
+	t.Helper()
+	in := NewInterest(subs)
+	o := newOracle(subs)
+
+	for _, p := range append(slices.Clone(subs), c...) {
+		if in.Has(p) != o.member[p] {
+			t.Fatalf("subs=%v: Has(%d) = %v, oracle %v", subs, p, in.Has(p), o.member[p])
+		}
+	}
+	if got, want := in.Matches(c), o.matches(c); got != want {
+		t.Fatalf("subs=%v content=%v: Matches = %v, oracle %v", subs, c, got, want)
+	}
+	wantMatched := o.matchedBy(c)
+	if got := in.MatchedBy(c); !slices.Equal(got, wantMatched) {
+		t.Fatalf("subs=%v content=%v: MatchedBy = %v, oracle %v (content order)", subs, c, got, wantMatched)
+	}
+	scratch := make([]ident.PatternID, 0, 8)
+	if got := in.AppendMatchedTo(scratch, c); !slices.Equal(got, wantMatched) {
+		t.Fatalf("subs=%v content=%v: AppendMatchedTo = %v, oracle %v", subs, c, got, wantMatched)
+	}
+	if set, exact := in.MatchedSet(c); exact {
+		got := set.AppendTo(nil)
+		sorted := slices.Clone(wantMatched)
+		slices.Sort(sorted)
+		if len(got) == 0 {
+			got = nil
+		}
+		if len(sorted) == 0 {
+			sorted = nil
+		}
+		if !slices.Equal(got, sorted) {
+			t.Fatalf("subs=%v content=%v: MatchedSet = %v, oracle (sorted) %v", subs, c, got, sorted)
+		}
+	}
+	if got, want := c.MatchesAny(subs), oracleContentMatchesAny(c, subs); got != want {
+		t.Fatalf("subs=%v content=%v: MatchesAny = %v, oracle %v", subs, c, got, want)
+	}
+	if cs, ok := c.Set(); ok {
+		for _, p := range c {
+			if !cs.Has(p) {
+				t.Fatalf("content=%v: Content.Set missing %d", c, p)
+			}
+		}
+	}
+}
+
+// TestInterestDifferentialRandom replays random subscription/content
+// pairs over random universes Π ≤ 128 — the whole bitset range — and a
+// few universes beyond it, which force the out-of-range spill map.
+func TestInterestDifferentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, numPatterns := range []int{1, 2, 17, 64, 70, 128, 200, 300} {
+			u := Universe{NumPatterns: numPatterns, MaxMatch: 3}
+			for trial := 0; trial < 50; trial++ {
+				k := rng.Intn(8)
+				subs := u.RandomSubscriptions(k, rng)
+				c := u.RandomContent(rng)
+				checkInterestAgainstOracle(t, subs, c)
+			}
+		}
+	}
+}
+
+// FuzzInterestMatchesOracle lets the fuzzer pick raw subscription and
+// content bytes, exercising duplicate, unsorted, and out-of-range
+// pattern identifiers that the structured generator never produces.
+func FuzzInterestMatchesOracle(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 9})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{127, 128, 255}, []byte{127, 128})
+	f.Fuzz(func(t *testing.T, subBytes, cBytes []byte) {
+		if len(subBytes) > 64 || len(cBytes) > 16 {
+			t.Skip()
+		}
+		subs := make([]ident.PatternID, len(subBytes))
+		for i, b := range subBytes {
+			// Spread across in-range, boundary, and out-of-range IDs.
+			subs[i] = ident.PatternID(int32(b) * 3)
+		}
+		c := make(Content, len(cBytes))
+		for i, b := range cBytes {
+			c[i] = ident.PatternID(int32(b) * 3)
+		}
+		checkInterestAgainstOracle(t, subs, c)
+	})
+}

@@ -46,6 +46,20 @@ func (c Content) Clone() Content {
 	return out
 }
 
+// Set returns the content as a pattern bitset. ok is false when some
+// pattern does not fit in a PatternSet; the returned set then holds
+// only the representable patterns and callers must fall back to the
+// slice representation.
+func (c Content) Set() (s ident.PatternSet, ok bool) {
+	ok = true
+	for _, p := range c {
+		if !s.Add(p) {
+			ok = false
+		}
+	}
+	return s, ok
+}
+
 // Universe describes the pattern space of a simulation.
 type Universe struct {
 	// NumPatterns is Π, the total number of patterns (70 in the paper).
@@ -91,51 +105,102 @@ func (u Universe) RandomSubscriptions(k int, rng *rand.Rand) []ident.PatternID {
 }
 
 // Interest is the set of patterns one dispatcher is locally subscribed
-// to, with O(1) matching.
+// to, with O(1) matching. Membership lives in a PatternSet bitset —
+// two machine words — so the per-event match on the routing path is a
+// handful of shifts instead of map probes. Patterns outside the bitset
+// range (none in the paper's Π=70 universe) spill into a lazily built
+// map so semantics stay exact for arbitrary identifiers.
 type Interest struct {
 	patterns []ident.PatternID
-	member   map[ident.PatternID]bool
+	set      ident.PatternSet
+	big      map[ident.PatternID]bool // out-of-range spill; nil when unused
 }
 
 // NewInterest builds an Interest from a pattern list.
 func NewInterest(ps []ident.PatternID) *Interest {
 	in := &Interest{
 		patterns: append([]ident.PatternID(nil), ps...),
-		member:   make(map[ident.PatternID]bool, len(ps)),
 	}
 	for _, p := range ps {
-		in.member[p] = true
+		if !in.set.Add(p) {
+			if in.big == nil {
+				in.big = make(map[ident.PatternID]bool)
+			}
+			in.big[p] = true
+		}
 	}
 	return in
 }
 
 // Has reports whether p is subscribed.
-func (in *Interest) Has(p ident.PatternID) bool { return in.member[p] }
+func (in *Interest) Has(p ident.PatternID) bool {
+	if ident.PatternInSetRange(p) {
+		return in.set.Has(p)
+	}
+	return in.big[p]
+}
 
 // Patterns returns the subscribed patterns. The slice is owned by the
 // Interest and must not be mutated.
 func (in *Interest) Patterns() []ident.PatternID { return in.patterns }
 
+// Set returns the bitset of subscribed patterns that fit in a
+// PatternSet. exact is false when some subscription spilled out of
+// range, in which case the set understates the interest.
+func (in *Interest) Set() (s ident.PatternSet, exact bool) {
+	return in.set, in.big == nil
+}
+
 // Len returns the number of subscribed patterns.
 func (in *Interest) Len() int { return len(in.patterns) }
 
-// MatchedBy returns the subscribed patterns contained in content, in
-// content order. Returns nil when nothing matches.
-func (in *Interest) MatchedBy(c Content) []ident.PatternID {
-	var out []ident.PatternID
+// AppendMatchedTo appends the subscribed patterns contained in content
+// to dst, in content order, and returns the extended slice. It never
+// allocates when dst has capacity — the forwarding-path replacement
+// for MatchedBy.
+func (in *Interest) AppendMatchedTo(dst []ident.PatternID, c Content) []ident.PatternID {
 	for _, p := range c {
-		if in.member[p] {
-			out = append(out, p)
+		if in.Has(p) {
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
+}
+
+// MatchedSet returns the subscribed patterns contained in content as a
+// bitset, without allocating. exact is false when some content pattern
+// is out of bitset range; the matched patterns are then found with
+// AppendMatchedTo instead.
+func (in *Interest) MatchedSet(c Content) (s ident.PatternSet, exact bool) {
+	cs, ok := c.Set()
+	s = cs.Intersect(in.set)
+	if ok && in.big == nil {
+		return s, true
+	}
+	return s, false
+}
+
+// MatchedBy returns the subscribed patterns contained in content, in
+// content order. Returns nil when nothing matches. It allocates a
+// fresh slice per call; hot paths use AppendMatchedTo or MatchedSet.
+func (in *Interest) MatchedBy(c Content) []ident.PatternID {
+	var out []ident.PatternID
+	return in.AppendMatchedTo(out, c)
 }
 
 // Matches reports whether the content matches at least one subscribed
 // pattern.
 func (in *Interest) Matches(c Content) bool {
 	for _, p := range c {
-		if in.member[p] {
+		if in.set.Has(p) {
+			return true
+		}
+	}
+	if in.big == nil {
+		return false
+	}
+	for _, p := range c {
+		if in.big[p] {
 			return true
 		}
 	}

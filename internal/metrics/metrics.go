@@ -61,6 +61,19 @@ func NewDeliveryTracker(now func() sim.Time) *DeliveryTracker {
 	}
 }
 
+// Reset empties the tracker for a new run, keeping the record slab,
+// index buckets, and histogram slabs the previous run grew. now
+// replaces the virtual-time source (pass nil to disable latency
+// histograms).
+func (t *DeliveryTracker) Reset(now func() sim.Time) {
+	t.records = t.records[:0]
+	clear(t.index)
+	t.now = now
+	t.totalExpected, t.totalDelivered, t.totalRecovered = 0, 0, 0
+	t.routedLatency.Reset()
+	t.recoveryLatency.Reset()
+}
+
 // RoutedLatency returns the publish→delivery latency histogram of
 // normally routed deliveries.
 func (t *DeliveryTracker) RoutedLatency() *LatencyHistogram { return t.routedLatency }

@@ -66,6 +66,12 @@ type Config struct {
 
 // Node is one dispatching server. All methods must be called from the
 // simulation goroutine (the kernel is single-threaded).
+//
+// Subscription state is held twice: bitsets (localSet, tableSet) plus
+// a dense per-pattern direction table answer the per-event questions
+// on the routing path without map probes, while sorted lists and spill
+// maps keep exact semantics for pattern identifiers outside the bitset
+// range (none occur in the paper's Π=70 universe).
 type Node struct {
 	id  ident.NodeID
 	k   *sim.Kernel
@@ -73,9 +79,17 @@ type Node struct {
 	cfg Config
 
 	neighbors []ident.NodeID
-	local     map[ident.PatternID]bool
-	localList []ident.PatternID // sorted; kept in sync with local
-	table     map[ident.PatternID][]ident.NodeID
+
+	localSet  ident.PatternSet
+	localBig  map[ident.PatternID]bool // out-of-range local subs; nil when unused
+	localList []ident.PatternID        // sorted; authoritative local set
+
+	// tableDense[p] holds the neighbors with remote interest in the
+	// in-range pattern p; tableSet mirrors which rows are non-empty so
+	// "any interest in p?" and table iteration are bit operations.
+	tableDense [][]ident.NodeID
+	tableSet   ident.PatternSet
+	tableBig   map[ident.PatternID][]ident.NodeID // out-of-range spill; nil when unused
 
 	// known caches KnownPatterns between subscription-state changes:
 	// the push gossiper calls it every round, the table changes only on
@@ -91,6 +105,10 @@ type Node struct {
 	received *ident.EventIDSet
 
 	recovery Recovery
+
+	// pool, when non-nil, is where Release returns this node for reuse
+	// by a later run on the same goroutine.
+	pool *NodePool
 }
 
 var _ network.Handler = (*Node)(nil)
@@ -98,16 +116,15 @@ var _ network.Handler = (*Node)(nil)
 // NewNode builds a dispatcher with the given initial neighbor set.
 func NewNode(id ident.NodeID, k *sim.Kernel, net *network.Network, neighbors []ident.NodeID, cfg Config) *Node {
 	n := &Node{
-		id:        id,
-		k:         k,
-		net:       net,
-		cfg:       cfg,
-		neighbors: append([]ident.NodeID(nil), neighbors...),
-		local:     make(map[ident.PatternID]bool),
-		table:     make(map[ident.PatternID][]ident.NodeID),
-		patSeq:    make(map[ident.PatternID]uint32),
-		received:  ident.NewEventIDSet(256),
-		recovery:  NopRecovery{},
+		id:         id,
+		k:          k,
+		net:        net,
+		cfg:        cfg,
+		neighbors:  append([]ident.NodeID(nil), neighbors...),
+		tableDense: make([][]ident.NodeID, ident.PatternSetCap),
+		patSeq:     make(map[ident.PatternID]uint32),
+		received:   ident.NewEventIDSet(256),
+		recovery:   NopRecovery{},
 	}
 	net.Register(id, n)
 	return n
@@ -137,17 +154,98 @@ func (n *Node) Neighbors() []ident.NodeID { return n.neighbors }
 // slice is owned by the node and must not be mutated.
 func (n *Node) LocalPatterns() []ident.PatternID { return n.localList }
 
+// LocalPatternSet returns the bitset of in-range local subscriptions.
+// exact is false when some local pattern is outside the bitset range,
+// in which case the set understates local interest.
+func (n *Node) LocalPatternSet() (s ident.PatternSet, exact bool) {
+	return n.localSet, n.localBig == nil
+}
+
 // IsLocal reports whether p is locally subscribed.
-func (n *Node) IsLocal(p ident.PatternID) bool { return n.local[p] }
+func (n *Node) IsLocal(p ident.PatternID) bool {
+	if ident.PatternInSetRange(p) {
+		return n.localSet.Has(p)
+	}
+	return n.localBig[p]
+}
 
 // LocalMatch reports whether the content matches a local subscription.
 func (n *Node) LocalMatch(c matching.Content) bool {
 	for _, p := range c {
-		if n.local[p] {
+		if n.localSet.Has(p) {
+			return true
+		}
+	}
+	if n.localBig == nil {
+		return false
+	}
+	for _, p := range c {
+		if n.localBig[p] {
 			return true
 		}
 	}
 	return false
+}
+
+// setLocal records p as locally subscribed; reports whether it was new.
+func (n *Node) setLocal(p ident.PatternID) bool {
+	if n.IsLocal(p) {
+		return false
+	}
+	if !n.localSet.Add(p) {
+		if n.localBig == nil {
+			n.localBig = make(map[ident.PatternID]bool)
+		}
+		n.localBig[p] = true
+	}
+	n.localList = insertSorted(n.localList, p)
+	return true
+}
+
+// clearLocal removes p from the local subscriptions; reports whether it
+// was present.
+func (n *Node) clearLocal(p ident.PatternID) bool {
+	if !n.IsLocal(p) {
+		return false
+	}
+	if ident.PatternInSetRange(p) {
+		n.localSet.Remove(p)
+	} else {
+		delete(n.localBig, p)
+	}
+	n.localList = removeSorted(n.localList, p)
+	return true
+}
+
+// dirs returns the neighbors with remote interest in p. The slice is
+// owned by the node and must not be mutated.
+func (n *Node) dirs(p ident.PatternID) []ident.NodeID {
+	if ident.PatternInSetRange(p) {
+		return n.tableDense[p]
+	}
+	return n.tableBig[p]
+}
+
+// setDirs replaces the interest directions for p, keeping tableSet in
+// sync for in-range patterns.
+func (n *Node) setDirs(p ident.PatternID, d []ident.NodeID) {
+	if ident.PatternInSetRange(p) {
+		n.tableDense[p] = d
+		if len(d) > 0 {
+			n.tableSet.Add(p)
+		} else {
+			n.tableSet.Remove(p)
+		}
+		return
+	}
+	if len(d) == 0 {
+		delete(n.tableBig, p)
+		return
+	}
+	if n.tableBig == nil {
+		n.tableBig = make(map[ident.PatternID][]ident.NodeID)
+	}
+	n.tableBig[p] = d
 }
 
 // KnownPatterns returns every pattern with local or remote interest,
@@ -156,27 +254,33 @@ func (n *Node) LocalMatch(c matching.Content) bool {
 // after subscription state changed; callers must not mutate it.
 func (n *Node) KnownPatterns() []ident.PatternID {
 	if n.known == nil {
-		out := make([]ident.PatternID, 0, len(n.table)+len(n.localList))
-		out = append(out, n.localList...)
-		for p, dirs := range n.table {
-			if len(dirs) > 0 && !n.local[p] {
+		union := n.localSet.Union(n.tableSet)
+		out := make([]ident.PatternID, 0, union.Len()+len(n.localBig)+len(n.tableBig))
+		out = union.AppendTo(out) // ascending == sorted
+		if n.localBig != nil || n.tableBig != nil {
+			for p := range n.localBig {
 				out = append(out, p)
 			}
+			for p := range n.tableBig {
+				if !n.localBig[p] {
+					out = append(out, p)
+				}
+			}
+			slices.Sort(out)
 		}
-		slices.Sort(out)
 		n.known = out
 	}
 	return n.known
 }
 
 // invalidateKnown marks the KnownPatterns cache stale. Every mutation
-// of local or table goes through it.
+// of the local set or the interest table goes through it.
 func (n *Node) invalidateKnown() { n.known = nil }
 
 // InterestDirections returns the neighbors with (remote) interest in p.
 // The slice is owned by the node and must not be mutated.
 func (n *Node) InterestDirections(p ident.PatternID) []ident.NodeID {
-	return n.table[p]
+	return n.dirs(p)
 }
 
 // HasReceived reports whether the event was already delivered locally
@@ -206,7 +310,7 @@ func (n *Node) Publish(content matching.Content, payload uint16) *wire.Event {
 		PayloadLen:  payload,
 	}
 	for _, p := range content {
-		if n.local[p] || len(n.table[p]) > 0 {
+		if n.IsLocal(p) || len(n.dirs(p)) > 0 {
 			n.patSeq[p]++
 			ev.Tags = append(ev.Tags, ident.PatternSeq{Pattern: p, Seq: n.patSeq[p]})
 		}
@@ -228,7 +332,7 @@ func (n *Node) Publish(content matching.Content, payload uint16) *wire.Event {
 func (n *Node) forward(ev *wire.Event, from ident.NodeID) {
 	sent := n.fwdScratch[:0]
 	for _, p := range ev.Content {
-		for _, nb := range n.table[p] {
+		for _, nb := range n.dirs(p) {
 			if nb == from || slices.Contains(sent, nb) {
 				continue
 			}
@@ -294,10 +398,10 @@ func (n *Node) DeliverRecovered(ev *wire.Event) bool {
 // pattern p toward neighbor nb: true when there is local interest or
 // interest from any direction other than nb.
 func (n *Node) advertisedTo(p ident.PatternID, nb ident.NodeID) bool {
-	if n.local[p] {
+	if n.IsLocal(p) {
 		return true
 	}
-	for _, d := range n.table[p] {
+	for _, d := range n.dirs(p) {
 		if d != nb {
 			return true
 		}
@@ -307,7 +411,7 @@ func (n *Node) advertisedTo(p ident.PatternID, nb ident.NodeID) bool {
 
 // Subscribe registers a local subscription and propagates it.
 func (n *Node) Subscribe(p ident.PatternID) {
-	if n.local[p] {
+	if n.IsLocal(p) {
 		return
 	}
 	for _, nb := range n.neighbors {
@@ -315,18 +419,15 @@ func (n *Node) Subscribe(p ident.PatternID) {
 			n.SendTree(nb, &wire.Subscribe{Pattern: p})
 		}
 	}
-	n.local[p] = true
-	n.localList = insertSorted(n.localList, p)
+	n.setLocal(p)
 	n.invalidateKnown()
 }
 
 // Unsubscribe removes a local subscription and propagates the removal.
 func (n *Node) Unsubscribe(p ident.PatternID) {
-	if !n.local[p] {
+	if !n.clearLocal(p) {
 		return
 	}
-	delete(n.local, p)
-	n.localList = removeSorted(n.localList, p)
 	n.invalidateKnown()
 	for _, nb := range n.neighbors {
 		if !n.advertisedTo(p, nb) {
@@ -341,10 +442,7 @@ func (n *Node) Unsubscribe(p ident.PatternID) {
 // subscription information, Sec. IV-A).
 func (n *Node) SetLocalInstant(ps []ident.PatternID) {
 	for _, p := range ps {
-		if !n.local[p] {
-			n.local[p] = true
-			n.localList = insertSorted(n.localList, p)
-		}
+		n.setLocal(p)
 	}
 	n.invalidateKnown()
 }
@@ -352,20 +450,22 @@ func (n *Node) SetLocalInstant(ps []ident.PatternID) {
 // SetTableInstant installs a remote-interest direction without
 // propagation (scenario setup only).
 func (n *Node) SetTableInstant(p ident.PatternID, dir ident.NodeID) {
-	for _, d := range n.table[p] {
-		if d == dir {
+	d := n.dirs(p)
+	for _, x := range d {
+		if x == dir {
 			return
 		}
 	}
-	n.table[p] = append(n.table[p], dir)
+	n.setDirs(p, append(d, dir))
 	n.invalidateKnown()
 }
 
 // addInterest records that neighbor from is interested in p and
 // re-propagates the subscription where it is news.
 func (n *Node) addInterest(p ident.PatternID, from ident.NodeID) {
-	for _, d := range n.table[p] {
-		if d == from {
+	d := n.dirs(p)
+	for _, x := range d {
+		if x == from {
 			return // duplicate advertisement
 		}
 	}
@@ -374,18 +474,18 @@ func (n *Node) addInterest(p ident.PatternID, from ident.NodeID) {
 			n.SendTree(nb, &wire.Subscribe{Pattern: p})
 		}
 	}
-	n.table[p] = append(n.table[p], from)
+	n.setDirs(p, append(d, from))
 	n.invalidateKnown()
 }
 
 // removeInterest drops neighbor from's interest in p and propagates
 // unsubscriptions where no interest remains.
 func (n *Node) removeInterest(p ident.PatternID, from ident.NodeID) {
-	dirs := n.table[p]
+	d := n.dirs(p)
 	found := false
-	for i, d := range dirs {
-		if d == from {
-			n.table[p] = append(dirs[:i], dirs[i+1:]...)
+	for i, x := range d {
+		if x == from {
+			n.setDirs(p, append(d[:i], d[i+1:]...))
 			found = true
 			break
 		}
@@ -394,9 +494,6 @@ func (n *Node) removeInterest(p ident.PatternID, from ident.NodeID) {
 		return
 	}
 	n.invalidateKnown()
-	if len(n.table[p]) == 0 {
-		delete(n.table, p)
-	}
 	for _, nb := range n.neighbors {
 		if nb != from && !n.advertisedTo(p, nb) {
 			n.SendTree(nb, &wire.Unsubscribe{Pattern: p})
@@ -410,17 +507,17 @@ func (n *Node) removeInterest(p ident.PatternID, from ident.NodeID) {
 func (n *Node) OnLinkDown(nbr ident.NodeID) {
 	n.neighbors = removeNodeID(n.neighbors, nbr)
 	var stale []ident.PatternID
-	for p, dirs := range n.table {
-		for _, d := range dirs {
-			if d == nbr {
-				stale = append(stale, p)
-				break
-			}
-		}
+	stale = n.tableSet.AppendTo(stale) // ascending == the sorted order used before
+	for p := range n.tableBig {
+		stale = append(stale, p)
 	}
-	slices.Sort(stale)
+	if len(n.tableBig) > 0 {
+		slices.Sort(stale)
+	}
 	for _, p := range stale {
-		n.removeInterest(p, nbr)
+		if slices.Contains(n.dirs(p), nbr) {
+			n.removeInterest(p, nbr)
+		}
 	}
 }
 

@@ -174,13 +174,86 @@ type Result struct {
 	KernelEvents uint64
 }
 
+// runState is the per-worker reusable part of a run: the simulation
+// kernel (whose event slab, heap, and free-list capacity survive
+// Reset), the engine scratch pool, the dispatcher pool, the delivery
+// tracker, and the receiver-count stamp array. One goroutine owns a
+// runState at a time; Kernel.Reset bumps every slot generation and the
+// pools hand back fully cleared state, so reuse cannot alias state
+// between runs and every run stays deterministic under its seed. The
+// zero value is ready.
+type runState struct {
+	k       *sim.Kernel
+	pool    core.ScratchPool
+	nodes   pubsub.NodePool
+	tracker *metrics.DeliveryTracker
+	stamp   []uint32 // countReceivers dedup marks, indexed by NodeID
+	gen     uint32   // current stamp generation
+}
+
+// kernel returns a kernel seeded with seed, recycling the previous
+// run's allocation when there is one.
+func (st *runState) kernel(seed int64) *sim.Kernel {
+	if st.k == nil {
+		st.k = sim.New(seed)
+	} else {
+		st.k.Reset(seed)
+	}
+	return st.k
+}
+
+// countReceivers returns how many dispatchers other than the publisher
+// subscribe to at least one pattern of the content. A node is counted
+// once per call via the stamp array — no per-publish map.
+func (st *runState) countReceivers(subscribersOf map[ident.PatternID][]ident.NodeID, c matching.Content, publisher ident.NodeID, n int) int {
+	if len(st.stamp) < n {
+		st.stamp = append(st.stamp, make([]uint32, n-len(st.stamp))...)
+	}
+	st.gen++
+	if st.gen == 0 { // generation wrap: old marks could collide
+		clear(st.stamp)
+		st.gen = 1
+	}
+	count := 0
+	for _, p := range c {
+		for _, s := range subscribersOf[p] {
+			if s != publisher && st.stamp[s] != st.gen {
+				st.stamp[s] = st.gen
+				count++
+			}
+		}
+	}
+	return count
+}
+
 // Run executes one simulation.
 func Run(p Params) (Result, error) {
+	var st runState
+	return runWith(p, &st)
+}
+
+// Runner executes simulations sequentially while reusing run state
+// (kernel slab, engine scratch, stamp arrays) across them — what each
+// RunAll worker does internally. Results are identical to Run: state
+// reuse never leaks between runs (kernel Reset bumps every slot
+// generation) and each run is deterministic under its seed. A Runner
+// must not be shared between goroutines. The zero value is ready.
+type Runner struct {
+	st runState
+}
+
+// Run executes one simulation on the reusable state.
+func (r *Runner) Run(p Params) (Result, error) {
+	return runWith(p, &r.st)
+}
+
+// runWith executes one simulation on the given reusable state.
+func runWith(p Params, st *runState) (Result, error) {
 	p, err := p.normalize()
 	if err != nil {
 		return Result{}, err
 	}
-	k := sim.New(p.Seed)
+	k := st.kernel(p.Seed)
 	topoRNG := k.NewStream(0x746f706f) // "topo"
 	topo, err := topology.New(p.N, p.MaxDegree, topoRNG)
 	if err != nil {
@@ -193,7 +266,12 @@ func Run(p Params) (Result, error) {
 		obs = network.MultiObserver(traffic, &traceObserver{ring: p.Trace, now: k.Now})
 	}
 	nw := network.New(k, topo, p.Network, obs)
-	tracker := metrics.NewDeliveryTracker(k.Now)
+	if st.tracker == nil {
+		st.tracker = metrics.NewDeliveryTracker(k.Now)
+	} else {
+		st.tracker.Reset(k.Now)
+	}
+	tracker := st.tracker
 
 	onDeliver := tracker.OnDeliver
 	if p.Trace != nil {
@@ -214,7 +292,7 @@ func Run(p Params) (Result, error) {
 	nodes := make([]*pubsub.Node, p.N)
 	for i := range nodes {
 		id := ident.NodeID(i)
-		nodes[i] = pubsub.NewNode(id, k, nw, topo.Neighbors(id), pcfg)
+		nodes[i] = pubsub.NewNodeIn(id, k, nw, topo.Neighbors(id), pcfg, &st.nodes)
 	}
 
 	// Stable subscription state (paper Sec. IV-A): πmax distinct
@@ -239,7 +317,7 @@ func Run(p Params) (Result, error) {
 	engines := make([]*core.Engine, 0, p.N)
 	if p.Algorithm != core.NoRecovery {
 		for _, n := range nodes {
-			e, err := core.NewEngine(n, p.Gossip)
+			e, err := core.NewEngineIn(n, p.Gossip, &st.pool)
 			if err != nil {
 				return Result{}, fmt.Errorf("scenario: building engine: %w", err)
 			}
@@ -262,7 +340,7 @@ func Run(p Params) (Result, error) {
 			}
 			publish = func() {
 				content := u.RandomContent(wlRNG)
-				expected := countReceivers(subscribersOf, content, node.ID())
+				expected := st.countReceivers(subscribersOf, content, node.ID(), p.N)
 				ev := node.Publish(content, p.PayloadBytes)
 				tracker.OnPublish(ev.ID, expected, k.Now())
 				if p.Trace != nil {
@@ -337,6 +415,10 @@ func Run(p Params) (Result, error) {
 		res.EngineStats.DuplicateRecoveries += s.DuplicateRecoveries
 		res.EngineStats.RequestsSent += s.RequestsSent
 		res.EngineStats.RetransmitsServed += s.RetransmitsServed
+		e.Release()
+	}
+	for _, n := range nodes {
+		n.Release()
 	}
 	return res, nil
 }
@@ -383,18 +465,4 @@ func eventOf(msg wire.Message) ident.EventID {
 		return ev.ID
 	}
 	return ident.EventID{}
-}
-
-// countReceivers returns how many dispatchers other than the publisher
-// subscribe to at least one pattern of the content.
-func countReceivers(subscribersOf map[ident.PatternID][]ident.NodeID, c matching.Content, publisher ident.NodeID) int {
-	seen := make(map[ident.NodeID]bool, 8)
-	for _, p := range c {
-		for _, s := range subscribersOf[p] {
-			if s != publisher {
-				seen[s] = true
-			}
-		}
-	}
-	return len(seen)
 }

@@ -1,6 +1,6 @@
 // Package sim implements the discrete-event simulation kernel that
 // replaces OMNeT++ in the paper's evaluation: a virtual clock, a
-// binary-heap future-event set with deterministic tie-breaking, and
+// 4-ary-heap future-event set with deterministic tie-breaking, and
 // seeded random-number streams.
 //
 // The kernel is single-threaded and fully deterministic: two runs with
@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,72 +24,62 @@ type Time = time.Duration
 // Handler is a callback executed at its scheduled virtual time.
 type Handler func()
 
-// entry is one element of the future-event set. Entries are pooled on
-// the kernel's free list: after an event fires (or a cancelled entry is
-// drained) the entry is recycled into the next At/After call instead of
-// being garbage. gen disambiguates recycled entries so that a stale
-// Canceler held across the recycle boundary cannot cancel the wrong
-// event (ABA).
+// entry is the slab-resident state of one scheduled event. Entries
+// live in Kernel.slab, addressed by slot index; popped or drained
+// slots are recycled through the free list instead of becoming
+// garbage. gen disambiguates recycled slots so that a stale Canceler
+// held across the recycle boundary cannot cancel the wrong event
+// (ABA). The ordering keys (at, seq) live in the heap nodes, not
+// here, so sift comparisons never chase into the slab.
 type entry struct {
+	fn    Handler
+	gen   uint64 // bumped on recycle; must match Canceler.gen
+	sched bool   // still in the heap (not yet popped)
+	dead  bool   // cancelled
+}
+
+// heapNode is one element of the future-event set, ordered by
+// (at, seq). The keys are stored inline so the 4-ary sift loops
+// compare adjacent memory instead of dereferencing slab entries.
+type heapNode struct {
 	at   Time
 	seq  uint64 // insertion order; breaks ties deterministically
-	fn   Handler
-	gen  uint64 // bumped on recycle; must match Canceler.gen
-	dead bool   // cancelled
-	idx  int    // heap index, -1 when popped
+	slot int32  // index into Kernel.slab
 }
 
-// eventHeap orders entries by (time, insertion sequence).
-type eventHeap []*entry
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports the strict (at, seq) order. seq is unique per
+// scheduled event, so this is a total order and any heap pops events
+// in exactly insertion order among equal timestamps — the same
+// tie-breaking the binary container/heap implementation had.
+func (n heapNode) before(m heapNode) bool {
+	if n.at != m.at {
+		return n.at < m.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*entry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return n.seq < m.seq
 }
 
 // Canceler cancels a scheduled event. Cancelling an event that already
 // fired (or was already cancelled) is a no-op, even when the kernel has
-// since recycled the underlying entry for a different event.
+// since recycled the underlying slot for a different event. The zero
+// Canceler is valid and cancels nothing.
 type Canceler struct {
-	k   *Kernel
-	e   *entry
-	gen uint64
+	k    *Kernel
+	slot int32
+	gen  uint64
 }
 
 // Cancel prevents the associated handler from running.
 func (c Canceler) Cancel() {
-	if c.e == nil || c.e.gen != c.gen || c.e.dead {
+	if c.k == nil {
 		return
 	}
-	c.e.dead = true
-	c.e.fn = nil // release the closure now; the entry drains lazily
-	if c.e.idx >= 0 {
+	e := &c.k.slab[c.slot]
+	if e.gen != c.gen || e.dead {
+		return
+	}
+	e.dead = true
+	e.fn = nil // release the closure now; the slot drains lazily
+	if e.sched {
 		c.k.dead++
 		c.k.maybeSweep()
 	}
@@ -102,9 +91,10 @@ func (c Canceler) Cancel() {
 type Kernel struct {
 	now       Time
 	seq       uint64
-	queue     eventHeap
-	free      []*entry // recycled entries for At/After
-	dead      int      // cancelled entries still in queue
+	heap      []heapNode // 4-ary min-heap over (at, seq)
+	slab      []entry    // value storage, addressed by heapNode.slot
+	free      []int32    // recycled slot indexes for At/After
+	dead      int        // cancelled entries still in heap
 	rng       *rand.Rand
 	seed      int64
 	processed uint64
@@ -117,6 +107,32 @@ func New(seed int64) *Kernel {
 		rng:  rand.New(rand.NewSource(seed)),
 		seed: seed,
 	}
+}
+
+// Reset returns the kernel to the state New(seed) would produce while
+// keeping the slab, heap, and free-list capacity. A parameter sweep
+// reuses one kernel per worker across runs, so later runs skip the
+// slab warm-up of earlier ones. Every slot generation is bumped, so
+// Cancelers held across a Reset are invalidated rather than aliased.
+func (k *Kernel) Reset(seed int64) {
+	for i := range k.slab {
+		k.slab[i].gen++
+		k.slab[i].fn = nil
+		k.slab[i].sched = false
+		k.slab[i].dead = false
+	}
+	k.free = k.free[:0]
+	for i := len(k.slab) - 1; i >= 0; i-- {
+		k.free = append(k.free, int32(i))
+	}
+	k.heap = k.heap[:0]
+	k.now = 0
+	k.seq = 0
+	k.dead = 0
+	k.processed = 0
+	k.stopped = false
+	k.seed = seed
+	k.rng = rand.New(rand.NewSource(seed))
 }
 
 // Now returns the current virtual time.
@@ -147,7 +163,7 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled entries not yet drained).
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // At schedules fn to run at virtual time at. Scheduling in the past
 // panics: it is always a bug in the caller.
@@ -155,53 +171,119 @@ func (k *Kernel) At(at Time, fn Handler) Canceler {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
-	var e *entry
+	var slot int32
 	if n := len(k.free); n > 0 {
-		e = k.free[n-1]
-		k.free[n-1] = nil
+		slot = k.free[n-1]
 		k.free = k.free[:n-1]
 	} else {
-		e = new(entry)
+		k.slab = append(k.slab, entry{})
+		slot = int32(len(k.slab) - 1)
 	}
-	e.at, e.seq, e.fn, e.dead = at, k.seq, fn, false
+	e := &k.slab[slot]
+	e.fn, e.sched, e.dead = fn, true, false
+	nd := heapNode{at: at, seq: k.seq, slot: slot}
 	k.seq++
-	heap.Push(&k.queue, e)
-	return Canceler{k: k, e: e, gen: e.gen}
+	k.heap = append(k.heap, nd)
+	k.siftUp(len(k.heap)-1, nd)
+	return Canceler{k: k, slot: slot, gen: e.gen}
 }
 
-// recycle returns a popped entry to the free list, invalidating any
+// siftUp moves nd (conceptually at index i) toward the root, walking a
+// hole upward and writing each displaced parent once. The 4-ary layout
+// puts the parent of i at (i-1)/4. Slot state is untouched: the slab
+// only records whether an event is scheduled, not where, so sift moves
+// are pure heap-array writes.
+func (k *Kernel) siftUp(i int, nd heapNode) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := k.heap[parent]
+		if !nd.before(p) {
+			break
+		}
+		k.heap[i] = p
+		i = parent
+	}
+	k.heap[i] = nd
+}
+
+// siftDown moves nd (conceptually at index i) toward the leaves. The
+// children of i are 4i+1 .. 4i+4; the minimum child is found with at
+// most three comparisons, and nd descends while it is larger.
+func (k *Kernel) siftDown(i int, nd heapNode) {
+	n := len(k.heap)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if k.heap[j].before(k.heap[min]) {
+				min = j
+			}
+		}
+		m := k.heap[min]
+		if !m.before(nd) {
+			break
+		}
+		k.heap[i] = m
+		i = min
+	}
+	k.heap[i] = nd
+}
+
+// popMin removes and returns the root node. The caller owns the
+// returned node's slot; it is marked unscheduled.
+func (k *Kernel) popMin() heapNode {
+	top := k.heap[0]
+	k.slab[top.slot].sched = false
+	n := len(k.heap) - 1
+	last := k.heap[n]
+	k.heap = k.heap[:n]
+	if n > 0 {
+		k.siftDown(0, last)
+	}
+	return top
+}
+
+// recycle returns a popped slot to the free list, invalidating any
 // outstanding Cancelers for it.
-func (k *Kernel) recycle(e *entry) {
+func (k *Kernel) recycle(slot int32) {
+	e := &k.slab[slot]
 	e.gen++
 	e.fn = nil
-	k.free = append(k.free, e)
+	k.free = append(k.free, slot)
 }
 
 // maybeSweep drains cancelled entries in bulk once they dominate the
 // future-event set, so mass cancellations (e.g. tearing down many
 // timers) do not pin memory until virtual time reaches them. The O(n)
 // rebuild is amortized: it runs at most once per n/2 cancellations.
+// Floyd's bottom-up heapify restores the heap property; pop order is
+// unaffected because (at, seq) is a total order.
 func (k *Kernel) maybeSweep() {
-	if k.dead < 64 || k.dead*2 <= len(k.queue) {
+	if k.dead < 64 || k.dead*2 <= len(k.heap) {
 		return
 	}
-	live := k.queue[:0]
-	for _, e := range k.queue {
-		if e.dead {
-			e.idx = -1
-			k.recycle(e)
+	live := k.heap[:0]
+	for _, nd := range k.heap {
+		if k.slab[nd.slot].dead {
+			k.slab[nd.slot].sched = false
+			k.recycle(nd.slot)
 			continue
 		}
-		live = append(live, e)
+		live = append(live, nd)
 	}
-	for i := len(live); i < len(k.queue); i++ {
-		k.queue[i] = nil
+	k.heap = live
+	if n := len(live); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			k.siftDown(i, k.heap[i])
+		}
 	}
-	k.queue = live
-	for i, e := range k.queue {
-		e.idx = i
-	}
-	heap.Init(&k.queue)
 	k.dead = 0
 }
 
@@ -224,20 +306,20 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Run(until Time) uint64 {
 	var n uint64
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		next := k.queue[0]
-		if next.at > until {
+	for len(k.heap) > 0 && !k.stopped {
+		if k.heap[0].at > until {
 			break
 		}
-		heap.Pop(&k.queue)
-		if next.dead {
+		next := k.popMin()
+		e := &k.slab[next.slot]
+		if e.dead {
 			k.dead--
-			k.recycle(next)
+			k.recycle(next.slot)
 			continue
 		}
 		k.now = next.at
-		fn := next.fn
-		k.recycle(next)
+		fn := e.fn
+		k.recycle(next.slot)
 		fn()
 		n++
 		k.processed++
@@ -255,17 +337,17 @@ func (k *Kernel) Run(until Time) uint64 {
 func (k *Kernel) RunAll() uint64 {
 	var n uint64
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		next := k.queue[0]
-		heap.Pop(&k.queue)
-		if next.dead {
+	for len(k.heap) > 0 && !k.stopped {
+		next := k.popMin()
+		e := &k.slab[next.slot]
+		if e.dead {
 			k.dead--
-			k.recycle(next)
+			k.recycle(next.slot)
 			continue
 		}
 		k.now = next.at
-		fn := next.fn
-		k.recycle(next)
+		fn := e.fn
+		k.recycle(next.slot)
 		fn()
 		n++
 		k.processed++
