@@ -34,12 +34,18 @@ package epidemic
 import (
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ident"
 	"repro/internal/matching"
+	"repro/internal/network"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
+
+// Time is simulated time (an alias of time.Duration).
+type Time = sim.Time
 
 // Trace is a bounded in-memory ring of protocol records (publishes,
 // deliveries, recoveries, transmissions, losses, reconfigurations).
@@ -61,6 +67,8 @@ const (
 	TraceLoss     = trace.Loss
 	TraceLinkDown = trace.LinkDown
 	TraceLinkUp   = trace.LinkUp
+	TraceNodeDown = trace.NodeDown
+	TraceNodeUp   = trace.NodeUp
 )
 
 // NewTrace returns a trace ring retaining the last capacity records.
@@ -149,6 +157,43 @@ func DefaultParams() Params { return scenario.DefaultParams() }
 // DefaultGossipConfig returns the paper's default gossip parameters for
 // the given algorithm.
 func DefaultGossipConfig(a Algorithm) GossipConfig { return core.DefaultConfig(a) }
+
+// FaultPlan is a deterministic, seed-replayable schedule of fault
+// actions (crashes, restarts, link flaps, partitions, loss-model
+// switches) executed on the simulation clock. Install one via
+// Params.FaultPlan.
+type FaultPlan = faults.Plan
+
+// FaultAction is one scheduled fault.
+type FaultAction = faults.Action
+
+// FaultKind classifies fault actions.
+type FaultKind = faults.Kind
+
+// The fault kinds a plan may schedule.
+const (
+	FaultNodeCrash    = faults.NodeCrash
+	FaultNodeRestart  = faults.NodeRestart
+	FaultLinkFlap     = faults.LinkFlap
+	FaultPartition    = faults.Partition
+	FaultSetLossModel = faults.SetLossModel
+)
+
+// ChurnPlan derives a self-healing churn schedule from a seed: Poisson
+// crash arrivals at the given systemwide rate, exponential downtimes
+// around meanDowntime, never crashing an already-down node.
+func ChurnPlan(seed int64, n int, rate float64, duration, meanDowntime Time) *FaultPlan {
+	return faults.ChurnPlan(seed, n, rate, duration, meanDowntime)
+}
+
+// LossModel decides per-transmission drops; install a custom one via
+// Params.NewLossModel. Bernoulli (the default, the paper's ε) drops
+// independently; GilbertElliott drops in bursts driven by a per-link
+// two-state Markov chain.
+type (
+	LossModel            = network.LossModel
+	GilbertElliottConfig = network.GilbertElliottConfig
+)
 
 // Run executes one simulation, deterministically under p.Seed.
 func Run(p Params) (Result, error) { return scenario.Run(p) }

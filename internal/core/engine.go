@@ -194,10 +194,15 @@ func (e *Engine) Start() {
 	e.ticker = sim.NewJitteredTicker(e.k, e.cfg.GossipInterval, e.rng, e.round)
 }
 
-// Stop cancels future gossip rounds.
+// Stop cancels future gossip rounds. A stopped engine can be started
+// again (fault injection pauses gossip across a dispatcher's downtime);
+// the restart begins a fresh ticker, so an adaptively adjusted interval
+// resets to the configured one — like a process that lost its volatile
+// tuning state.
 func (e *Engine) Stop() {
 	if e.ticker != nil {
 		e.ticker.Stop()
+		e.ticker = nil
 	}
 }
 

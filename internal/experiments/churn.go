@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/network"
+	"repro/internal/scenario"
+)
+
+// This file contains the robustness extensions: the paper evaluates
+// link loss and single-link reconfigurations, but never node churn or
+// bursty (correlated) loss. xChurn sweeps a deterministic crash/restart
+// plan across all five algorithms; xBurstLoss compares the default
+// Bernoulli model against a Gilbert–Elliott chain calibrated to the
+// same average loss rate.
+
+// xChurn sweeps the node churn rate (crashes per second across the
+// whole system; every crash self-heals after an exponentially
+// distributed downtime) and plots the delivery rate of every
+// algorithm. The fault plan is derived from the run seed, so the
+// figure is exactly reproducible.
+func xChurn(opt Options) ([]Figure, error) {
+	rates := []float64{0, 0.25, 0.5, 1, 2}
+	if opt.Quick {
+		rates = []float64{0, 1}
+	}
+	const meanDown = 500 * time.Millisecond
+	p0 := base(opt, 10*time.Second)
+	s := sweep{
+		xs:         rates,
+		algorithms: deliveryAlgorithms(opt),
+		configure: func(p *scenario.Params, x float64) {
+			if x > 0 {
+				p.FaultPlan = faults.ChurnPlan(p.Seed, p.N, x, p.Duration, meanDown)
+			}
+		},
+		measures: []func(scenario.Result) float64{
+			func(r scenario.Result) float64 { return round2(r.DeliveryRate) },
+		},
+	}
+	series, err := s.runOne(p0)
+	if err != nil {
+		return nil, err
+	}
+	return []Figure{{
+		ID:     "x-churn",
+		Title:  "EXTENSION: delivery under node churn (ε=0.1, mean downtime 500ms)",
+		XLabel: "churn rate (crashes per second, systemwide)",
+		YLabel: "delivery rate",
+		Series: series,
+		Notes: []string{
+			"crashed dispatchers lose all learned state and rejoin at a random attach point",
+			"deliveries owed to down subscribers are excluded from Λ (they subscribed, but were dead)",
+		},
+	}}, nil
+}
+
+// xBurstLoss compares independent (Bernoulli) losses against bursty
+// Gilbert–Elliott losses at the same average rate: epidemic recovery
+// relies on temporal diversity, so correlated losses within a burst
+// should cost more deliveries than the same number of independent
+// ones — and pull variants (which retry across rounds) should close
+// the gap better than push.
+func xBurstLoss(opt Options) ([]Figure, error) {
+	eps := []float64{0.05, 0.1, 0.2}
+	algos := []core.Algorithm{core.Push, core.CombinedPull}
+	if opt.Quick {
+		eps = []float64{0.1}
+		algos = []core.Algorithm{core.CombinedPull}
+	}
+	// Mean burst length 1/PBadToGood = 4 transmissions; DropBad = 1 so
+	// the average loss is the stationary bad-state probability, and
+	// PGoodToBad is solved so AvgLoss() == ε exactly.
+	const pBadToGood = 0.25
+	geFor := func(e float64) network.GilbertElliottConfig {
+		return network.GilbertElliottConfig{
+			PGoodToBad: e * pBadToGood / (1 - e),
+			PBadToGood: pBadToGood,
+			DropGood:   0,
+			DropBad:    1,
+		}
+	}
+	p0 := base(opt, 10*time.Second)
+	fig := Figure{
+		ID:     "x-burstloss",
+		Title:  "EXTENSION: independent vs bursty loss at equal average rate",
+		XLabel: "average loss rate ε",
+		YLabel: "delivery rate",
+		Notes: []string{
+			"Gilbert–Elliott chain: mean burst 4 transmissions, calibrated so AvgLoss() = ε",
+		},
+	}
+	var params []scenario.Params
+	for _, a := range algos {
+		for _, bursty := range []bool{false, true} {
+			for _, e := range eps {
+				p := p0
+				p.Algorithm = a
+				p.Network.LossRate = e
+				p.Network.OOBLossRate = e
+				if bursty {
+					cfg := geFor(e)
+					p.NewLossModel = func(stream func(tag int64) *rand.Rand) network.LossModel {
+						return network.NewGilbertElliott(cfg, stream)
+					}
+				}
+				params = append(params, p)
+			}
+		}
+	}
+	results, err := scenario.RunAll(params)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, a := range algos {
+		for _, bursty := range []bool{false, true} {
+			kind := "bernoulli"
+			if bursty {
+				kind = "gilbert-elliott"
+			}
+			s := Series{Name: fmt.Sprintf("%s, %s", a, kind)}
+			for _, e := range eps {
+				s.Points = append(s.Points, Point{X: e, Y: round2(results[i].DeliveryRate)})
+				i++
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return []Figure{fig}, nil
+}

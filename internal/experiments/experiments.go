@@ -78,6 +78,8 @@ var generators = map[string]generator{
 	"x-adaptive":     {"EXTENSION: adaptive vs fixed gossip interval (after [14])", xAdaptive},
 	"x-latency":      {"EXTENSION: recovery latency percentiles per algorithm", xLatency},
 	"x-variance":     {"PAPER Sec. IV-A: delivery-rate spread across seeds", xVariance},
+	"x-churn":        {"EXTENSION: delivery under deterministic node churn", xChurn},
+	"x-burstloss":    {"EXTENSION: bursty (Gilbert–Elliott) vs independent loss", xBurstLoss},
 	"x-puregossip":   {"PAPER Sec. V: hpcast-style pure gossip vs tree + recovery", xPureGossip},
 }
 

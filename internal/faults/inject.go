@@ -1,0 +1,308 @@
+package faults
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/pubsub"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Gossiper is the per-dispatcher recovery engine hook the injector
+// pauses across downtime. core.Engine satisfies it.
+type Gossiper interface {
+	Stop()
+	Start()
+}
+
+// Config wires an Injector into one simulation run.
+type Config struct {
+	Kernel *sim.Kernel
+	Topo   *topology.Tree
+	Net    *network.Network
+	Nodes  []*pubsub.Node
+	// Engines holds the recovery engine of each dispatcher, indexed
+	// like Nodes; nil entries (or an empty slice, for NoRecovery runs)
+	// mean no engine to pause.
+	Engines []Gossiper
+	// RepairDelay is how long the injector waits before healing the
+	// survivors around a crash, and between retries when degree slots
+	// are temporarily exhausted.
+	RepairDelay sim.Time
+	// Trace, when non-nil, records NodeDown/NodeUp and the injector's
+	// LinkDown/LinkUp transitions.
+	Trace *trace.Ring
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	// Crashes and Restarts count completed node transitions.
+	Crashes, Restarts uint64
+	// LinkFlaps and Partitions count links cut by the respective kinds.
+	LinkFlaps, Partitions uint64
+	// LossModelSwitches counts SetLossModel actions applied.
+	LossModelSwitches uint64
+	// Skipped counts actions that could not apply: crash of an
+	// already-down node, restart of an up node, flap of an absent link,
+	// partition of disconnected endpoints.
+	Skipped uint64
+}
+
+// interval is one downtime span of a node; to < 0 marks still-down.
+type interval struct {
+	from, to sim.Time
+}
+
+// Injector executes a fault plan inside the simulation event loop.
+type Injector struct {
+	cfg  Config
+	rng  *rand.Rand
+	down []bool
+	hist [][]interval
+	st   Stats
+}
+
+// NewInjector builds an injector over one run's components. Its
+// randomness (attach points, healing links) comes from a dedicated
+// kernel stream, so fault execution never perturbs the draw sequences
+// of the workload, topology, or channel streams.
+func NewInjector(cfg Config) *Injector {
+	n := len(cfg.Nodes)
+	return &Injector{
+		cfg:  cfg,
+		rng:  cfg.Kernel.NewStream(0x6661756c), // "faul"
+		down: make([]bool, n),
+		hist: make([][]interval, n),
+	}
+}
+
+// Schedule validates the plan and registers every action with the
+// kernel. Call before Kernel.Run, at virtual time zero.
+func (in *Injector) Schedule(plan *Plan) error {
+	if plan == nil {
+		return nil
+	}
+	if err := plan.Validate(len(in.cfg.Nodes)); err != nil {
+		return err
+	}
+	for _, a := range plan.Actions {
+		a := a
+		in.cfg.Kernel.At(a.At, func() { in.apply(a) })
+	}
+	return nil
+}
+
+// Stats returns what the injector has done so far.
+func (in *Injector) Stats() Stats { return in.st }
+
+// IsDown reports whether the dispatcher is currently crashed.
+func (in *Injector) IsDown(v ident.NodeID) bool { return in.down[v] }
+
+// WasDownAt reports whether the dispatcher was down at virtual time t.
+func (in *Injector) WasDownAt(v ident.NodeID, t sim.Time) bool {
+	for _, iv := range in.hist[v] {
+		if t >= iv.from && (iv.to < 0 || t < iv.to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Downtime returns the cumulative dispatcher downtime up to end; spans
+// still open at end are counted up to end.
+func (in *Injector) Downtime(end sim.Time) sim.Time {
+	var total sim.Time
+	for _, ivs := range in.hist {
+		for _, iv := range ivs {
+			to := iv.to
+			if to < 0 || to > end {
+				to = end
+			}
+			if to > iv.from {
+				total += to - iv.from
+			}
+		}
+	}
+	return total
+}
+
+func (in *Injector) apply(a Action) {
+	switch a.Kind {
+	case NodeCrash:
+		in.crash(a.Node, a.Downtime)
+	case NodeRestart:
+		in.restart(a.Node)
+	case LinkFlap:
+		in.cut(a.A, a.B, a.Downtime, &in.st.LinkFlaps)
+	case Partition:
+		in.partition(a)
+	case SetLossModel:
+		in.cfg.Net.SetLossModel(a.NewModel(in.cfg.Kernel.NewStream))
+		in.st.LossModelSwitches++
+	}
+}
+
+func (in *Injector) engine(v ident.NodeID) Gossiper {
+	if int(v) < len(in.cfg.Engines) {
+		return in.cfg.Engines[v]
+	}
+	return nil
+}
+
+func (in *Injector) record(k trace.Kind, node, peer ident.NodeID) {
+	if in.cfg.Trace != nil {
+		in.cfg.Trace.Add(trace.Record{At: in.cfg.Kernel.Now(), Kind: k, Node: node, Peer: peer})
+	}
+}
+
+// crash takes dispatcher v down and, when downtime > 0, schedules its
+// restart. The survivors left disconnected by v's disappearance are
+// healed after RepairDelay.
+func (in *Injector) crash(v ident.NodeID, downtime sim.Time) {
+	if in.down[v] {
+		in.st.Skipped++
+		return
+	}
+	now := in.cfg.Kernel.Now()
+	in.down[v] = true
+	in.hist[v] = append(in.hist[v], interval{from: now, to: -1})
+	in.st.Crashes++
+	in.cfg.Net.SetNodeDown(v, true)
+	if e := in.engine(v); e != nil {
+		e.Stop()
+	}
+	removed := in.cfg.Topo.RemoveNode(v)
+	in.cfg.Nodes[v].OnNodeDown()
+	anchors := make([]ident.NodeID, 0, len(removed))
+	for _, l := range removed {
+		nb := l.Other(v)
+		in.cfg.Nodes[nb].OnLinkDown(v)
+		anchors = append(anchors, nb)
+	}
+	in.record(trace.NodeDown, v, ident.None)
+	if len(anchors) > 1 {
+		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.heal(anchors) })
+	}
+	if downtime > 0 {
+		in.cfg.Kernel.After(downtime, func() { in.restart(v) })
+	}
+}
+
+// heal merges the surviving components around a crash, retrying while
+// degree slots are exhausted by overlapping reconfigurations.
+func (in *Injector) heal(anchors []ident.NodeID) {
+	live := anchors[:0]
+	for _, a := range anchors {
+		if !in.down[a] {
+			live = append(live, a)
+		}
+	}
+	if len(live) < 2 {
+		return
+	}
+	added, err := in.cfg.Topo.ReconnectAround(live, in.IsDown, in.rng)
+	for _, l := range added {
+		in.cfg.Nodes[l.A].OnLinkUp(l.B)
+		in.cfg.Nodes[l.B].OnLinkUp(l.A)
+		in.record(trace.LinkUp, l.A, l.B)
+	}
+	if err != nil {
+		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.heal(live) })
+	}
+}
+
+// restart brings dispatcher v back up at a random degree-respecting
+// attach point. When no attach point exists (every live node is at its
+// degree limit), the node stays down and the restart retries after
+// RepairDelay — downtime accounting extends accordingly, exactly as a
+// real operator waiting out a full mesh would observe.
+func (in *Injector) restart(v ident.NodeID) {
+	if !in.down[v] {
+		in.st.Skipped++
+		return
+	}
+	var cand []ident.NodeID
+	for i := range in.cfg.Nodes {
+		w := ident.NodeID(i)
+		if w != v && !in.down[w] && in.cfg.Topo.Degree(w) < in.cfg.Topo.MaxDegree() {
+			cand = append(cand, w)
+		}
+	}
+	if len(cand) == 0 {
+		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.restart(v) })
+		return
+	}
+	w := cand[in.rng.Intn(len(cand))]
+	if err := in.cfg.Topo.AddLink(v, w); err != nil {
+		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.restart(v) })
+		return
+	}
+	now := in.cfg.Kernel.Now()
+	in.down[v] = false
+	ivs := in.hist[v]
+	ivs[len(ivs)-1].to = now
+	in.st.Restarts++
+	in.cfg.Net.SetNodeDown(v, false)
+	in.cfg.Nodes[v].OnNodeUp()
+	// Subscription-table resync over the new link: v re-advertises its
+	// local subscriptions; w re-advertises the component's interests.
+	in.cfg.Nodes[v].OnLinkUp(w)
+	in.cfg.Nodes[w].OnLinkUp(v)
+	if e := in.engine(v); e != nil {
+		e.Start()
+	}
+	in.record(trace.NodeUp, v, w)
+}
+
+// cut removes the link a-b and, when downtime > 0, schedules its
+// restoration. counter receives the cut on success.
+func (in *Injector) cut(a, b ident.NodeID, downtime sim.Time, counter *uint64) {
+	if err := in.cfg.Topo.RemoveLink(a, b); err != nil {
+		in.st.Skipped++
+		return
+	}
+	*counter++
+	in.cfg.Nodes[a].OnLinkDown(b)
+	in.cfg.Nodes[b].OnLinkDown(a)
+	in.record(trace.LinkDown, a, b)
+	if downtime > 0 {
+		in.cfg.Kernel.After(downtime, func() { in.restore(a, b) })
+	}
+}
+
+// restore re-adds a previously cut link. A cycle error means another
+// repair already reconnected the two sides — the outage is over and the
+// restore is dropped; degree exhaustion retries after RepairDelay. A
+// crashed endpoint also drops the restore: the node's own rejoin will
+// reconnect it.
+func (in *Injector) restore(a, b ident.NodeID) {
+	if in.down[a] || in.down[b] {
+		return
+	}
+	err := in.cfg.Topo.AddLink(a, b)
+	switch {
+	case err == nil:
+		in.cfg.Nodes[a].OnLinkUp(b)
+		in.cfg.Nodes[b].OnLinkUp(a)
+		in.record(trace.LinkUp, a, b)
+	case errors.Is(err, topology.ErrWouldCycle), errors.Is(err, topology.ErrLinkExists):
+		return
+	default:
+		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.restore(a, b) })
+	}
+}
+
+// partition cuts the middle link of the A–B path.
+func (in *Injector) partition(act Action) {
+	path := in.cfg.Topo.Path(act.A, act.B)
+	if len(path) < 2 {
+		in.st.Skipped++
+		return
+	}
+	mid := len(path) / 2
+	in.cut(path[mid-1], path[mid], act.Downtime, &in.st.Partitions)
+}

@@ -1,0 +1,206 @@
+package live
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/matching"
+	"repro/internal/wire"
+)
+
+// FuzzLiveEnvelope feeds arbitrary datagrams through the full receive
+// path: a hardened dispatcher must never panic on adversarial input —
+// malformed datagrams are counted and dropped.
+func FuzzLiveEnvelope(f *testing.F) {
+	n, err := NewNode(Config{ID: 1, Algorithm: core.CombinedPull})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { _ = n.Close() })
+	n.Subscribe(7)
+
+	ev := &wire.Event{
+		ID:      ident.EventID{Source: 2, Seq: 1},
+		Content: matching.Content{7},
+		Tags:    []ident.PatternSeq{{Pattern: 7, Seq: 1}},
+	}
+	valid := n.encodeEnvelope(nil, ev, false)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1]) // truncated payload
+	f.Add(valid[:3])            // truncated envelope
+	f.Add([]byte{1, 0, 0, 0, flagHeartbeat})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n.handleDatagram(data) // must not panic
+	})
+}
+
+func TestLiveFaultMalformedCounted(t *testing.T) {
+	n, err := NewNode(Config{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.handleDatagram([]byte{1, 2, 3})                   // short envelope
+	n.handleDatagram([]byte{1, 0, 0, 0, 0, 0xee, 0xbb}) // undecodable payload
+	n.handleDatagram([]byte{1, 0, 0, 0, flagHeartbeat}) // valid heartbeat
+	if got := n.Stats().Malformed; got != 2 {
+		t.Fatalf("Malformed = %d, want 2", got)
+	}
+}
+
+// TestLiveFaultGoroutineHygiene opens and closes hardened nodes (all
+// background loops enabled) repeatedly: Close must join every
+// goroutine it started.
+func TestLiveFaultGoroutineHygiene(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		n, err := NewNode(Config{
+			ID:                ident.NodeID(i),
+			Algorithm:         core.CombinedPull,
+			GossipInterval:    2 * time.Millisecond,
+			HeartbeatInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Subscribe(1)
+		if err := n.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tolerate runtime background goroutines; retry to let stragglers
+	// finish unwinding.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 10 open/close cycles", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLiveFaultDetectorSuspectsAndRevives points a node's failure
+// detector at a silent peer: the peer must be suspected after the
+// timeout, dropped from gossip targeting, and revived by its first
+// datagram.
+func TestLiveFaultDetectorSuspectsAndRevives(t *testing.T) {
+	n, err := NewNode(Config{
+		ID:                1,
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// A bound socket that never answers: a crashed neighbor.
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	n.AddNeighbor(2, dead.LocalAddr().(*net.UDPAddr))
+
+	waitFor(t, 2*time.Second, func() bool {
+		return len(n.SuspectedNeighbors()) == 1
+	}, "silent neighbor was never suspected")
+	if got := n.Stats().NeighborsSuspected; got != 1 {
+		t.Fatalf("NeighborsSuspected = %d, want 1", got)
+	}
+
+	// Any traffic from the suspect revives it.
+	n.handleDatagram([]byte{2, 0, 0, 0, flagHeartbeat})
+	if len(n.SuspectedNeighbors()) != 0 {
+		t.Fatal("neighbor still suspected after it spoke")
+	}
+	if got := n.Stats().NeighborsRevived; got != 1 {
+		t.Fatalf("NeighborsRevived = %d, want 1", got)
+	}
+}
+
+// TestLiveFaultRequestRetryAndAbandon advertises a digest the node can
+// never fetch (the gossiper does not exist): the request must be
+// retried with backoff up to the cap and then abandoned.
+func TestLiveFaultRequestRetryAndAbandon(t *testing.T) {
+	n, err := NewNode(Config{
+		ID:             1,
+		Algorithm:      core.CombinedPull,
+		GossipInterval: 2 * time.Millisecond,
+		RequestBackoff: 2 * time.Millisecond,
+		RequestRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Subscribe(7)
+
+	n.onGossipPush(9, &wire.GossipPush{
+		Gossiper: 9,
+		Pattern:  7,
+		Digest:   []ident.EventID{{Source: 9, Seq: 1}},
+	})
+	waitFor(t, 2*time.Second, func() bool {
+		return n.Stats().RequestsAbandoned == 1
+	}, "unanswerable request was never abandoned")
+	st := n.Stats()
+	if st.RequestsRetried != 2 { // attempts 2 and 3; attempt 4 would exceed the cap
+		t.Fatalf("RequestsRetried = %d, want 2", st.RequestsRetried)
+	}
+	n.mu.Lock()
+	left := len(n.pending)
+	n.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d pending entries survive abandonment", left)
+	}
+}
+
+// TestLiveFaultPendingShedBounded floods the pending-request table
+// past MaxPending: the oldest entries must be shed first and the table
+// must never exceed its bound.
+func TestLiveFaultPendingShedBounded(t *testing.T) {
+	n, err := NewNode(Config{
+		ID:             1,
+		Algorithm:      core.Push,
+		GossipInterval: time.Hour, // keep the retry sweep out of the way
+		RequestBackoff: time.Hour,
+		MaxPending:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Subscribe(7)
+
+	for i := 1; i <= 20; i++ {
+		n.onGossipPush(9, &wire.GossipPush{
+			Gossiper: 9,
+			Pattern:  7,
+			Digest:   []ident.EventID{{Source: 9, Seq: uint32(i)}},
+		})
+	}
+	n.mu.Lock()
+	size := len(n.pending)
+	_, oldestAlive := n.pending[ident.EventID{Source: 9, Seq: 1}]
+	_, newestAlive := n.pending[ident.EventID{Source: 9, Seq: 20}]
+	n.mu.Unlock()
+	if size != 8 {
+		t.Fatalf("pending table holds %d entries, want the 8-entry bound", size)
+	}
+	if oldestAlive || !newestAlive {
+		t.Fatalf("shed order wrong: oldest alive=%v newest alive=%v, want oldest shed first", oldestAlive, newestAlive)
+	}
+	if got := n.Stats().PendingShed; got != 12 {
+		t.Fatalf("PendingShed = %d, want 12", got)
+	}
+}

@@ -51,6 +51,28 @@ type Config struct {
 	// the lossy-links scenario over real sockets. OOB traffic is not
 	// dropped.
 	DropProb float64
+	// HeartbeatInterval enables the per-neighbor failure detector:
+	// every interval the node heartbeats its tree neighbors and
+	// suspects any neighbor not heard from within HeartbeatTimeout.
+	// Suspected neighbors are skipped when picking gossip targets (the
+	// tree keeps routing events — healing the tree is the operator's
+	// job) and revived by any incoming traffic. Zero disables the
+	// detector.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the silence after which a neighbor is
+	// suspected. Zero means 4×HeartbeatInterval.
+	HeartbeatTimeout time.Duration
+	// RequestRetries caps how many times an unanswered recovery
+	// Request is transmitted in total before the entry is abandoned.
+	// Zero means 4.
+	RequestRetries int
+	// RequestBackoff is the base retransmission delay for unanswered
+	// Requests; it doubles per attempt with ±25% jitter. Zero means
+	// 2×GossipInterval.
+	RequestBackoff time.Duration
+	// MaxPending bounds the outstanding-request table; when full, the
+	// oldest entries are shed first. Zero means 4096.
+	MaxPending int
 	// Seed drives the node's randomized choices. Zero means 1.
 	Seed int64
 	// OnDeliver, when non-nil, observes every local delivery. It is
@@ -83,6 +105,18 @@ func (c Config) withDefaults() Config {
 	if c.LostTTL == 0 {
 		c.LostTTL = 10 * time.Second
 	}
+	if c.HeartbeatInterval > 0 && c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.RequestRetries == 0 {
+		c.RequestRetries = 4
+	}
+	if c.RequestBackoff == 0 {
+		c.RequestBackoff = 2 * c.GossipInterval
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 4096
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -99,6 +133,20 @@ type Stats struct {
 	EventsSent     uint64
 	Served         uint64
 	DroppedInject  uint64
+	// Malformed counts datagrams dropped because they were too short
+	// or failed to decode — counted, never fatal.
+	Malformed uint64
+	// HeartbeatsSent, NeighborsSuspected, and NeighborsRevived report
+	// the failure detector (zero when HeartbeatInterval is 0).
+	HeartbeatsSent     uint64
+	NeighborsSuspected uint64
+	NeighborsRevived   uint64
+	// RequestsRetried and RequestsAbandoned report the recovery
+	// Request retransmission machinery; PendingShed counts entries
+	// evicted oldest-first when the pending table hit MaxPending.
+	RequestsRetried   uint64
+	RequestsAbandoned uint64
+	PendingShed       uint64
 }
 
 // Node is one live dispatcher.
@@ -118,13 +166,16 @@ type Node struct {
 	patSeq    map[ident.PatternID]uint32
 	received  *ident.EventIDSet
 
-	buf     *cache.Cache
-	patIdx  map[ident.PatternID]*ident.EventIDSet
-	tagIdx  map[wire.LostEntry]ident.EventID
-	lost    *core.LostBuffer
-	high    map[srcPattern]uint32
-	routes  map[ident.NodeID][]ident.NodeID
-	pending map[ident.EventID]time.Time
+	buf      *cache.Cache
+	patIdx   map[ident.PatternID]*ident.EventIDSet
+	tagIdx   map[wire.LostEntry]ident.EventID
+	lost     *core.LostBuffer
+	high     map[srcPattern]uint32
+	routes   map[ident.NodeID][]ident.NodeID
+	pending  map[ident.EventID]*pendingReq
+	pendingQ []*pendingReq // FIFO shadow of pending, oldest first
+	lastSeen map[ident.NodeID]time.Time
+	suspects map[ident.NodeID]bool
 
 	stats Stats
 
@@ -168,7 +219,9 @@ func NewNode(cfg Config) (*Node, error) {
 		lost:      core.NewLostBuffer(cfg.LostCapacity, cfg.LostTTL),
 		high:      make(map[srcPattern]uint32),
 		routes:    make(map[ident.NodeID][]ident.NodeID),
-		pending:   make(map[ident.EventID]time.Time),
+		pending:   make(map[ident.EventID]*pendingReq),
+		lastSeen:  make(map[ident.NodeID]time.Time),
+		suspects:  make(map[ident.NodeID]bool),
 		done:      make(chan struct{}),
 	}
 	n.buf.SetOnEvict(n.unindexLocked)
@@ -178,6 +231,10 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Algorithm != core.NoRecovery {
 		n.wg.Add(1)
 		go n.gossipLoop()
+	}
+	if cfg.HeartbeatInterval > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop()
 	}
 	return n, nil
 }
@@ -224,6 +281,7 @@ func (n *Node) AddNeighbor(id ident.NodeID, addr *net.UDPAddr) {
 	n.mu.Lock()
 	n.neighbors[id] = addr
 	n.directory[id] = addr
+	n.lastSeen[id] = time.Now() // grace period before the detector may suspect
 	var subs []ident.PatternID
 	for p := range n.local {
 		subs = append(subs, p)
@@ -244,6 +302,8 @@ func (n *Node) AddNeighbor(id ident.NodeID, addr *net.UDPAddr) {
 func (n *Node) RemoveNeighbor(id ident.NodeID) {
 	n.mu.Lock()
 	delete(n.neighbors, id)
+	delete(n.lastSeen, id)
+	delete(n.suspects, id)
 	var stale []ident.PatternID
 	for p, dirs := range n.table {
 		for _, d := range dirs {
@@ -266,9 +326,14 @@ func (n *Node) RemoveNeighbor(id ident.NodeID) {
 // the time base of the Lost buffer.
 func (n *Node) now() time.Duration { return time.Since(n.start) }
 
-// envelope layout: 4 bytes sender ID, 1 byte flags (bit 0: out of
-// band), then the wire-encoded message.
-const envelopeLen = 5
+// envelope layout: 4 bytes sender ID, 1 byte flags, then the
+// wire-encoded message. A heartbeat envelope carries no message: it is
+// exactly envelopeLen bytes with the heartbeat flag set.
+const (
+	envelopeLen   = 5
+	flagOOB       = 1 << 0 // message arrived out of band (not over a tree link)
+	flagHeartbeat = 1 << 1 // liveness-only datagram, no payload
+)
 
 // envelopePool recycles encode buffers across sends. WriteToUDP copies
 // the payload into the kernel synchronously, so a buffer can be reused
@@ -284,7 +349,7 @@ func (n *Node) encodeEnvelope(buf []byte, msg wire.Message, oob bool) []byte {
 	buf = append(buf[:0], 0, 0, 0, 0, 0)
 	binary.LittleEndian.PutUint32(buf, uint32(n.cfg.ID))
 	if oob {
-		buf[4] = 1
+		buf[4] = flagOOB
 	}
 	return msg.Append(buf)
 }
@@ -356,7 +421,7 @@ func closing(err error) bool {
 	return errors.Is(err, net.ErrClosed)
 }
 
-// readLoop receives and dispatches messages until Close.
+// readLoop receives datagrams until Close.
 func (n *Node) readLoop() {
 	defer n.wg.Done()
 	buf := make([]byte, 65535)
@@ -373,17 +438,51 @@ func (n *Node) readLoop() {
 				continue
 			}
 		}
-		if nb < envelopeLen {
-			continue
-		}
-		from := ident.NodeID(binary.LittleEndian.Uint32(buf))
-		oob := buf[4]&1 != 0
-		msg, err := wire.Decode(buf[envelopeLen:nb])
-		if err != nil {
-			continue // corrupt datagram: drop, like real UDP software
-		}
-		n.handle(from, msg, oob)
+		n.handleDatagram(buf[:nb])
 	}
+}
+
+// handleDatagram parses and dispatches one raw datagram. It must never
+// panic on adversarial input: anything that does not parse is counted
+// as malformed and dropped, like real UDP software. Split out from
+// readLoop so tests can fuzz it without a socket.
+func (n *Node) handleDatagram(buf []byte) {
+	if len(buf) < envelopeLen {
+		n.countMalformed()
+		return
+	}
+	from := ident.NodeID(binary.LittleEndian.Uint32(buf))
+	flags := buf[4]
+	n.observePeer(from)
+	if flags&flagHeartbeat != 0 {
+		return // liveness only, no payload to decode
+	}
+	msg, err := wire.Decode(buf[envelopeLen:])
+	if err != nil {
+		n.countMalformed()
+		return
+	}
+	n.handle(from, msg, flags&flagOOB != 0)
+}
+
+func (n *Node) countMalformed() {
+	n.mu.Lock()
+	n.stats.Malformed++
+	n.mu.Unlock()
+}
+
+// observePeer feeds the failure detector: any traffic from a tree
+// neighbor proves it alive and clears a standing suspicion.
+func (n *Node) observePeer(from ident.NodeID) {
+	n.mu.Lock()
+	if _, ok := n.neighbors[from]; ok {
+		n.lastSeen[from] = time.Now()
+		if n.suspects[from] {
+			delete(n.suspects, from)
+			n.stats.NeighborsRevived++
+		}
+	}
+	n.mu.Unlock()
 }
 
 // gossipLoop runs a gossip round every interval, with a random initial
@@ -409,4 +508,53 @@ func (n *Node) gossipLoop() {
 			return
 		}
 	}
+}
+
+// heartbeatLoop drives the failure detector: each tick heartbeats
+// every tree neighbor and suspects the silent ones.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.heartbeat()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) heartbeat() {
+	now := time.Now()
+	n.mu.Lock()
+	addrs := make([]*net.UDPAddr, 0, len(n.neighbors))
+	for id, addr := range n.neighbors {
+		addrs = append(addrs, addr)
+		if !n.suspects[id] && now.Sub(n.lastSeen[id]) > n.cfg.HeartbeatTimeout {
+			n.suspects[id] = true
+			n.stats.NeighborsSuspected++
+		}
+	}
+	n.stats.HeartbeatsSent += uint64(len(addrs))
+	n.mu.Unlock()
+	var b [envelopeLen]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(n.cfg.ID))
+	b[4] = flagHeartbeat
+	for _, a := range addrs {
+		n.write(a, b[:])
+	}
+}
+
+// SuspectedNeighbors returns the neighbors the failure detector
+// currently suspects, for tests and monitoring.
+func (n *Node) SuspectedNeighbors() []ident.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ident.NodeID, 0, len(n.suspects))
+	for id := range n.suspects {
+		out = append(out, id)
+	}
+	return out
 }

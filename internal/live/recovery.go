@@ -90,17 +90,19 @@ func (n *Node) gossipRound() {
 	default:
 		outs = n.gossipPushLocked()
 	}
-	n.sweepPendingLocked()
+	outs = append(outs, n.retryPendingLocked()...)
 	n.mu.Unlock()
 	n.flush(outs)
 }
 
 // forwardPatternLocked picks the thinned neighbor set a pattern-routed
-// gossip message goes to. Callers hold n.mu.
+// gossip message goes to. Neighbors the failure detector suspects are
+// skipped: gossip to a dead peer is a wasted transmission. Callers
+// hold n.mu.
 func (n *Node) forwardPatternLocked(msg wire.Message, p ident.PatternID, from ident.NodeID) []out {
 	var outs []out
 	for _, nb := range n.table[p] {
-		if nb == from {
+		if nb == from || n.suspects[nb] {
 			continue
 		}
 		if n.rng.Float64() < n.cfg.PForward {
@@ -210,13 +212,10 @@ func (n *Node) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
 		now := time.Now()
 		var missing []ident.EventID
 		for _, id := range m.Digest {
-			if n.received.Has(id) {
-				continue
+			if n.received.Has(id) || n.pending[id] != nil {
+				continue // already have it, or a request is in flight
 			}
-			if at, ok := n.pending[id]; ok && now.Sub(at) <= n.cfg.GossipInterval {
-				continue
-			}
-			n.pending[id] = now
+			n.addPendingLocked(id, m.Gossiper, now)
 			missing = append(missing, id)
 		}
 		if len(missing) > 0 {
@@ -313,7 +312,10 @@ func (n *Node) onRequest(m *wire.Request) {
 func (n *Node) onRetransmit(m *wire.Retransmit) {
 	for _, ev := range m.Events {
 		n.mu.Lock()
-		delete(n.pending, ev.ID)
+		if pr := n.pending[ev.ID]; pr != nil {
+			pr.done = true
+			delete(n.pending, ev.ID)
+		}
 		deliver := n.localMatchLocked(ev.Content) && n.received.Add(ev.ID)
 		if deliver {
 			n.stats.Delivered++
@@ -331,16 +333,97 @@ func (n *Node) onRetransmit(m *wire.Retransmit) {
 	}
 }
 
-// sweepPendingLocked drops expired pending-request entries. Callers
-// hold n.mu.
-func (n *Node) sweepPendingLocked() {
-	if len(n.pending) < 1024 {
+// pendingReq tracks one outstanding recovery Request issued after a
+// push digest revealed a missing event: who was asked, how many times,
+// and when the next retransmission is due.
+type pendingReq struct {
+	id       ident.EventID
+	from     ident.NodeID
+	nextAt   time.Time
+	attempts int
+	done     bool // answered, abandoned, or shed: queue entry is stale
+}
+
+// addPendingLocked registers an outstanding request, shedding the
+// oldest entries when the table is full. Callers hold n.mu.
+func (n *Node) addPendingLocked(id ident.EventID, from ident.NodeID, now time.Time) {
+	for len(n.pending) >= n.cfg.MaxPending {
+		n.shedOldestLocked()
+	}
+	pr := &pendingReq{id: id, from: from, attempts: 1, nextAt: now.Add(n.backoffLocked(1))}
+	n.pending[id] = pr
+	n.pendingQ = append(n.pendingQ, pr)
+}
+
+// shedOldestLocked evicts the oldest live pending entry — bounded
+// memory beats complete recovery when a burst floods the table.
+// Callers hold n.mu.
+func (n *Node) shedOldestLocked() {
+	for len(n.pendingQ) > 0 {
+		pr := n.pendingQ[0]
+		n.pendingQ[0] = nil
+		n.pendingQ = n.pendingQ[1:]
+		if pr.done {
+			continue // lazily discarded tombstone
+		}
+		pr.done = true
+		delete(n.pending, pr.id)
+		n.stats.PendingShed++
 		return
 	}
-	now := time.Now()
-	for id, at := range n.pending {
-		if now.Sub(at) > n.cfg.GossipInterval {
-			delete(n.pending, id)
+}
+
+// backoffLocked returns the delay before attempt+1: exponential in the
+// attempt count with ±25% jitter so synchronized losers do not
+// retransmit in lockstep. Callers hold n.mu (for the rng).
+func (n *Node) backoffLocked(attempts int) time.Duration {
+	d := n.cfg.RequestBackoff << uint(attempts-1)
+	return d + time.Duration(n.rng.Int63n(int64(d)/2+1)) - d/4
+}
+
+// retryPendingLocked retransmits overdue requests (batched per
+// responder) and abandons entries that exhausted their attempts. It
+// also compacts the FIFO queue once tombstones dominate. Callers hold
+// n.mu; runs once per gossip round.
+func (n *Node) retryPendingLocked() []out {
+	if len(n.pendingQ) > 2*len(n.pending)+64 {
+		live := n.pendingQ[:0]
+		for _, pr := range n.pendingQ {
+			if !pr.done {
+				live = append(live, pr)
+			}
 		}
+		for i := len(live); i < len(n.pendingQ); i++ {
+			n.pendingQ[i] = nil
+		}
+		n.pendingQ = live
 	}
+	if len(n.pending) == 0 {
+		return nil
+	}
+	now := time.Now()
+	var byFrom map[ident.NodeID][]ident.EventID
+	for id, pr := range n.pending {
+		if now.Before(pr.nextAt) {
+			continue
+		}
+		if pr.attempts >= n.cfg.RequestRetries {
+			pr.done = true
+			delete(n.pending, id)
+			n.stats.RequestsAbandoned++
+			continue
+		}
+		pr.attempts++
+		pr.nextAt = now.Add(n.backoffLocked(pr.attempts))
+		n.stats.RequestsRetried++
+		if byFrom == nil {
+			byFrom = make(map[ident.NodeID][]ident.EventID)
+		}
+		byFrom[pr.from] = append(byFrom[pr.from], id)
+	}
+	var outs []out
+	for from, ids := range byFrom {
+		outs = append(outs, out{to: from, msg: &wire.Request{Requester: n.cfg.ID, IDs: ids}, oob: true})
+	}
+	return outs
 }

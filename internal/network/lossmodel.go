@@ -1,0 +1,179 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ident"
+)
+
+// LossModel decides, per transmission, whether the channel drops the
+// message. The simulator is single-threaded, so a model is consulted
+// exactly once per send in deterministic order; a model driven by
+// seeded RNG streams therefore produces replayable loss patterns.
+//
+// DropTree is asked for tree-link transmissions (one trial per hop),
+// DropOOB for out-of-band unicast transmissions (one trial end-to-end).
+type LossModel interface {
+	DropTree(from, to ident.NodeID) bool
+	DropOOB(from, to ident.NodeID) bool
+}
+
+// Bernoulli is the paper's channel model (Sec. IV-A): an independent
+// loss trial per transmission with fixed rates ε (tree) and ε_oob
+// (out-of-band). It is the default model of every Network; all trials
+// share one RNG stream, consumed in send order, which keeps the draw
+// sequence identical to the historical inline implementation.
+type Bernoulli struct {
+	TreeRate float64
+	OOBRate  float64
+	rng      *rand.Rand
+}
+
+var _ LossModel = (*Bernoulli)(nil)
+
+// NewBernoulli builds the independent-loss model over rng.
+func NewBernoulli(treeRate, oobRate float64, rng *rand.Rand) *Bernoulli {
+	return &Bernoulli{TreeRate: treeRate, OOBRate: oobRate, rng: rng}
+}
+
+// DropTree implements LossModel. The rate>0 guard skips the RNG draw
+// entirely on lossless channels, preserving the draw sequence of
+// configurations that mix a lossy tree with a lossless OOB channel (or
+// vice versa).
+func (b *Bernoulli) DropTree(_, _ ident.NodeID) bool {
+	return b.TreeRate > 0 && b.rng.Float64() < b.TreeRate
+}
+
+// DropOOB implements LossModel.
+func (b *Bernoulli) DropOOB(_, _ ident.NodeID) bool {
+	return b.OOBRate > 0 && b.rng.Float64() < b.OOBRate
+}
+
+// GilbertElliottConfig parameterizes the two-state bursty loss model.
+// Each directed endpoint pair runs an independent Markov chain over
+// {good, bad}; every transmission first advances the chain one step and
+// then draws a loss trial at the current state's drop rate. Bursts of
+// consecutive losses have mean length 1/PBadToGood transmissions, and
+// the chain spends a PGoodToBad/(PGoodToBad+PBadToGood) fraction of
+// transmissions in the bad state.
+type GilbertElliottConfig struct {
+	// PGoodToBad is the per-transmission probability of entering a burst.
+	PGoodToBad float64
+	// PBadToGood is the per-transmission probability of a burst ending.
+	PBadToGood float64
+	// DropGood is the loss rate outside bursts (often 0 or small).
+	DropGood float64
+	// DropBad is the loss rate inside bursts (often near 1).
+	DropBad float64
+}
+
+// AvgLoss returns the stationary average loss rate of the chain — use
+// it to calibrate a bursty model against a Bernoulli ε for equal-load
+// comparisons.
+func (c GilbertElliottConfig) AvgLoss() float64 {
+	denom := c.PGoodToBad + c.PBadToGood
+	if denom <= 0 {
+		return c.DropGood
+	}
+	pBad := c.PGoodToBad / denom
+	return pBad*c.DropBad + (1-pBad)*c.DropGood
+}
+
+func (c GilbertElliottConfig) validate() error {
+	for _, p := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"PGoodToBad", c.PGoodToBad}, {"PBadToGood", c.PBadToGood},
+		{"DropGood", c.DropGood}, {"DropBad", c.DropBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("network: GilbertElliott %s = %v out of [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// geChain is one directed pair's Markov chain.
+type geChain struct {
+	bad bool
+	rng *rand.Rand
+}
+
+// GilbertElliott is a bursty loss model: independent good/bad Markov
+// chains per directed endpoint pair, applied to both tree and OOB
+// transmissions (both ride the same physical network).
+//
+// Determinism: each chain draws from its own RNG stream whose tag is a
+// pure function of (from, to), and stream derivation itself is
+// order-independent (sim.Kernel.NewStream scrambles seed+tag). Chains
+// are created lazily on first use, but creation order cannot influence
+// any draw — a pair's loss sequence depends only on that pair's own
+// transmission count, never on how transmissions of different pairs
+// interleave globally.
+type GilbertElliott struct {
+	cfg    GilbertElliottConfig
+	stream func(tag int64) *rand.Rand
+	chains map[[2]ident.NodeID]*geChain
+}
+
+var _ LossModel = (*GilbertElliott)(nil)
+
+// NewGilbertElliott builds the model. stream derives deterministic RNG
+// streams from tags — pass sim.Kernel.NewStream. Invalid probabilities
+// are a wiring bug and panic.
+func NewGilbertElliott(cfg GilbertElliottConfig, stream func(tag int64) *rand.Rand) *GilbertElliott {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if stream == nil {
+		panic("network: GilbertElliott needs a stream factory")
+	}
+	return &GilbertElliott{
+		cfg:    cfg,
+		stream: stream,
+		chains: make(map[[2]ident.NodeID]*geChain),
+	}
+}
+
+// chainTagBase spells "loss"; the pair index is folded in with a prime
+// stride so distinct (from, to) pairs land on distinct tags.
+const chainTagBase = 0x6c6f7373
+
+func (g *GilbertElliott) chain(from, to ident.NodeID) *geChain {
+	key := [2]ident.NodeID{from, to}
+	c, ok := g.chains[key]
+	if !ok {
+		tag := chainTagBase + int64(from)*1_000_003 + int64(to)
+		c = &geChain{rng: g.stream(tag)}
+		g.chains[key] = c
+	}
+	return c
+}
+
+// drop advances the pair's chain one step and draws the state's loss
+// trial. Every transmission consumes exactly two draws from the pair's
+// stream, so a pair's k-th transmission always sees the same outcome
+// for a given seed.
+func (g *GilbertElliott) drop(from, to ident.NodeID) bool {
+	c := g.chain(from, to)
+	if c.bad {
+		if c.rng.Float64() < g.cfg.PBadToGood {
+			c.bad = false
+		}
+	} else if c.rng.Float64() < g.cfg.PGoodToBad {
+		c.bad = true
+	}
+	p := g.cfg.DropGood
+	if c.bad {
+		p = g.cfg.DropBad
+	}
+	return c.rng.Float64() < p
+}
+
+// DropTree implements LossModel.
+func (g *GilbertElliott) DropTree(from, to ident.NodeID) bool { return g.drop(from, to) }
+
+// DropOOB implements LossModel.
+func (g *GilbertElliott) DropOOB(from, to ident.NodeID) bool { return g.drop(from, to) }

@@ -1,0 +1,108 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBurstGilbertElliottDeterministic: two models over equal-seeded
+// kernels must produce identical per-pair loss sequences regardless of
+// how transmissions of different pairs interleave.
+func TestBurstGilbertElliottDeterministic(t *testing.T) {
+	cfg := GilbertElliottConfig{PGoodToBad: 0.1, PBadToGood: 0.3, DropGood: 0.02, DropBad: 0.95}
+	g1 := NewGilbertElliott(cfg, sim.New(42).NewStream)
+	g2 := NewGilbertElliott(cfg, sim.New(42).NewStream)
+
+	// g1 sees pair (1,2) interleaved with heavy (3,4) traffic; g2 sees
+	// (1,2) alone. The (1,2) sequences must match exactly.
+	var seq1, seq2 []bool
+	for i := 0; i < 500; i++ {
+		seq1 = append(seq1, g1.DropTree(1, 2))
+		g1.DropTree(3, 4)
+		g1.DropOOB(4, 3)
+	}
+	for i := 0; i < 500; i++ {
+		seq2 = append(seq2, g2.DropTree(1, 2))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("pair (1,2) loss sequence diverged at transmission %d: interleaving leaked between chains", i)
+		}
+	}
+}
+
+// TestBurstGilbertElliottClusters checks the model actually produces
+// bursts: with near-certain drops in the bad state, losses must arrive
+// in runs whose mean length is close to 1/PBadToGood, far above the
+// Bernoulli expectation at the same average rate.
+func TestBurstGilbertElliottClusters(t *testing.T) {
+	cfg := GilbertElliottConfig{PGoodToBad: 0.02, PBadToGood: 0.25, DropGood: 0, DropBad: 1}
+	g := NewGilbertElliott(cfg, sim.New(7).NewStream)
+
+	const n = 200000
+	drops, bursts := 0, 0
+	inBurst := false
+	for i := 0; i < n; i++ {
+		if g.DropTree(0, 1) {
+			drops++
+			if !inBurst {
+				bursts++
+				inBurst = true
+			}
+		} else {
+			inBurst = false
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no losses at all")
+	}
+	meanBurst := float64(drops) / float64(bursts)
+	// Expected mean burst length is 1/PBadToGood = 4 transmissions.
+	if meanBurst < 2.5 {
+		t.Errorf("mean burst length %.2f: losses are not clustered", meanBurst)
+	}
+	avg := float64(drops) / float64(n)
+	if want := cfg.AvgLoss(); math.Abs(avg-want) > 0.015 {
+		t.Errorf("empirical loss rate %.4f, stationary prediction %.4f", avg, want)
+	}
+}
+
+func TestBurstAvgLossCalibration(t *testing.T) {
+	cfg := GilbertElliottConfig{PGoodToBad: 0.05, PBadToGood: 0.45, DropGood: 0, DropBad: 1}
+	if got := cfg.AvgLoss(); math.Abs(got-0.1) > 0.001 {
+		t.Errorf("AvgLoss() = %v, want 0.1", got)
+	}
+	flat := GilbertElliottConfig{DropGood: 0.3}
+	if got := flat.AvgLoss(); got != 0.3 {
+		t.Errorf("degenerate chain AvgLoss() = %v, want DropGood", got)
+	}
+}
+
+func TestBurstGilbertElliottValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range probability did not panic")
+		}
+	}()
+	NewGilbertElliott(GilbertElliottConfig{PGoodToBad: 1.5}, sim.New(1).NewStream)
+}
+
+// TestBernoulliGuardSkipsDraw pins the compatibility property the
+// golden test relies on: a zero rate must not consume an RNG draw, so
+// mixed lossy/lossless configurations keep the historical sequence.
+func TestBernoulliGuardSkipsDraw(t *testing.T) {
+	k := sim.New(5)
+	rng := k.NewStream(1)
+	ref := k.NewStream(1)
+	b := NewBernoulli(0, 0.5, rng)
+	for i := 0; i < 100; i++ {
+		b.DropTree(0, 1) // rate 0: must not draw
+		b.DropOOB(0, 1)  // rate 0.5: draws once
+		ref.Float64()
+	}
+	if rng.Float64() != ref.Float64() {
+		t.Fatal("zero-rate trial consumed an RNG draw")
+	}
+}

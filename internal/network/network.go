@@ -126,6 +126,12 @@ type Network struct {
 	handlers []Handler
 	obs      Observer
 	rng      *rand.Rand
+	loss     LossModel
+
+	// down marks crashed dispatchers: the network blackholes every
+	// transmission from or to a down node, including messages already in
+	// flight when the node went down (a dead process receives nothing).
+	down []bool
 
 	// busy[from] holds one linkState per adjacency slot of from
 	// (degree ≤ MaxDegree), indexed by topology.NeighborSlot. Dense
@@ -172,7 +178,11 @@ func (nw *Network) getDelivery() *inflight {
 // recycles the record.
 func (d *inflight) arrive() {
 	nw := d.nw
-	if d.oob {
+	if nw.down[d.to] {
+		// The receiver crashed while the message was in flight.
+		nw.lost++
+		nw.obs.OnLoss(d.from, d.to, d.msg, d.oob)
+	} else if d.oob {
 		nw.deliver(d.from, d.to, d.msg, true)
 	} else if d.dropped || !nw.topo.HasLink(d.from, d.to) ||
 		nw.topo.LinkIncarnation(d.from, d.to) != d.inc {
@@ -205,7 +215,7 @@ func New(k *sim.Kernel, topo *topology.Tree, cfg Config, obs Observer) *Network 
 	for i := range busy {
 		busy[i] = slots[i*deg : (i+1)*deg : (i+1)*deg]
 	}
-	return &Network{
+	nw := &Network{
 		k:        k,
 		topo:     topo,
 		cfg:      cfg,
@@ -213,8 +223,32 @@ func New(k *sim.Kernel, topo *topology.Tree, cfg Config, obs Observer) *Network 
 		obs:      obs,
 		rng:      k.NewStream(0x6e657477), // "netw"
 		busy:     busy,
+		down:     make([]bool, n),
 	}
+	// The default model reproduces the historical inline Bernoulli
+	// draws bit for bit: same stream, same rate>0 guard, same order.
+	nw.loss = NewBernoulli(cfg.LossRate, cfg.OOBLossRate, nw.rng)
+	return nw
 }
+
+// SetLossModel replaces the channel loss model mid-run or before the
+// run starts. Passing nil is a wiring bug and panics.
+func (nw *Network) SetLossModel(m LossModel) {
+	if m == nil {
+		panic("network: nil LossModel")
+	}
+	nw.loss = m
+}
+
+// SetNodeDown marks a dispatcher crashed (true) or restarted (false).
+// While down, every transmission from or to the node — including
+// messages already in flight — is counted as lost.
+func (nw *Network) SetNodeDown(id ident.NodeID, down bool) {
+	nw.down[id] = down
+}
+
+// NodeDown reports whether the dispatcher is currently marked down.
+func (nw *Network) NodeDown(id ident.NodeID) bool { return nw.down[id] }
 
 // Register installs the handler for node id.
 func (nw *Network) Register(id ident.NodeID, h Handler) {
@@ -253,7 +287,7 @@ func (nw *Network) Send(from, to ident.NodeID, msg wire.Message) {
 	nw.sent++
 	nw.obs.OnSend(from, to, msg, false)
 	slot := nw.topo.NeighborSlot(from, to)
-	if slot < 0 {
+	if slot < 0 || nw.down[from] || nw.down[to] {
 		nw.lost++
 		nw.obs.OnLoss(from, to, msg, false)
 		return
@@ -269,7 +303,7 @@ func (nw *Network) Send(from, to ident.NodeID, msg wire.Message) {
 		st.until = start + tx
 	}
 	arrival := start + tx + nw.cfg.PropDelay
-	dropped := nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate
+	dropped := nw.loss.DropTree(from, to)
 	d := nw.getDelivery()
 	d.from, d.to, d.msg = from, to, msg
 	d.inc, d.dropped, d.oob = incarnation, dropped, false
@@ -311,7 +345,7 @@ func (nw *Network) SendOOB(from, to ident.NodeID, msg wire.Message) {
 	}
 	nw.sent++
 	nw.obs.OnSend(from, to, msg, true)
-	if nw.cfg.OOBLossRate > 0 && nw.rng.Float64() < nw.cfg.OOBLossRate {
+	if nw.down[from] || nw.down[to] || nw.loss.DropOOB(from, to) {
 		nw.lost++
 		nw.obs.OnLoss(from, to, msg, true)
 		return

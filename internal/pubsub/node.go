@@ -533,6 +533,30 @@ func (n *Node) OnLinkUp(nbr ident.NodeID) {
 	}
 }
 
+// OnNodeDown models a crash of this dispatcher: the process loses its
+// links and everything it learned from the network — the neighbor set
+// and the whole remote-interest table. Nothing is propagated (a dead
+// process cannot send); surviving neighbors flush their own routes via
+// their OnLinkDown. Local subscriptions persist: they are this
+// dispatcher's configuration, not learned state, and are re-advertised
+// when the node rejoins.
+func (n *Node) OnNodeDown() {
+	n.neighbors = n.neighbors[:0]
+	n.tableSet.ForEach(func(p ident.PatternID) { n.tableDense[p] = n.tableDense[p][:0] })
+	n.tableSet = ident.PatternSet{}
+	n.tableBig = nil
+	n.invalidateKnown()
+}
+
+// OnNodeUp marks the dispatcher restarted after OnNodeDown. Routing
+// state was already dropped at crash time; the subscription-table
+// resync happens link by link as the node rejoins: OnLinkUp on this
+// side re-advertises its local subscriptions, OnLinkUp on the attach
+// side re-advertises the component's known interests back.
+func (n *Node) OnNodeUp() {
+	n.invalidateKnown()
+}
+
 func insertSorted(s []ident.PatternID, p ident.PatternID) []ident.PatternID {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
 	s = append(s, 0)

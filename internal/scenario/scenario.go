@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ident"
 	"repro/internal/matching"
 	"repro/internal/metrics"
@@ -70,6 +71,15 @@ type Params struct {
 	// deliveries, recoveries, transmissions, losses, reconfigurations)
 	// into the given ring for post-run inspection.
 	Trace *trace.Ring
+	// FaultPlan, when non-nil, schedules deterministic fault injection
+	// (node churn, link flaps, partitions, loss-model switches) on top
+	// of the run. The plan is read-only and may be shared across runs.
+	FaultPlan *faults.Plan
+	// NewLossModel, when non-nil, replaces the default Bernoulli
+	// channel loss with a custom model built from the run's
+	// deterministic stream factory (e.g. network.NewGilbertElliott for
+	// bursty loss) before the run starts.
+	NewLossModel func(stream func(tag int64) *rand.Rand) network.LossModel
 }
 
 // DefaultParams returns the paper's default simulation parameters
@@ -170,6 +180,15 @@ type Result struct {
 	MeanPathLength float64
 	// Reconfigurations counts link breakages performed.
 	Reconfigurations uint64
+	// ReconfigSkips counts reconfiguration epochs that failed to break
+	// a link even after bounded re-draws (e.g. an empty topology).
+	ReconfigSkips uint64
+	// Crashes/Restarts/LinkFlaps/Partitions count the fault-plan
+	// actions performed; zero without a FaultPlan.
+	Crashes, Restarts, LinkFlaps, Partitions uint64
+	// NodeDowntime is the cumulative dispatcher downtime injected by
+	// the fault plan over the run.
+	NodeDowntime sim.Time
 	// KernelEvents counts simulator events processed (run cost).
 	KernelEvents uint64
 }
@@ -205,7 +224,12 @@ func (st *runState) kernel(seed int64) *sim.Kernel {
 // countReceivers returns how many dispatchers other than the publisher
 // subscribe to at least one pattern of the content. A node is counted
 // once per call via the stamp array — no per-publish map.
-func (st *runState) countReceivers(subscribersOf map[ident.PatternID][]ident.NodeID, c matching.Content, publisher ident.NodeID, n int) int {
+// down, when non-nil, excludes currently crashed subscribers: a down
+// dispatcher is not expected to receive anything published during its
+// outage (the paper's metric only counts deliveries a fully reliable
+// scenario would produce, and a reliable system does not deliver to a
+// dead process).
+func (st *runState) countReceivers(subscribersOf map[ident.PatternID][]ident.NodeID, c matching.Content, publisher ident.NodeID, n int, down func(ident.NodeID) bool) int {
 	if len(st.stamp) < n {
 		st.stamp = append(st.stamp, make([]uint32, n-len(st.stamp))...)
 	}
@@ -217,7 +241,7 @@ func (st *runState) countReceivers(subscribersOf map[ident.PatternID][]ident.Nod
 	count := 0
 	for _, p := range c {
 		for _, s := range subscribersOf[p] {
-			if s != publisher && st.stamp[s] != st.gen {
+			if s != publisher && st.stamp[s] != st.gen && (down == nil || !down(s)) {
 				st.stamp[s] = st.gen
 				count++
 			}
@@ -266,6 +290,9 @@ func runWith(p Params, st *runState) (Result, error) {
 		obs = network.MultiObserver(traffic, &traceObserver{ring: p.Trace, now: k.Now})
 	}
 	nw := network.New(k, topo, p.Network, obs)
+	if p.NewLossModel != nil {
+		nw.SetLossModel(p.NewLossModel(k.NewStream))
+	}
 	if st.tracker == nil {
 		st.tracker = metrics.NewDeliveryTracker(k.Now)
 	} else {
@@ -273,16 +300,34 @@ func runWith(p Params, st *runState) (Result, error) {
 	}
 	tracker := st.tracker
 
+	// inj is assigned after the engines exist; the closures below only
+	// consult it at virtual run time, long after the assignment.
+	var inj *faults.Injector
+
 	onDeliver := tracker.OnDeliver
+	if p.FaultPlan != nil {
+		// Downtime-aware Λ accounting: an event published while this
+		// subscriber was down was never expected of it (countReceivers
+		// skipped it at publish time), so a later delivery — e.g. the
+		// restarted node recovering a sequence gap that spans its outage
+		// — must not enter the delivery statistics either.
+		onDeliver = func(node ident.NodeID, ev *wire.Event, recovered bool) {
+			if inj != nil && inj.WasDownAt(node, sim.Time(ev.PublishedAt)) {
+				return
+			}
+			tracker.OnDeliver(node, ev, recovered)
+		}
+	}
 	if p.Trace != nil {
 		ring := p.Trace
+		prev := onDeliver
 		onDeliver = func(node ident.NodeID, ev *wire.Event, recovered bool) {
 			kind := trace.Deliver
 			if recovered {
 				kind = trace.Recover
 			}
 			ring.Add(trace.Record{At: k.Now(), Kind: kind, Node: node, Peer: ident.None, Event: ev.ID})
-			tracker.OnDeliver(node, ev, recovered)
+			prev(node, ev, recovered)
 		}
 	}
 	pcfg := pubsub.Config{
@@ -326,6 +371,29 @@ func runWith(p Params, st *runState) (Result, error) {
 		}
 	}
 
+	if p.FaultPlan != nil {
+		gossipers := make([]faults.Gossiper, p.N)
+		for i, e := range engines {
+			gossipers[i] = e
+		}
+		repairDelay := p.RepairDelay
+		if repairDelay <= 0 {
+			repairDelay = 100 * time.Millisecond
+		}
+		inj = faults.NewInjector(faults.Config{
+			Kernel:      k,
+			Topo:        topo,
+			Net:         nw,
+			Nodes:       nodes,
+			Engines:     gossipers,
+			RepairDelay: repairDelay,
+			Trace:       p.Trace,
+		})
+		if err := inj.Schedule(p.FaultPlan); err != nil {
+			return Result{}, fmt.Errorf("scenario: scheduling fault plan: %w", err)
+		}
+	}
+
 	// Workload: every dispatcher publishes with Poisson arrivals.
 	var published uint64
 	if p.PublishRate > 0 {
@@ -339,8 +407,19 @@ func runWith(p Params, st *runState) (Result, error) {
 				k.After(gap, publish)
 			}
 			publish = func() {
+				if inj != nil && inj.IsDown(node.ID()) {
+					// A crashed dispatcher publishes nothing; its Poisson
+					// clock keeps ticking so the post-restart workload is
+					// unchanged.
+					schedule()
+					return
+				}
 				content := u.RandomContent(wlRNG)
-				expected := st.countReceivers(subscribersOf, content, node.ID(), p.N)
+				var down func(ident.NodeID) bool
+				if inj != nil {
+					down = inj.IsDown
+				}
+				expected := st.countReceivers(subscribersOf, content, node.ID(), p.N, down)
 				ev := node.Publish(content, p.PayloadBytes)
 				tracker.OnPublish(ev.ID, expected, k.Now())
 				if p.Trace != nil {
@@ -355,24 +434,35 @@ func runWith(p Params, st *runState) (Result, error) {
 
 	// Reconfiguration driver (paper Sec. IV-A): every ρ a random link
 	// breaks; after RepairDelay a replacement reconnects the two sides.
-	var reconfigs uint64
+	var reconfigs, reconfigSkips uint64
 	if p.ReconfigInterval > 0 {
 		recRNG := k.NewStream(0x7265636f) // "reco"
 		var reconfigure func()
 		reconfigure = func() {
-			if topo.NumLinks() > 0 {
+			// A draw can race a concurrent fault or repair that removed
+			// the chosen link in the same instant; rather than silently
+			// dropping the epoch, re-draw a bounded number of times and
+			// count the epoch as skipped only when no link could break.
+			broke := false
+			for attempt := 0; attempt < 8 && topo.NumLinks() > 0; attempt++ {
 				broken := topo.RandomLink(recRNG)
-				if err := topo.RemoveLink(broken.A, broken.B); err == nil {
-					reconfigs++
-					if p.Trace != nil {
-						p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.LinkDown, Node: broken.A, Peer: broken.B})
-					}
-					nodes[broken.A].OnLinkDown(broken.B)
-					nodes[broken.B].OnLinkDown(broken.A)
-					k.After(p.RepairDelay, func() {
-						repair(k, topo, nodes, broken, recRNG, p.RepairDelay, p.Trace)
-					})
+				if err := topo.RemoveLink(broken.A, broken.B); err != nil {
+					continue
 				}
+				broke = true
+				reconfigs++
+				if p.Trace != nil {
+					p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.LinkDown, Node: broken.A, Peer: broken.B})
+				}
+				nodes[broken.A].OnLinkDown(broken.B)
+				nodes[broken.B].OnLinkDown(broken.A)
+				k.After(p.RepairDelay, func() {
+					repair(k, topo, nodes, broken, recRNG, p.RepairDelay, p.Trace, inj)
+				})
+				break
+			}
+			if !broke {
+				reconfigSkips++
 			}
 			k.After(p.ReconfigInterval, reconfigure)
 		}
@@ -395,7 +485,16 @@ func runWith(p Params, st *runState) (Result, error) {
 		EventsPublished:     published,
 		MeanPathLength:      topo.MeanPairwiseDistance(),
 		Reconfigurations:    reconfigs,
+		ReconfigSkips:       reconfigSkips,
 		KernelEvents:        k.Processed(),
+	}
+	if inj != nil {
+		fs := inj.Stats()
+		res.Crashes = fs.Crashes
+		res.Restarts = fs.Restarts
+		res.LinkFlaps = fs.LinkFlaps
+		res.Partitions = fs.Partitions
+		res.NodeDowntime = inj.Downtime(p.Duration)
 	}
 	res.ExpectedDeliveries, res.Deliveries, res.Recoveries = tracker.Totals()
 	if rl := tracker.RoutedLatency(); rl.Count() > 0 {
@@ -425,14 +524,22 @@ func runWith(p Params, st *runState) (Result, error) {
 
 // repair reconnects the two components around broken, retrying when
 // overlapping reconfigurations temporarily consumed every degree slot.
-func repair(k *sim.Kernel, topo *topology.Tree, nodes []*pubsub.Node, broken topology.Link, rng *rand.Rand, retry sim.Time, ring *trace.Ring) {
+// With fault injection active, a replacement touching a crashed
+// dispatcher is retried too: connecting a dead process repairs nothing
+// (and its isolated component would accept a cycle-forming link once it
+// rejoins elsewhere).
+func repair(k *sim.Kernel, topo *topology.Tree, nodes []*pubsub.Node, broken topology.Link, rng *rand.Rand, retry sim.Time, ring *trace.Ring, inj *faults.Injector) {
 	repl, err := topo.ReplacementLink(broken, rng)
 	if err != nil {
-		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring) })
+		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring, inj) })
+		return
+	}
+	if inj != nil && (inj.IsDown(repl.A) || inj.IsDown(repl.B)) {
+		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring, inj) })
 		return
 	}
 	if err := topo.AddLink(repl.A, repl.B); err != nil {
-		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring) })
+		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring, inj) })
 		return
 	}
 	if ring != nil {

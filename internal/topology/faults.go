@@ -1,0 +1,116 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ident"
+)
+
+// RemoveNode removes every link incident to v, leaving it isolated, and
+// returns the removed links in canonical form. Fault injection uses it
+// to model a dispatcher crash: a dead process takes all its overlay
+// links down with it; the survivors are healed separately.
+func (t *Tree) RemoveNode(v ident.NodeID) []Link {
+	nbs := t.adj[v]
+	if len(nbs) == 0 {
+		return nil
+	}
+	out := make([]Link, 0, len(nbs))
+	for len(t.adj[v]) > 0 {
+		nb := t.adj[v][0]
+		if err := t.RemoveLink(v, nb); err != nil {
+			break // unreachable: the adjacency list names real links
+		}
+		out = append(out, Link{A: v, B: nb}.Canon())
+	}
+	return out
+}
+
+// Path returns the nodes on the unique path from a to b, inclusive, or
+// nil when the endpoints are disconnected (or equal, where no edge can
+// be cut between them).
+func (t *Tree) Path(a, b ident.NodeID) []ident.NodeID {
+	if a == b {
+		return nil
+	}
+	parent := make([]ident.NodeID, t.n)
+	seen := make([]bool, t.n)
+	seen[a] = true
+	queue := []ident.NodeID{a}
+	for i := 0; i < len(queue); i++ {
+		x := queue[i]
+		for _, y := range t.adj[x] {
+			if seen[y] {
+				continue
+			}
+			seen[y] = true
+			parent[y] = x
+			if y == b {
+				var path []ident.NodeID
+				for at := b; ; at = parent[at] {
+					path = append(path, at)
+					if at == a {
+						break
+					}
+				}
+				for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+					path[l], path[r] = path[r], path[l]
+				}
+				return path
+			}
+			queue = append(queue, y)
+		}
+	}
+	return nil
+}
+
+// ReconnectAround merges the components containing the given anchor
+// nodes back into one, adding degree-respecting random links. Nodes for
+// which skip returns true (e.g. crashed dispatchers) are neither used
+// as endpoints nor anchors. Returns the links added; when some merge is
+// impossible (no free degree slots on one side) it returns the partial
+// result together with an error, and the caller retries later —
+// exactly the contract of the reconfiguration repair loop.
+func (t *Tree) ReconnectAround(anchors []ident.NodeID, skip func(ident.NodeID) bool, rng *rand.Rand) ([]Link, error) {
+	var added []Link
+	var base ident.NodeID
+	haveBase := false
+	for _, a := range anchors {
+		if skip != nil && skip(a) {
+			continue
+		}
+		if !haveBase {
+			base, haveBase = a, true
+			continue
+		}
+		if t.sameComponent(base, a) {
+			continue
+		}
+		x := pickFree(t, t.Component(base), skip, rng)
+		y := pickFree(t, t.Component(a), skip, rng)
+		if x < 0 || y < 0 {
+			return added, fmt.Errorf("topology: no degree-%d slots to merge components of %v and %v", t.maxDegree, base, a)
+		}
+		if err := t.AddLink(ident.NodeID(x), ident.NodeID(y)); err != nil {
+			return added, err
+		}
+		added = append(added, Link{A: ident.NodeID(x), B: ident.NodeID(y)}.Canon())
+	}
+	return added, nil
+}
+
+// pickFree returns a uniform random member of comp with spare degree
+// capacity and skip false, or -1 when none exists.
+func pickFree(t *Tree, comp []ident.NodeID, skip func(ident.NodeID) bool, rng *rand.Rand) int {
+	var cand []ident.NodeID
+	for _, n := range comp {
+		if len(t.adj[n]) < t.maxDegree && (skip == nil || !skip(n)) {
+			cand = append(cand, n)
+		}
+	}
+	if len(cand) == 0 {
+		return -1
+	}
+	return int(cand[rng.Intn(len(cand))])
+}

@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func TestFaultRemoveNode(t *testing.T) {
+	tr := NewLine(5) // 0-1-2-3-4
+	removed := tr.RemoveNode(2)
+	if len(removed) != 2 {
+		t.Fatalf("removed %d links, want 2", len(removed))
+	}
+	if tr.Degree(2) != 0 {
+		t.Errorf("node 2 still has degree %d", tr.Degree(2))
+	}
+	if tr.NumLinks() != 2 {
+		t.Errorf("%d links remain, want 2", tr.NumLinks())
+	}
+	for _, l := range removed {
+		if l.A != 2 && l.B != 2 {
+			t.Errorf("removed link %v-%v does not touch node 2", l.A, l.B)
+		}
+	}
+	if got := tr.RemoveNode(2); got != nil {
+		t.Errorf("second removal returned %v, want nil", got)
+	}
+}
+
+func TestFaultPath(t *testing.T) {
+	tr := NewLine(6)
+	path := tr.Path(1, 4)
+	want := []ident.NodeID{1, 2, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if tr.Path(0, 0) != nil {
+		t.Error("path to self must be nil")
+	}
+	tr.RemoveLink(2, 3)
+	if tr.Path(1, 4) != nil {
+		t.Error("path across a cut must be nil")
+	}
+}
+
+func TestFaultReconnectAround(t *testing.T) {
+	tr := NewLine(7) // 0-1-2-3-4-5-6
+	removed := tr.RemoveNode(3)
+	if len(removed) != 2 {
+		t.Fatalf("removed %d links, want 2", len(removed))
+	}
+	rng := rand.New(rand.NewSource(1))
+	skip := func(n ident.NodeID) bool { return n == 3 }
+	added, err := tr.ReconnectAround([]ident.NodeID{2, 4}, skip, rng)
+	if err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	if len(added) != 1 {
+		t.Fatalf("added %d links, want 1", len(added))
+	}
+	l := added[0]
+	if l.A == 3 || l.B == 3 {
+		t.Fatalf("reconnect used the skipped node: %v-%v", l.A, l.B)
+	}
+	if !tr.sameComponent(2, 4) {
+		t.Error("components were not merged")
+	}
+	if tr.Degree(3) != 0 {
+		t.Error("skipped node gained a link")
+	}
+	// Idempotent once merged.
+	again, err := tr.ReconnectAround([]ident.NodeID{2, 4}, skip, rng)
+	if err != nil || len(again) != 0 {
+		t.Errorf("second reconnect: added=%v err=%v, want none", again, err)
+	}
+}
+
+func TestFaultReconnectAroundDegreeExhausted(t *testing.T) {
+	// Two 2-node components with maxDegree 1: every node is already at
+	// its degree limit, so no merge link can exist.
+	tr := &Tree{n: 4, maxDegree: 1, adj: make([][]ident.NodeID, 4)}
+	tr.addEdge(0, 1)
+	tr.addEdge(2, 3)
+	rng := rand.New(rand.NewSource(1))
+	added, err := tr.ReconnectAround([]ident.NodeID{0, 2}, nil, rng)
+	if err == nil {
+		t.Fatal("merging degree-saturated components must fail")
+	}
+	if len(added) != 0 {
+		t.Fatalf("added %v despite failure", added)
+	}
+}

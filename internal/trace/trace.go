@@ -29,6 +29,13 @@ const (
 	Loss
 	LinkDown
 	LinkUp
+	NodeDown
+	NodeUp
+
+	// kindCount is one past the last kind. Every loop over kinds must
+	// use it as the bound so that adding a kind above cannot silently
+	// fall out of summaries.
+	kindCount
 )
 
 var kindNames = map[Kind]string{
@@ -39,6 +46,8 @@ var kindNames = map[Kind]string{
 	Loss:     "loss",
 	LinkDown: "link-down",
 	LinkUp:   "link-up",
+	NodeDown: "node-down",
+	NodeUp:   "node-up",
 }
 
 // String implements fmt.Stringer.
@@ -154,7 +163,7 @@ func (r *Ring) Dump(w io.Writer) error {
 		}
 	}
 	var parts []string
-	for k := Publish; k <= LinkUp; k++ {
+	for k := Publish; k < kindCount; k++ {
 		if c := r.counts[k]; c > 0 {
 			parts = append(parts, fmt.Sprintf("%v=%d", k, c))
 		}

@@ -114,6 +114,36 @@ func TestDump(t *testing.T) {
 	}
 }
 
+// TestDumpSummaryCoversAllKinds guards the kindCount sentinel: every
+// named kind — including the fault kinds at the end of the enum — must
+// appear in the Dump summary when present. A hardcoded loop bound would
+// silently drop the newest kinds.
+func TestDumpSummaryCoversAllKinds(t *testing.T) {
+	r := New(16)
+	all := []Kind{Publish, Deliver, Recover, Send, Loss, LinkDown, LinkUp, NodeDown, NodeUp}
+	for i, k := range all {
+		r.Add(rec(i, k, i))
+	}
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, k := range all {
+		if !strings.Contains(out, k.String()+"=1") {
+			t.Errorf("summary is missing kind %v:\n%s", k, out)
+		}
+	}
+	if len(all) != int(kindCount)-1 {
+		t.Errorf("test covers %d kinds but kindCount implies %d — update the list", len(all), int(kindCount)-1)
+	}
+	for k := Publish; k < kindCount; k++ {
+		if _, ok := kindNames[k]; !ok {
+			t.Errorf("kind %d has no name", uint8(k))
+		}
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {
