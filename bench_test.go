@@ -38,6 +38,10 @@ func BenchmarkHotPathLostBuffer(b *testing.B) { bench.LostBuffer(b) }
 
 func BenchmarkHotPathEndToEnd(b *testing.B) { bench.EndToEnd(b) }
 
+// BenchmarkHotPathEndToEndChecked is the same run with every runtime
+// invariant monitor armed (internal/check) — the verification price.
+func BenchmarkHotPathEndToEndChecked(b *testing.B) { bench.EndToEndChecked(b) }
+
 // benchFigure regenerates one figure identifier in Quick mode, b.N
 // times with distinct seeds, and reports the headline series of the
 // last run as custom metrics.

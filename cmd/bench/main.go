@@ -101,6 +101,7 @@ func main() {
 		{"DigestBuild", bench.DigestBuild},
 		{"LostBuffer", bench.LostBuffer},
 		{"EndToEnd", bench.EndToEnd},
+		{"EndToEndChecked", bench.EndToEndChecked},
 	}
 
 	if *cpuProfile != "" {

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ident"
 	"repro/internal/matching"
@@ -274,6 +275,39 @@ func EndToEnd(b *testing.B) {
 		p.PublishRate = 15
 		p.Algorithm = core.CombinedPull
 		p.Gossip = core.DefaultConfig(core.CombinedPull)
+		res, err := runner.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.KernelEvents
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "simevents/s")
+	}
+}
+
+// EndToEndChecked is EndToEnd with all five invariant monitors of
+// internal/check armed. The delta against EndToEnd is the full price
+// of runtime verification; the absence of a delta when the monitors
+// are off is pinned separately (BenchmarkHotPathEndToEnd feeds the
+// regression gate, and a checked run must not disturb it).
+func EndToEndChecked(b *testing.B) {
+	var events uint64
+	var runner scenario.Runner
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := scenario.DefaultParams()
+		p.Seed = int64(i + 1)
+		p.N = 25
+		p.Duration = 2 * time.Second
+		p.MeasureFrom = 300 * time.Millisecond
+		p.MeasureTo = 1500 * time.Millisecond
+		p.PublishRate = 15
+		p.Algorithm = core.CombinedPull
+		p.Gossip = core.DefaultConfig(core.CombinedPull)
+		p.Check = check.All()
 		res, err := runner.Run(p)
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,483 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// fakeTopo is a hand-built overlay view: unlike topology.Tree it will
+// happily represent corrupt shapes (cycles, asymmetric adjacency), so
+// the tests can reach the violation paths a real tree never produces.
+type fakeTopo struct {
+	n, maxDeg int
+	adj       [][]ident.NodeID
+	inc       uint64
+}
+
+func (f *fakeTopo) N() int                                  { return f.n }
+func (f *fakeTopo) MaxDegree() int                          { return f.maxDeg }
+func (f *fakeTopo) Degree(v ident.NodeID) int               { return len(f.adj[v]) }
+func (f *fakeTopo) Neighbors(v ident.NodeID) []ident.NodeID { return f.adj[v] }
+func (f *fakeTopo) HasLink(a, b ident.NodeID) bool          { return f.NeighborSlot(a, b) >= 0 }
+func (f *fakeTopo) NeighborSlot(from, to ident.NodeID) int {
+	for i, w := range f.adj[from] {
+		if w == to {
+			return i
+		}
+	}
+	return -1
+}
+func (f *fakeTopo) LinkIncarnation(a, b ident.NodeID) uint64 { return f.inc }
+
+// line builds the path 0-1-…-(n-1).
+func line(n int) *fakeTopo {
+	f := &fakeTopo{n: n, maxDeg: 4, adj: make([][]ident.NodeID, n), inc: 1}
+	for i := 0; i < n-1; i++ {
+		f.adj[i] = append(f.adj[i], ident.NodeID(i+1))
+		f.adj[i+1] = append(f.adj[i+1], ident.NodeID(i))
+	}
+	return f
+}
+
+// harness bundles a checker with a hand-driven clock and stop flag.
+type harness struct {
+	c       *Checker
+	now     sim.Time
+	stopped bool
+	down    map[ident.NodeID]bool
+	wasDown map[ident.NodeID]bool
+}
+
+func newHarness(opts *Options, topo Topology) *harness {
+	h := &harness{down: map[ident.NodeID]bool{}, wasDown: map[ident.NodeID]bool{}}
+	n := 0
+	if topo != nil {
+		n = topo.N()
+	}
+	h.c = New(opts, Env{
+		Seed:      7,
+		Algorithm: "test",
+		N:         n,
+		Now:       func() sim.Time { return h.now },
+		Stop:      func() { h.stopped = true },
+		Topo:      topo,
+		NetConfig: network.DefaultConfig(),
+		NodeDown:  func(id ident.NodeID) bool { return h.down[id] },
+		WasDownAt: func(id ident.NodeID, _ sim.Time) bool { return h.wasDown[id] },
+	})
+	return h
+}
+
+func wantViolation(t *testing.T, c *Checker, monitor, site string) Violation {
+	t.Helper()
+	vs := c.Violations()
+	if len(vs) == 0 {
+		t.Fatalf("no violation recorded, want %s/%s", monitor, site)
+	}
+	v := vs[0]
+	if v.Monitor != monitor || v.Site != site {
+		t.Fatalf("violation %s/%s, want %s/%s (%v)", v.Monitor, v.Site, monitor, site, v)
+	}
+	return v
+}
+
+func wantClean(t *testing.T, c *Checker) {
+	t.Helper()
+	if err := c.Err(); err != nil {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func testEvent(src ident.NodeID, seq uint32, pats ...ident.PatternID) *wire.Event {
+	return &wire.Event{
+		ID:      ident.EventID{Source: src, Seq: seq},
+		Content: matching.Content(pats),
+	}
+}
+
+func TestFIFOMirrorAcceptsTheModelSequence(t *testing.T) {
+	h := newHarness(&Options{FIFO: true}, line(2))
+	cfg := h.c.env.NetConfig
+	msg := testEvent(0, 1, 3)
+	tx := cfg.TxTime(msg)
+
+	// Two back-to-back sends: the second serializes behind the first.
+	h.c.OnSend(0, 1, msg, false)
+	h.c.OnSend(0, 1, msg, false)
+	first := tx + cfg.PropDelay
+	second := 2*tx + cfg.PropDelay
+	h.now = first
+	h.c.OnArrive(0, 1, msg, false, 1, 0, true)
+	h.now = second
+	h.c.OnArrive(0, 1, msg, false, 1, 0, true)
+	wantClean(t, h.c)
+}
+
+func TestFIFOSerializationViolationStopsTheRun(t *testing.T) {
+	h := newHarness(&Options{FIFO: true}, line(2))
+	msg := testEvent(0, 1, 3)
+	h.c.OnSend(0, 1, msg, false)
+	h.now = 1 // far before tx+prop
+	h.c.OnArrive(0, 1, msg, false, 1, 0, true)
+	v := wantViolation(t, h.c, "fifo", "serialization")
+	if !h.stopped {
+		t.Error("fail-fast did not stop the run")
+	}
+	if v.Seed != 7 || v.Algorithm != "test" || v.Event != msg.ID {
+		t.Errorf("violation lacks reproducer fields: %+v", v)
+	}
+	if !strings.Contains(v.Repro(), "seed=7") || !strings.Contains(v.String(), "fifo/serialization") {
+		t.Errorf("repro/string malformed: %q / %q", v.Repro(), v.String())
+	}
+	// After the stop the hooks go quiet: no violation pile-up.
+	h.c.OnArrive(0, 1, msg, false, 1, 0, true)
+	if len(h.c.Violations()) != 1 {
+		t.Errorf("hooks kept reporting after stop: %d violations", len(h.c.Violations()))
+	}
+}
+
+func TestFIFOUnmatchedArrival(t *testing.T) {
+	h := newHarness(&Options{FIFO: true}, line(2))
+	h.c.OnArrive(0, 1, testEvent(0, 1, 3), false, 1, 0, true)
+	wantViolation(t, h.c, "fifo", "unmatched-arrival")
+}
+
+func TestFIFOSkipsSendsTheNetworkDrops(t *testing.T) {
+	h := newHarness(&Options{FIFO: true}, line(3))
+	msg := testEvent(0, 1, 3)
+	h.c.OnSend(0, 2, msg, false) // not a neighbor
+	h.down[0] = true
+	h.c.OnSend(0, 1, msg, false) // sender down
+	h.down[0] = false
+	h.down[1] = true
+	h.c.OnSend(0, 1, msg, false) // receiver down
+	if len(h.c.fifo.queues) != 0 {
+		t.Errorf("dropped sends were mirrored: %d queues", len(h.c.fifo.queues))
+	}
+	wantClean(t, h.c)
+}
+
+func TestFIFOOOBDelayBounds(t *testing.T) {
+	msg := testEvent(0, 1, 3)
+	for _, tc := range []struct {
+		name  string
+		delay func(lo, hi sim.Time) sim.Time
+		bad   bool
+	}{
+		{"at-lower-bound", func(lo, hi sim.Time) sim.Time { return lo }, false},
+		{"at-upper-bound", func(lo, hi sim.Time) sim.Time { return hi }, false},
+		{"too-fast", func(lo, hi sim.Time) sim.Time { return lo - 1 }, true},
+		{"too-slow", func(lo, hi sim.Time) sim.Time { return hi + 1 }, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(&Options{FIFO: true}, line(4))
+			cfg := h.c.env.NetConfig
+			tx := cfg.TxTime(msg)
+			lo := cfg.OOBBaseDelay + tx
+			hi := cfg.OOBBaseDelay + 3*cfg.PropDelay + tx
+			h.now = 5 * time.Millisecond
+			sentAt := h.now - tc.delay(lo, hi)
+			h.c.OnArrive(0, 3, msg, true, 0, sentAt, true)
+			if tc.bad {
+				wantViolation(t, h.c, "fifo", "oob-delay")
+			} else {
+				wantClean(t, h.c)
+			}
+		})
+	}
+}
+
+func deliveryHarness(t *testing.T) *harness {
+	t.Helper()
+	h := newHarness(All(), line(3))
+	h.c.SetSubscriptions([][]ident.PatternID{{1}, {2}, {2, 3}})
+	return h
+}
+
+func TestDeliveryCleanFlow(t *testing.T) {
+	h := deliveryHarness(t)
+	ev := testEvent(0, 1, 2)
+	h.c.OnPublish(0, ev, 2)
+	h.now = time.Millisecond
+	h.c.OnDeliver(1, ev, false)
+	h.c.OnDeliver(2, ev, false)
+	wantClean(t, h.c)
+	if h.c.countedDelivered != 2 || h.c.expectedTotal != 2 {
+		t.Errorf("counted %d/%d deliveries, want 2/2", h.c.countedDelivered, h.c.expectedTotal)
+	}
+}
+
+func TestDeliveryDuplicate(t *testing.T) {
+	h := deliveryHarness(t)
+	ev := testEvent(0, 1, 2)
+	h.c.OnPublish(0, ev, 2)
+	h.c.OnDeliver(1, ev, false)
+	h.c.OnDeliver(1, ev, false)
+	wantViolation(t, h.c, "delivery", "duplicate")
+}
+
+func TestDeliveryNonMatching(t *testing.T) {
+	h := deliveryHarness(t)
+	ev := testEvent(0, 1, 9)
+	h.c.OnPublish(0, ev, 0)
+	h.c.OnDeliver(1, ev, false)
+	wantViolation(t, h.c, "delivery", "non-matching")
+}
+
+func TestDeliveryToDownSubscriber(t *testing.T) {
+	h := deliveryHarness(t)
+	ev := testEvent(0, 1, 2)
+	h.c.OnPublish(0, ev, 2)
+	h.down[1] = true
+	h.c.OnDeliver(1, ev, false)
+	wantViolation(t, h.c, "delivery", "down-subscriber")
+}
+
+func TestDeliveryOfUnknownEvent(t *testing.T) {
+	h := deliveryHarness(t)
+	h.c.OnDeliver(1, testEvent(0, 99, 2), false)
+	wantViolation(t, h.c, "delivery", "unknown-event")
+}
+
+func TestSelfDeliveryIsOutsideAccounting(t *testing.T) {
+	h := deliveryHarness(t)
+	ev := testEvent(1, 1, 2)
+	// The publisher's own delivery happens before OnPublish registers
+	// the event (pubsub self-delivers synchronously inside Publish).
+	h.c.OnDeliver(1, ev, false)
+	h.c.OnPublish(1, ev, 1)
+	wantClean(t, h.c)
+	if h.c.countedDelivered != 0 {
+		t.Errorf("self-delivery was counted")
+	}
+}
+
+func TestConservationAudienceOverflow(t *testing.T) {
+	h := deliveryHarness(t)
+	ev := testEvent(0, 1, 2)
+	h.c.OnPublish(0, ev, 1)
+	h.c.OnDeliver(1, ev, false)
+	h.c.OnDeliver(2, ev, false)
+	wantViolation(t, h.c, "conservation", "audience-overflow")
+}
+
+func TestDowntimeFilteredDeliveryIsNotCounted(t *testing.T) {
+	h := deliveryHarness(t)
+	ev := testEvent(0, 1, 2)
+	h.c.OnPublish(0, ev, 0) // audience empty: node 1 was down at publish
+	h.c.OnLoss(0, 1, ev, false)
+	h.wasDown[1] = true
+	h.c.OnDeliver(1, ev, true)
+	if err := h.c.Err(); err != nil {
+		t.Fatalf("filtered delivery tripped conservation: %v", err)
+	}
+	if h.c.countedDelivered != 0 {
+		t.Errorf("filtered delivery was counted")
+	}
+}
+
+func TestTrackerReconciliation(t *testing.T) {
+	h := deliveryHarness(t)
+	tracker := metrics.NewDeliveryTracker(func() sim.Time { return h.now })
+	ev := testEvent(0, 1, 2)
+	h.c.OnPublish(0, ev, 2)
+	tracker.OnPublish(ev.ID, 2, h.now)
+	h.c.OnDeliver(1, ev, false)
+	tracker.OnDeliver(1, ev, false)
+	if err := h.c.Finish(tracker); err != nil {
+		t.Fatalf("matching totals failed reconciliation: %v", err)
+	}
+
+	// Now a delivery the tracker never saw: totals must disagree.
+	h2 := deliveryHarness(t)
+	tracker2 := metrics.NewDeliveryTracker(func() sim.Time { return h2.now })
+	h2.c.OnPublish(0, ev, 2)
+	tracker2.OnPublish(ev.ID, 2, h2.now)
+	h2.c.OnDeliver(1, ev, false)
+	h2.c.Finish(tracker2)
+	wantViolation(t, h2.c, "conservation", "tracker-reconciliation")
+}
+
+func TestRecoveryCausality(t *testing.T) {
+	// No loss, no disruption: a recovery is uncaused.
+	h := deliveryHarness(t)
+	ev := testEvent(0, 1, 2)
+	h.now = 2 * time.Second
+	h.c.OnPublish(0, ev, 2)
+	h.now = 3 * time.Second
+	h.c.OnDeliver(1, ev, true)
+	wantViolation(t, h.c, "recovery", "uncaused-recovery")
+
+	// A recorded channel loss of the event justifies it.
+	h = deliveryHarness(t)
+	h.now = 2 * time.Second
+	h.c.OnPublish(0, ev, 2)
+	h.c.OnLoss(0, 1, ev, false)
+	h.now = 3 * time.Second
+	h.c.OnDeliver(1, ev, true)
+	wantClean(t, h.c)
+
+	// A lost retransmission covers the events it carried.
+	h = deliveryHarness(t)
+	h.now = 2 * time.Second
+	h.c.OnPublish(0, ev, 2)
+	h.c.OnLoss(2, 1, &wire.Retransmit{Responder: 2, Events: []*wire.Event{ev}}, true)
+	h.now = 3 * time.Second
+	h.c.OnDeliver(1, ev, true)
+	wantClean(t, h.c)
+
+	// An overlay disruption near the publish time justifies it too —
+	// but not one that predates the publish by more than the slack.
+	h = deliveryHarness(t)
+	h.now = 2 * time.Second
+	h.c.OnTopologyMutation()
+	h.now = 2100 * time.Millisecond
+	h.c.OnPublish(0, ev, 2)
+	h.now = 3 * time.Second
+	h.c.OnDeliver(1, ev, true)
+	wantClean(t, h.c)
+
+	h = deliveryHarness(t)
+	h.now = 100 * time.Millisecond
+	h.c.OnTopologyMutation()
+	h.now = 2 * time.Second
+	h.c.OnPublish(0, ev, 2)
+	h.now = 3 * time.Second
+	h.c.OnDeliver(1, ev, true)
+	wantViolation(t, h.c, "recovery", "uncaused-recovery")
+}
+
+func TestBufferAuditReporting(t *testing.T) {
+	h := newHarness(All(), line(2))
+	h.c.AddAudit("engine 0", func() error { return nil })
+	if err := h.c.Finish(nil); err != nil {
+		t.Fatalf("clean audit reported: %v", err)
+	}
+	h = newHarness(All(), line(2))
+	h.c.AddAudit("engine 1", func() error { return errTest })
+	h.c.Finish(nil)
+	v := wantViolation(t, h.c, "recovery", "buffer-audit")
+	if !strings.Contains(v.Detail, "engine 1") {
+		t.Errorf("audit violation does not name its source: %q", v.Detail)
+	}
+}
+
+var errTest = &Error{Violations: []Violation{{Monitor: "x", Site: "y"}}}
+
+func TestTopologyMutationChecks(t *testing.T) {
+	mk := func() *fakeTopo { return line(4) }
+	for _, tc := range []struct {
+		name    string
+		corrupt func(f *fakeTopo)
+		site    string
+	}{
+		{"clean", func(f *fakeTopo) {}, ""},
+		{"degree-bound", func(f *fakeTopo) {
+			f.maxDeg = 1
+		}, "degree-bound"},
+		{"self-loop", func(f *fakeTopo) {
+			f.adj[2] = append(f.adj[2], 2)
+		}, "self-loop"},
+		{"duplicate-edge", func(f *fakeTopo) {
+			f.adj[0] = append(f.adj[0], 1)
+		}, "duplicate-edge"},
+		{"asymmetric-edge", func(f *fakeTopo) {
+			f.adj[0] = append(f.adj[0], 3)
+		}, "asymmetric-edge"},
+		{"cycle", func(f *fakeTopo) {
+			f.adj[0] = append(f.adj[0], 3)
+			f.adj[3] = append(f.adj[3], 0)
+		}, "cycle"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := mk()
+			tc.corrupt(f)
+			h := newHarness(&Options{Topology: true}, f)
+			h.c.OnTopologyMutation()
+			if tc.site == "" {
+				wantClean(t, h.c)
+			} else {
+				wantViolation(t, h.c, "topology", tc.site)
+			}
+		})
+	}
+}
+
+func TestFinishTopology(t *testing.T) {
+	// A crashed node still holding links is a violation.
+	f := line(3)
+	h := newHarness(&Options{Topology: true}, f)
+	h.down[1] = true
+	h.c.Finish(nil)
+	wantViolation(t, h.c, "topology", "down-not-isolated")
+
+	// Live nodes split in two components, with no recent mutation.
+	f = line(4)
+	f.adj[1] = f.adj[1][:1] // cut 1-2 symmetrically
+	f.adj[2] = f.adj[2][1:]
+	h = newHarness(&Options{Topology: true}, f)
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantViolation(t, h.c, "topology", "final-disconnected")
+
+	// The same split within FinalGrace of a mutation is tolerated: the
+	// run ended mid-repair.
+	h = newHarness(&Options{Topology: true}, f)
+	h.now = 10 * time.Second
+	h.c.OnTopologyMutation() // fires the shape checks too: forest is fine
+	h.now += 100 * time.Millisecond
+	if err := h.c.Finish(nil); err != nil {
+		t.Fatalf("mid-repair split reported: %v", err)
+	}
+
+	// All nodes down: nothing to check.
+	h = newHarness(&Options{Topology: true}, line(2))
+	h.down[0], h.down[1] = true, true
+	f2 := line(2)
+	f2.adj[0], f2.adj[1] = nil, nil
+	h.c.env.Topo = f2
+	if err := h.c.Finish(nil); err != nil {
+		t.Fatalf("empty live set reported: %v", err)
+	}
+}
+
+func TestKeepGoingCollectsAndTruncates(t *testing.T) {
+	h := newHarness(&Options{FIFO: true, KeepGoing: true, MaxViolations: 2}, line(2))
+	msg := testEvent(0, 1, 3)
+	for i := 0; i < 5; i++ {
+		h.c.OnArrive(0, 1, msg, false, 1, 0, true) // unmatched every time
+	}
+	if h.stopped {
+		t.Error("KeepGoing stopped the run")
+	}
+	if len(h.c.Violations()) != 2 || h.c.truncated != 3 {
+		t.Errorf("recorded %d violations (%d truncated), want 2 (3)", len(h.c.Violations()), h.c.truncated)
+	}
+	err := h.c.Err()
+	if err == nil || !strings.Contains(err.Error(), "2 invariant violations") {
+		t.Errorf("Err() = %v", err)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	e := &Error{}
+	if !strings.Contains(e.Error(), "no violations") {
+		t.Errorf("empty error: %q", e.Error())
+	}
+	one := &Error{Violations: []Violation{{Monitor: "fifo", Site: "serialization", Node: 1, Peer: ident.None}}}
+	if !strings.Contains(one.Error(), "invariant violation") {
+		t.Errorf("single error: %q", one.Error())
+	}
+	v := Violation{Monitor: "delivery", Site: "duplicate", Node: 3, Peer: 4, Event: ident.EventID{Source: 1, Seq: 2}}
+	if s := v.String(); !strings.Contains(s, "peer=node(4)") || !strings.Contains(s, "event(1:2)") {
+		t.Errorf("violation string: %q", s)
+	}
+}

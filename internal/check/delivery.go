@@ -1,0 +1,121 @@
+package check
+
+import (
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// OnPublish registers a freshly published event. Call it at publish
+// time, after the scenario computed the event's expected audience
+// (matching subscribers currently up, excluding the publisher).
+func (c *Checker) OnPublish(publisher ident.NodeID, ev *wire.Event, expected int) {
+	if c.events == nil || c.stopped {
+		return
+	}
+	c.events[ev.ID] = &eventInfo{
+		publishedAt: c.env.Now(),
+		publisher:   publisher,
+		expected:    expected,
+	}
+	c.expectedTotal += uint64(expected)
+}
+
+// OnDeliver observes one delivery. Wire it as the outermost layer of
+// the scenario's delivery chain so it sees every delivery, including
+// the ones the metrics accounting filters out.
+func (c *Checker) OnDeliver(node ident.NodeID, ev *wire.Event, recovered bool) {
+	if c.events == nil || c.stopped {
+		return
+	}
+	if c.opts.Delivery {
+		c.checkDelivery(node, ev)
+	}
+	if node == ev.ID.Source {
+		// The publisher's own delivery is outside the accounting (the
+		// tracker skips it) and trivially causal.
+		return
+	}
+	info := c.events[ev.ID]
+	if info == nil {
+		c.report("delivery", "unknown-event", node, ident.None, ev.ID,
+			"delivery of an event that was never published")
+		return
+	}
+	if c.opts.Recovery && recovered {
+		c.checkRecovery(node, ev, info)
+	}
+	if c.env.WasDownAt != nil && c.env.WasDownAt(node, c.pubTime(ev)) {
+		// The subscriber was down when the event was published: the
+		// accounting excluded it from the audience, so this (late,
+		// recovered) delivery is not counted against the budget.
+		return
+	}
+	info.counted++
+	c.countedDelivered++
+	if recovered {
+		c.countedRecovered++
+	}
+	if c.opts.Conservation && info.counted > info.expected {
+		c.report("conservation", "audience-overflow", node, info.publisher, ev.ID,
+			"counted delivery %d exceeds the %d matching subscribers up at publish",
+			info.counted, info.expected)
+	}
+}
+
+// checkDelivery enforces the delivery monitor proper: only matching,
+// currently-up subscribers, at most once per (node, event).
+func (c *Checker) checkDelivery(node ident.NodeID, ev *wire.Event) {
+	if c.subs != nil && !c.matches(node, ev) {
+		c.report("delivery", "non-matching", node, ident.None, ev.ID,
+			"delivered event content %v matches none of the node's subscriptions", ev.Content)
+	}
+	if c.nodeDown(node) {
+		c.report("delivery", "down-subscriber", node, ident.None, ev.ID,
+			"delivery to a crashed dispatcher")
+	}
+	key := nodeEvent{node: node, ev: ev.ID}
+	if _, dup := c.delivered[key]; dup {
+		c.report("delivery", "duplicate", node, ident.None, ev.ID,
+			"second delivery of the same event to the same dispatcher")
+	}
+	c.delivered[key] = struct{}{}
+}
+
+// checkRecovery enforces recovery causality: a gossip-recovered
+// delivery needs upstream evidence that the ordinary dissemination
+// genuinely failed — a recorded channel loss of the event, or an
+// overlay disruption near (or after) its publish time, while routing
+// state was re-converging.
+func (c *Checker) checkRecovery(node ident.NodeID, ev *wire.Event, info *eventInfo) {
+	if _, lost := c.lossSeen[ev.ID]; lost {
+		return
+	}
+	if c.anyMutation && c.lastMutation >= info.publishedAt-c.opts.DisruptionSlack {
+		return
+	}
+	c.report("recovery", "uncaused-recovery", node, info.publisher, ev.ID,
+		"gossip recovered an event with no recorded loss and no overlay disruption since %v (published %v)",
+		info.publishedAt-c.opts.DisruptionSlack, info.publishedAt)
+}
+
+// matches reports whether the event's content matches any of the
+// node's subscriptions.
+func (c *Checker) matches(node ident.NodeID, ev *wire.Event) bool {
+	set := c.subs[node]
+	for _, p := range ev.Content {
+		if set[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// pubTime returns the event's publish time as recorded by the checker,
+// falling back to the wire-stamped time.
+func (c *Checker) pubTime(ev *wire.Event) sim.Time {
+	if info := c.events[ev.ID]; info != nil {
+		return info.publishedAt
+	}
+	return sim.Time(ev.PublishedAt)
+}

@@ -1,0 +1,28 @@
+package differential
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSimMatchesLive is the differential matrix: for each seed and
+// algorithm, the simulator and the live UDP cluster replay the same
+// publish plan over the same overlay, and every subscriber must end
+// up with the identical set of core event IDs.
+func TestSimMatchesLive(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, alg := range []core.Algorithm{core.Push, core.CombinedPull} {
+		for _, seed := range seeds {
+			c := Case{Seed: seed, N: 8, Algorithm: alg}
+			t.Run(c.Algorithm.String()+"/"+string(rune('0'+seed)), func(t *testing.T) {
+				if err := Run(c); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package check
+
+import (
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// fifoMirror is the FIFO monitor's independent model of the channel:
+// one busy-until clock and one FIFO queue of expected arrival times
+// per (directed link, incarnation). It is deliberately a second
+// implementation of the serialization rule — map-keyed where the
+// network uses dense compacted slots — so a bookkeeping bug on either
+// side surfaces as a disagreement at arrival time.
+type fifoMirror struct {
+	busy   map[dirLink]sim.Time
+	queues map[dirLink][]sim.Time
+}
+
+// dirLink keys one incarnation of a directed link. A re-created link
+// (new incarnation) is a new connection with an empty queue.
+type dirLink struct {
+	from, to ident.NodeID
+	inc      uint64
+}
+
+func (f *fifoMirror) init() {
+	f.busy = make(map[dirLink]sim.Time)
+	f.queues = make(map[dirLink][]sim.Time)
+}
+
+var (
+	_ network.Observer        = (*Checker)(nil)
+	_ network.ArrivalObserver = (*Checker)(nil)
+)
+
+// OnSend implements network.Observer. For tree sends that the network
+// will actually put on the channel (live link, both endpoints up) it
+// mirrors the serialization computation and appends the expected
+// arrival time to the directed link's FIFO queue.
+func (c *Checker) OnSend(from, to ident.NodeID, msg wire.Message, oob bool) {
+	if !c.opts.FIFO || c.stopped || oob {
+		return
+	}
+	if c.env.Topo.NeighborSlot(from, to) < 0 || c.nodeDown(from) || c.nodeDown(to) {
+		return // dropped at send time; no arrival will be scheduled
+	}
+	key := dirLink{from: from, to: to, inc: c.env.Topo.LinkIncarnation(from, to)}
+	now := c.env.Now()
+	start := now
+	tx := c.env.NetConfig.TxTime(msg)
+	if c.env.NetConfig.ModelQueueing {
+		if b := c.fifo.busy[key]; b > start {
+			start = b
+		}
+		c.fifo.busy[key] = start + tx
+	}
+	c.fifo.queues[key] = append(c.fifo.queues[key], start+tx+c.env.NetConfig.PropDelay)
+}
+
+// OnLoss implements network.Observer. Dropped application events are
+// recorded as causal evidence for the recovery monitor; the FIFO
+// monitor needs nothing here (losses still occupy the link and are
+// checked at their arrival time).
+func (c *Checker) OnLoss(from, to ident.NodeID, msg wire.Message, oob bool) {
+	if c.lossSeen == nil || c.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Event:
+		c.lossSeen[m.ID] = struct{}{}
+	case *wire.Retransmit:
+		// A lost retransmission is not fresh evidence that the
+		// original dissemination dropped the event — but each carried
+		// event already was recovered-worthy once, so a re-recovery
+		// after this loss is still justified.
+		for _, e := range m.Events {
+			c.lossSeen[e.ID] = struct{}{}
+		}
+	}
+}
+
+// OnArrive implements network.ArrivalObserver: every arrival must
+// complete at exactly the mirrored time, in mirrored FIFO order.
+// Out-of-band arrivals are checked against the delay bounds of the
+// OOB channel instead (their send-time hop count is not replayable,
+// because the overlay may have mutated while they were in flight).
+func (c *Checker) OnArrive(from, to ident.NodeID, msg wire.Message, oob bool, inc uint64, sentAt sim.Time, delivered bool) {
+	if !c.opts.FIFO || c.stopped {
+		return
+	}
+	now := c.env.Now()
+	cfg := c.env.NetConfig
+	if oob {
+		d := now - sentAt
+		tx := cfg.TxTime(msg)
+		lo := cfg.OOBBaseDelay + tx
+		hi := cfg.OOBBaseDelay + sim.Time(c.env.N-1)*cfg.PropDelay + tx
+		if d < lo || d > hi {
+			c.report("fifo", "oob-delay", from, to, eventOf(msg),
+				"oob delay %v outside [%v, %v] (sent %v, arrived %v)", d, lo, hi, sentAt, now)
+		}
+		return
+	}
+	key := dirLink{from: from, to: to, inc: inc}
+	q := c.fifo.queues[key]
+	if len(q) == 0 {
+		c.report("fifo", "unmatched-arrival", from, to, eventOf(msg),
+			"arrival at %v on link with empty expected-arrival queue (sent %v, inc %d)", now, sentAt, inc)
+		return
+	}
+	want := q[0]
+	c.fifo.queues[key] = q[1:]
+	if now != want {
+		c.report("fifo", "serialization", from, to, eventOf(msg),
+			"arrival at %v, FIFO model expects %v (sent %v, inc %d, delivered %v)", now, want, sentAt, inc, delivered)
+	}
+}
+
+// nodeDown reads the network's down state, defaulting to up when the
+// run injects no faults.
+func (c *Checker) nodeDown(id ident.NodeID) bool {
+	return c.env.NodeDown != nil && c.env.NodeDown(id)
+}
+
+// eventOf extracts the event identity carried by msg, when any.
+func eventOf(msg wire.Message) ident.EventID {
+	if e, ok := msg.(*wire.Event); ok {
+		return e.ID
+	}
+	return ident.EventID{}
+}

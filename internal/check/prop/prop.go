@@ -1,0 +1,145 @@
+// Package prop is a property-based scenario harness: it generates
+// random simulation cases — network size, loss rates, publish rates,
+// reconfiguration and churn plans — and runs every recovery algorithm
+// over them under full invariant checking (internal/check). The
+// property is simply "no monitor fires"; the generator's job is to
+// explore corners the pinned scenarios never visit.
+//
+// When a case fails, Shrink reduces it before reporting: drop the
+// fault plan, disable reconfiguration, zero the loss, halve the
+// duration, the node count, and the publish rate — re-running after
+// each step and keeping any reduction that still fails. The final
+// reproducer is a short Case literal plus the checker's own
+// seed/event/site triple.
+//
+// Generated cases keep the gossip interval at its 30 ms default and
+// the publish rates moderate. The recovery-causality monitor's
+// evidence rule tolerates an in-flight race only while gossip rounds
+// are much slower than event delivery (see internal/check); the
+// generator stays inside that regime on purpose.
+package prop
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Case is one generated scenario, algorithm-agnostic: Run drives all
+// algorithms over it.
+type Case struct {
+	Seed        int64
+	N           int
+	LossRate    float64
+	OOBLossRate float64
+	PublishRate float64
+	Duration    sim.Time
+	Reconfig    sim.Time // 0 = no reconfigurations
+	ChurnRate   float64  // crashes/second; 0 = no fault plan
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("seed=%d n=%d ε=%.2f εoob=%.2f rate=%.0f dur=%v reconfig=%v churn=%.1f",
+		c.Seed, c.N, c.LossRate, c.OOBLossRate, c.PublishRate, c.Duration, c.Reconfig, c.ChurnRate)
+}
+
+// Generate draws one case. The ranges are chosen to stress the
+// monitors — small overlays, loss up to 30%, optional reconfiguration
+// and churn — while keeping one case cheap enough that a test can
+// afford a dozen of them across all algorithms.
+func Generate(rng *rand.Rand) Case {
+	c := Case{
+		Seed:        rng.Int63n(1 << 30),
+		N:           6 + rng.Intn(23), // 6..28
+		LossRate:    float64(rng.Intn(7)) * 0.05,
+		OOBLossRate: float64(rng.Intn(5)) * 0.05,
+		PublishRate: 5 + float64(rng.Intn(4))*5, // 5..20
+		Duration:    sim.Time(800+rng.Intn(5)*100) * time.Millisecond,
+	}
+	if rng.Intn(2) == 1 {
+		c.Reconfig = sim.Time(150+rng.Intn(3)*100) * time.Millisecond
+	}
+	if rng.Intn(2) == 1 {
+		c.ChurnRate = 1 + float64(rng.Intn(3))
+	}
+	return c
+}
+
+// Params expands the case into scenario parameters for one algorithm,
+// with all five monitors armed.
+func (c Case) Params(alg core.Algorithm) scenario.Params {
+	p := scenario.DefaultParams()
+	p.Seed = c.Seed
+	p.N = c.N
+	p.Duration = c.Duration
+	p.MeasureFrom = c.Duration / 8
+	p.MeasureTo = c.Duration - c.Duration/8
+	p.PublishRate = c.PublishRate
+	p.Algorithm = alg
+	p.Gossip = core.DefaultConfig(alg)
+	p.Network.LossRate = c.LossRate
+	p.Network.OOBLossRate = c.OOBLossRate
+	p.ReconfigInterval = c.Reconfig
+	if c.ChurnRate > 0 {
+		p.FaultPlan = faults.ChurnPlan(c.Seed, c.N, c.ChurnRate, c.Duration, 200*time.Millisecond)
+	}
+	p.Check = check.All()
+	return p
+}
+
+// Run executes the case under every algorithm and returns the first
+// violation (a *check.Error wrapped with the algorithm).
+func Run(c Case) error {
+	var r scenario.Runner
+	for _, alg := range core.Algorithms() {
+		if _, err := r.Run(c.Params(alg)); err != nil {
+			return fmt.Errorf("case [%s] algorithm %s: %w", c, alg, err)
+		}
+	}
+	return nil
+}
+
+// Shrink reduces a failing case while it keeps failing, bounded by a
+// fixed re-run budget. It returns the smallest failing case found and
+// that case's error.
+func Shrink(c Case, origErr error) (Case, error) {
+	budget := 16
+	try := func(cand Case) (error, bool) {
+		if budget <= 0 {
+			return nil, false
+		}
+		budget--
+		err := Run(cand)
+		return err, err != nil
+	}
+	smaller := []func(Case) Case{
+		func(c Case) Case { c.ChurnRate = 0; return c },
+		func(c Case) Case { c.Reconfig = 0; return c },
+		func(c Case) Case { c.LossRate = 0; return c },
+		func(c Case) Case { c.OOBLossRate = 0; return c },
+		func(c Case) Case { c.Duration /= 2; return c },
+		func(c Case) Case { c.N = 6 + (c.N-6)/2; return c },
+		func(c Case) Case { c.PublishRate = 5; return c },
+	}
+	err := origErr
+	for progress := true; progress; {
+		progress = false
+		for _, step := range smaller {
+			cand := step(c)
+			if cand == c {
+				continue
+			}
+			if candErr, failed := try(cand); failed {
+				c, err = cand, candErr
+				progress = true
+			}
+		}
+	}
+	return c, err
+}

@@ -1,0 +1,119 @@
+package check
+
+import (
+	"repro/internal/ident"
+)
+
+// OnTopologyMutation runs after every structural mutation of the
+// overlay (install it via topology.Tree.SetMutationHook). It verifies
+// the shape invariants that must hold at every instant — symmetric
+// duplicate-free adjacency, the degree bound, acyclicity — and records
+// the mutation time for the recovery monitor's disruption window and
+// the final connectivity check. Transient disconnection is legal here:
+// crash repair runs as a remove-then-reconnect sequence, and the
+// overlay is a forest between the two steps.
+func (c *Checker) OnTopologyMutation() {
+	if c.stopped {
+		return
+	}
+	c.anyMutation = true
+	c.lastMutation = c.env.Now()
+	if !c.opts.Topology {
+		return
+	}
+	t := c.env.Topo
+	n := t.N()
+	edges := 0
+	for v := ident.NodeID(0); int(v) < n; v++ {
+		nbs := t.Neighbors(v)
+		if len(nbs) > t.MaxDegree() {
+			c.report("topology", "degree-bound", v, ident.None, ident.EventID{},
+				"degree %d exceeds bound %d", len(nbs), t.MaxDegree())
+			return
+		}
+		for i, w := range nbs {
+			if w == v {
+				c.report("topology", "self-loop", v, w, ident.EventID{}, "node adjacent to itself")
+				return
+			}
+			for _, x := range nbs[:i] {
+				if x == w {
+					c.report("topology", "duplicate-edge", v, w, ident.EventID{},
+						"neighbor listed twice in the adjacency")
+					return
+				}
+			}
+			if !t.HasLink(w, v) {
+				c.report("topology", "asymmetric-edge", v, w, ident.EventID{},
+					"%v lists %v as neighbor but not vice versa", v, w)
+				return
+			}
+		}
+		edges += len(nbs)
+	}
+	edges /= 2
+	if comps := c.componentCount(nil); edges != n-comps {
+		c.report("topology", "cycle", ident.None, ident.None, ident.EventID{},
+			"%d links across %d nodes in %d components: not a forest", edges, n, comps)
+	}
+}
+
+// finishTopology runs the end-of-run shape checks: crashed nodes must
+// be fully detached, and — unless the run ended mid-repair (within
+// FinalGrace of the last mutation) — the live nodes must form one
+// connected tree.
+func (c *Checker) finishTopology() {
+	t := c.env.Topo
+	n := t.N()
+	live := 0
+	for v := ident.NodeID(0); int(v) < n; v++ {
+		if c.nodeDown(v) {
+			if d := t.Degree(v); d != 0 {
+				c.report("topology", "down-not-isolated", v, ident.None, ident.EventID{},
+					"crashed dispatcher still has %d links", d)
+			}
+			continue
+		}
+		live++
+	}
+	if live == 0 {
+		return
+	}
+	if c.anyMutation && c.env.Now()-c.lastMutation < c.opts.FinalGrace {
+		return // repair may still be in flight; not a violation
+	}
+	if comps := c.componentCount(c.nodeDown); comps > 1 {
+		c.report("topology", "final-disconnected", ident.None, ident.None, ident.EventID{},
+			"%d live dispatchers split across %d components %v after the last repair",
+			live, comps, c.env.Now()-c.lastMutation)
+	}
+}
+
+// componentCount counts connected components among the nodes not
+// excluded by skip (nil means count every node).
+func (c *Checker) componentCount(skip func(ident.NodeID) bool) int {
+	t := c.env.Topo
+	n := t.N()
+	seen := make([]bool, n)
+	queue := make([]ident.NodeID, 0, n)
+	comps := 0
+	for v := ident.NodeID(0); int(v) < n; v++ {
+		if seen[v] || (skip != nil && skip(v)) {
+			continue
+		}
+		comps++
+		seen[v] = true
+		queue = append(queue[:0], v)
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range t.Neighbors(x) {
+				if !seen[w] && (skip == nil || !skip(w)) {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// AuditInvariants verifies the engine's internal bounds: the event
+// cache respects its capacity and the Lost buffer passes its own
+// audit. It is pure — no sweep, no cache touch — so invariant monitors
+// can call it mid-run without perturbing a deterministic execution.
+func (e *Engine) AuditInvariants(now sim.Time) error {
+	if e.buf.Len() > e.buf.Capacity() {
+		return fmt.Errorf("core: node %v cache holds %d events over capacity %d",
+			e.node.ID(), e.buf.Len(), e.buf.Capacity())
+	}
+	if err := e.lost.AuditInvariants(now); err != nil {
+		return fmt.Errorf("core: node %v %w", e.node.ID(), err)
+	}
+	return nil
+}
+
+// AuditInvariants verifies the buffer's structural invariants: the
+// entry count respects the capacity bound, every digest index is
+// sorted, duplicate-free, and consistent with the entry map, the
+// detection queue is time-ordered with its cursors in bounds, and no
+// entry outlived its TTL beyond what the lazy sweep is allowed to
+// defer (an expired entry may linger in the internal state, but must
+// sit at a queue position the next sweep will visit, so it can never
+// be served). The method is pure: unlike the read path it never
+// sweeps, so it is safe at any point of a deterministic run.
+func (b *LostBuffer) AuditInvariants(now sim.Time) error {
+	if b.capacity > 0 && len(b.entries) > b.capacity {
+		return fmt.Errorf("lost buffer holds %d entries over capacity %d", len(b.entries), b.capacity)
+	}
+	if err := b.auditView("all", &b.all, len(b.entries)); err != nil {
+		return err
+	}
+	perPat := 0
+	for p, v := range b.byPat {
+		if err := b.auditView(fmt.Sprintf("pattern %v", p), v, -1); err != nil {
+			return err
+		}
+		for _, e := range v.items {
+			if e.Pattern != p {
+				return fmt.Errorf("lost buffer pattern index %v holds foreign entry %+v", p, e)
+			}
+		}
+		perPat += len(v.items)
+	}
+	if perPat != len(b.entries) {
+		return fmt.Errorf("lost buffer pattern indexes hold %d entries, map holds %d", perPat, len(b.entries))
+	}
+	perSrc := 0
+	for s, v := range b.bySrc {
+		if err := b.auditView(fmt.Sprintf("source %v", s), v, -1); err != nil {
+			return err
+		}
+		for _, e := range v.items {
+			if e.Source != s {
+				return fmt.Errorf("lost buffer source index %v holds foreign entry %+v", s, e)
+			}
+		}
+		perSrc += len(v.items)
+	}
+	if perSrc != len(b.entries) {
+		return fmt.Errorf("lost buffer source indexes hold %d entries, map holds %d", perSrc, len(b.entries))
+	}
+	return b.auditQueue(now)
+}
+
+// auditView checks one digest index: strictly ascending canonical
+// order (which implies no duplicates), every item present in the entry
+// map, and — when wantLen ≥ 0 — the expected cardinality.
+func (b *LostBuffer) auditView(name string, v *digestView, wantLen int) error {
+	if wantLen >= 0 && len(v.items) != wantLen {
+		return fmt.Errorf("lost buffer %s index holds %d entries, want %d", name, len(v.items), wantLen)
+	}
+	var prev wire.LostEntry
+	for i, e := range v.items {
+		if i > 0 && compareLost(prev, e) >= 0 {
+			return fmt.Errorf("lost buffer %s index out of order at %d: %+v !< %+v", name, i, prev, e)
+		}
+		if _, ok := b.entries[e]; !ok {
+			return fmt.Errorf("lost buffer %s index holds %+v, absent from entry map", name, e)
+		}
+		prev = e
+	}
+	return nil
+}
+
+// auditQueue checks the detection queue: cursors in bounds, detection
+// times non-decreasing (the property the lazy expiry sweep relies on),
+// every live entry's current detection time present at some queue
+// position at or past the eviction cursor, and every expired entry
+// still reachable by a future sweep (position ≥ the expiry cursor).
+func (b *LostBuffer) auditQueue(now sim.Time) error {
+	if b.head < 0 || b.head > len(b.queue) {
+		return fmt.Errorf("lost buffer eviction cursor %d outside queue [0,%d]", b.head, len(b.queue))
+	}
+	if b.exp < 0 || b.exp > len(b.queue) {
+		return fmt.Errorf("lost buffer expiry cursor %d outside queue [0,%d]", b.exp, len(b.queue))
+	}
+	for i := 1; i < len(b.queue); i++ {
+		if b.queue[i].at < b.queue[i-1].at {
+			return fmt.Errorf("lost buffer detection queue time went backwards at %d: %v after %v",
+				i, b.queue[i].at, b.queue[i-1].at)
+		}
+	}
+	sweepFrom := b.exp
+	if sweepFrom < b.head {
+		sweepFrom = b.head
+	}
+	current := make(map[wire.LostEntry]int, len(b.entries))
+	for i := b.head; i < len(b.queue); i++ {
+		d := b.queue[i]
+		if at, ok := b.entries[d.e]; ok && at == d.at {
+			current[d.e] = i
+		}
+	}
+	for e, at := range b.entries {
+		i, ok := current[e]
+		if !ok {
+			return fmt.Errorf("lost buffer entry %+v (detected %v) has no live queue position past cursor %d",
+				e, at, b.head)
+		}
+		if b.expired(at, now) && i < sweepFrom {
+			return fmt.Errorf("lost buffer entry %+v expired at %v but sits at swept position %d (< %d): unreachable by sweep",
+				e, at+b.ttl, i, sweepFrom)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// TestLostBufferAuditCleanUnderChurn exercises the buffer through
+// adds, duplicates, removals, capacity evictions, and TTL expiry, and
+// demands a clean audit after every operation — the audit must accept
+// every state the real mutation path can produce, including the lazily
+// deferred sweep states.
+func TestLostBufferAuditCleanUnderChurn(t *testing.T) {
+	b := NewLostBuffer(4, time.Second)
+	audit := func(now sim.Time, step string) {
+		t.Helper()
+		if err := b.AuditInvariants(now); err != nil {
+			t.Fatalf("audit failed after %s: %v", step, err)
+		}
+	}
+	audit(0, "construction")
+	for i := 1; i <= 6; i++ { // overflows capacity 4 → FIFO eviction
+		b.Add(le(1, i%2, i), sim32(i*10))
+		audit(sim32(i*10), "add")
+	}
+	b.Add(le(1, 1, 5), sim32(100)) // duplicate refresh: stale queue position
+	audit(sim32(100), "duplicate add")
+	b.Remove(le(1, 0, 6))
+	audit(sim32(100), "remove")
+	// Reads sweep lazily; the audit must hold before and after.
+	audit(sim32(1200), "pre-sweep with expired entries")
+	b.All(sim32(1200))
+	audit(sim32(1200), "post-sweep")
+	b.Add(le(2, 3, 1), sim32(1300))
+	audit(sim32(1300), "add after sweep")
+}
+
+// TestLostBufferAuditDetectsCorruption hand-corrupts each structural
+// invariant in turn and checks the audit names it.
+func TestLostBufferAuditDetectsCorruption(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(b *LostBuffer)
+		now     sim.Time
+		want    string
+	}{
+		{
+			name:    "capacity-overflow",
+			corrupt: func(b *LostBuffer) { b.capacity = 1 },
+			want:    "over capacity",
+		},
+		{
+			name: "index-out-of-order",
+			corrupt: func(b *LostBuffer) {
+				b.all.items[0], b.all.items[1] = b.all.items[1], b.all.items[0]
+			},
+			want: "out of order",
+		},
+		{
+			name: "index-holds-unknown-entry",
+			corrupt: func(b *LostBuffer) {
+				b.all.items[len(b.all.items)-1] = le(9, 9, 9)
+			},
+			want: "absent from entry map",
+		},
+		{
+			name: "foreign-pattern-entry",
+			corrupt: func(b *LostBuffer) {
+				// le(1,2,2) is a real map entry — but of pattern 2.
+				v := b.byPat[ident.PatternID(1)]
+				v.items = append(v.items, le(1, 2, 2))
+			},
+			want: "foreign entry",
+		},
+		{
+			name: "pattern-cardinality-mismatch",
+			corrupt: func(b *LostBuffer) {
+				v := b.byPat[ident.PatternID(1)]
+				v.items = v.items[:len(v.items)-1]
+			},
+			want: "pattern indexes hold",
+		},
+		{
+			name: "foreign-source-entry",
+			corrupt: func(b *LostBuffer) {
+				// le(2,3,3) is a real map entry — but of source 2.
+				b.Add(le(2, 3, 3), sim32(3))
+				v := b.bySrc[ident.NodeID(1)]
+				v.items = append(v.items, le(2, 3, 3))
+			},
+			want: "foreign entry",
+		},
+		{
+			name: "source-cardinality-mismatch",
+			corrupt: func(b *LostBuffer) {
+				v := b.bySrc[ident.NodeID(1)]
+				v.items = v.items[:len(v.items)-1]
+			},
+			want: "source indexes hold",
+		},
+		{
+			name:    "eviction-cursor-out-of-bounds",
+			corrupt: func(b *LostBuffer) { b.head = -1 },
+			want:    "eviction cursor",
+		},
+		{
+			name:    "expiry-cursor-out-of-bounds",
+			corrupt: func(b *LostBuffer) { b.exp = len(b.queue) + 1 },
+			want:    "expiry cursor",
+		},
+		{
+			name: "queue-time-backwards",
+			corrupt: func(b *LostBuffer) {
+				b.queue[0].at, b.queue[1].at = b.queue[1].at, b.queue[0].at
+			},
+			want: "went backwards",
+		},
+		{
+			name: "entry-without-live-queue-position",
+			corrupt: func(b *LostBuffer) {
+				b.entries[le(1, 1, 1)] = sim32(999)
+			},
+			want: "no live queue position",
+		},
+		{
+			name: "expired-entry-unreachable-by-sweep",
+			corrupt: func(b *LostBuffer) {
+				b.exp = len(b.queue) // sweep would skip everything
+			},
+			now:  sim32(5000), // well past the 1s TTL
+			want: "unreachable by sweep",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewLostBuffer(10, time.Second)
+			b.Add(le(1, 1, 1), sim32(1))
+			b.Add(le(1, 2, 2), sim32(2))
+			if err := b.AuditInvariants(tc.now); err != nil {
+				t.Fatalf("audit failed before corruption: %v", err)
+			}
+			tc.corrupt(b)
+			err := b.AuditInvariants(tc.now)
+			if err == nil {
+				t.Fatalf("audit accepted corrupted state")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("audit error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEngineAuditInvariants drives a small recovering cluster, audits
+// every engine after real traffic, then corrupts one engine's lost
+// buffer and checks the failure is attributed to that node.
+func TestEngineAuditInvariants(t *testing.T) {
+	topo := topology.NewLine(3)
+	subs := [][]ident.PatternID{nil, {5}, {5}}
+	r := newRig(t, topo, subs, deterministicCfg(SubscriberPull))
+	loseOneEvent(r, 1, 2)
+	r.run(2 * time.Second)
+	for i, e := range r.engines {
+		if err := e.AuditInvariants(r.k.Now()); err != nil {
+			t.Fatalf("engine %d failed audit after live traffic: %v", i, err)
+		}
+	}
+	e := r.engines[2]
+	e.lost.Add(wire.LostEntry{Source: 0, Pattern: 1, Seq: 99}, r.k.Now())
+	e.lost.all.items = nil // index no longer mirrors the entry map
+	err := e.AuditInvariants(r.k.Now())
+	if err == nil {
+		t.Fatal("audit accepted a corrupted engine")
+	}
+	if !strings.Contains(err.Error(), "node node(2)") {
+		t.Fatalf("audit error %q does not name the corrupt node", err)
+	}
+}

@@ -56,6 +56,19 @@ func (m multiObserver) OnLoss(from, to ident.NodeID, msg wire.Message, oob bool)
 	}
 }
 
+// ArrivalObserver receives a callback at the virtual arrival time of
+// every transmission that was actually put on a channel (i.e. every
+// Send/SendOOB that scheduled an arrival; attempts dropped at send
+// time never reach it). It exists for invariant checking: the callback
+// carries enough state (link incarnation, send time, outcome) for an
+// external monitor to re-derive what the arrival time must be and
+// verify FIFO ordering per directed link. It is invoked before the
+// message is handed to the destination handler, so monitor state is
+// consistent when the handler triggers follow-up sends.
+type ArrivalObserver interface {
+	OnArrive(from, to ident.NodeID, msg wire.Message, oob bool, inc uint64, sentAt sim.Time, delivered bool)
+}
+
 // NopObserver ignores all callbacks.
 type NopObserver struct{}
 
@@ -93,6 +106,17 @@ type Config struct {
 	ModelQueueing bool
 }
 
+// TxTime returns the serialization delay of msg under this config:
+// wire size (or the forced MessageBytes) clocked out at BandwidthBPS.
+func (c Config) TxTime(msg wire.Message) sim.Time {
+	size := c.MessageBytes
+	if size <= 0 {
+		size = msg.WireSize()
+	}
+	bits := float64(size * 8)
+	return sim.Time(bits / c.BandwidthBPS * float64(time.Second))
+}
+
 // DefaultConfig returns the paper-calibrated channel model.
 func DefaultConfig() Config {
 	return Config{
@@ -125,6 +149,7 @@ type Network struct {
 	cfg      Config
 	handlers []Handler
 	obs      Observer
+	arr      ArrivalObserver // nil unless invariant checking is on
 	rng      *rand.Rand
 	loss     LossModel
 
@@ -156,8 +181,9 @@ type inflight struct {
 	nw       *Network
 	from, to ident.NodeID
 	msg      wire.Message
-	inc      uint64 // link incarnation at send time (tree sends)
-	dropped  bool   // loss trial outcome, drawn at send time
+	inc      uint64   // link incarnation at send time (tree sends)
+	sentAt   sim.Time // virtual time of the Send/SendOOB call
+	dropped  bool     // loss trial outcome, drawn at send time
 	oob      bool
 	run      func() // bound to this record; allocated once
 }
@@ -178,21 +204,22 @@ func (nw *Network) getDelivery() *inflight {
 // recycles the record.
 func (d *inflight) arrive() {
 	nw := d.nw
-	if nw.down[d.to] {
-		// The receiver crashed while the message was in flight.
+	// A message completes iff the receiver is still up and — for tree
+	// sends — the loss trial passed and the link survived unchanged: a
+	// link that disappeared mid-flight loses the message even if the
+	// loss trial passed, and so does a link that was re-created in the
+	// meantime (a new incarnation is a new connection).
+	ok := !nw.down[d.to] && (d.oob ||
+		(!d.dropped && nw.topo.HasLink(d.from, d.to) &&
+			nw.topo.LinkIncarnation(d.from, d.to) == d.inc))
+	if nw.arr != nil {
+		nw.arr.OnArrive(d.from, d.to, d.msg, d.oob, d.inc, d.sentAt, ok)
+	}
+	if ok {
+		nw.deliver(d.from, d.to, d.msg, d.oob)
+	} else {
 		nw.lost++
 		nw.obs.OnLoss(d.from, d.to, d.msg, d.oob)
-	} else if d.oob {
-		nw.deliver(d.from, d.to, d.msg, true)
-	} else if d.dropped || !nw.topo.HasLink(d.from, d.to) ||
-		nw.topo.LinkIncarnation(d.from, d.to) != d.inc {
-		// A link that disappeared mid-flight loses the message even if
-		// the loss trial passed; so does a link that was re-created in
-		// the meantime (a new incarnation is a new connection).
-		nw.lost++
-		nw.obs.OnLoss(d.from, d.to, d.msg, false)
-	} else {
-		nw.deliver(d.from, d.to, d.msg, false)
 	}
 	d.msg = nil // release the message; the record outlives it
 	nw.freeDeliv = append(nw.freeDeliv, d)
@@ -240,6 +267,13 @@ func (nw *Network) SetLossModel(m LossModel) {
 	nw.loss = m
 }
 
+// SetArrivalObserver installs (or, with nil, removes) the arrival-time
+// callback used by invariant monitors. The hot path pays one nil check
+// per arrival when no observer is installed.
+func (nw *Network) SetArrivalObserver(a ArrivalObserver) {
+	nw.arr = a
+}
+
 // SetNodeDown marks a dispatcher crashed (true) or restarted (false).
 // While down, every transmission from or to the node — including
 // messages already in flight — is counted as lost.
@@ -264,18 +298,9 @@ func (nw *Network) Delivered() uint64 { return nw.delivered }
 // Lost returns the number of dropped transmissions so far.
 func (nw *Network) Lost() uint64 { return nw.lost }
 
-// sizeBytes returns the wire size of msg under the configured model.
-func (nw *Network) sizeBytes(msg wire.Message) int {
-	if nw.cfg.MessageBytes > 0 {
-		return nw.cfg.MessageBytes
-	}
-	return msg.WireSize()
-}
-
 // txTime returns the serialization delay of msg.
 func (nw *Network) txTime(msg wire.Message) sim.Time {
-	bits := float64(nw.sizeBytes(msg) * 8)
-	return sim.Time(bits / nw.cfg.BandwidthBPS * float64(time.Second))
+	return nw.cfg.TxTime(msg)
 }
 
 // Send transmits msg from one dispatcher to a direct neighbor on the
@@ -307,6 +332,7 @@ func (nw *Network) Send(from, to ident.NodeID, msg wire.Message) {
 	d := nw.getDelivery()
 	d.from, d.to, d.msg = from, to, msg
 	d.inc, d.dropped, d.oob = incarnation, dropped, false
+	d.sentAt = nw.k.Now()
 	nw.k.At(arrival, d.run)
 }
 
@@ -358,6 +384,7 @@ func (nw *Network) SendOOB(from, to ident.NodeID, msg wire.Message) {
 	d := nw.getDelivery()
 	d.from, d.to, d.msg = from, to, msg
 	d.inc, d.dropped, d.oob = 0, false, true
+	d.sentAt = nw.k.Now()
 	nw.k.At(nw.k.Now()+delay, d.run)
 }
 

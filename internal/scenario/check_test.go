@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+)
+
+// goldenCheckParams mirrors the golden test's configuration exactly;
+// the checked-run tests must observe the very trajectories the golden
+// metrics pin.
+func goldenCheckParams(alg core.Algorithm, reconfig time.Duration) Params {
+	p := DefaultParams()
+	p.Seed = 42
+	p.N = 25
+	p.Duration = 2 * time.Second
+	p.MeasureFrom = 300 * time.Millisecond
+	p.MeasureTo = 1500 * time.Millisecond
+	p.PublishRate = 15
+	p.ReconfigInterval = reconfig
+	p.Algorithm = alg
+	p.Gossip = core.DefaultConfig(alg)
+	return p
+}
+
+// TestCheckedGoldenRunsCleanAndBitIdentical is the tentpole's
+// acceptance gate: over the golden-test seeds, every algorithm runs
+// with all five monitors enabled without a single violation, and the
+// full Result is bit-identical to an unchecked run — the checker is
+// provably passive.
+func TestCheckedGoldenRunsCleanAndBitIdentical(t *testing.T) {
+	for _, reconfig := range []time.Duration{0, 250 * time.Millisecond} {
+		for _, alg := range core.Algorithms() {
+			alg, reconfig := alg, reconfig
+			name := alg.String()
+			if reconfig > 0 {
+				name += "-reconfig"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				plain, err := Run(goldenCheckParams(alg, reconfig))
+				if err != nil {
+					t.Fatalf("unchecked run: %v", err)
+				}
+				p := goldenCheckParams(alg, reconfig)
+				p.Check = check.All()
+				checked, err := Run(p)
+				if err != nil {
+					t.Fatalf("checked run reported a violation: %v", err)
+				}
+				// Params differ only by the Check pointer; everything
+				// measured must match bit for bit.
+				plain.Params, checked.Params = Params{}, Params{}
+				if !reflect.DeepEqual(plain, checked) {
+					t.Errorf("checked run diverged from unchecked run:\nunchecked: %+v\nchecked:   %+v", plain, checked)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckedChurnRunClean runs the pinned churn scenario — crashes,
+// restarts, tree repair, downtime-filtered accounting — under all five
+// monitors, and again demands both a clean verdict and bit-identical
+// results.
+func TestCheckedChurnRunClean(t *testing.T) {
+	plain, err := Run(churnParams())
+	if err != nil {
+		t.Fatalf("unchecked run: %v", err)
+	}
+	p := churnParams()
+	p.Check = check.All()
+	checked, err := Run(p)
+	if err != nil {
+		t.Fatalf("checked churn run reported a violation: %v", err)
+	}
+	plain.Params, checked.Params = Params{}, Params{}
+	if !reflect.DeepEqual(plain, checked) {
+		t.Errorf("checked churn run diverged from unchecked run:\nunchecked: %+v\nchecked:   %+v", plain, checked)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/ident"
@@ -80,6 +81,12 @@ type Params struct {
 	// deterministic stream factory (e.g. network.NewGilbertElliott for
 	// bursty loss) before the run starts.
 	NewLossModel func(stream func(tag int64) *rand.Rand) network.LossModel
+	// Check, when non-nil, installs runtime invariant monitors for the
+	// run (see internal/check). The checker is passive — it draws no
+	// randomness and schedules nothing, so results are bit-identical
+	// with checking on or off — and a detected violation aborts the run
+	// with a *check.Error carrying a minimal reproducer.
+	Check *check.Options
 }
 
 // DefaultParams returns the paper's default simulation parameters
@@ -284,12 +291,41 @@ func runWith(p Params, st *runState) (Result, error) {
 		return Result{}, fmt.Errorf("scenario: building topology: %w", err)
 	}
 
+	// inj is assigned after the engines exist; the closures below only
+	// consult it at virtual run time, long after the assignment.
+	var inj *faults.Injector
+
+	var chk *check.Checker
+	var nw *network.Network
+	if p.Check != nil {
+		chk = check.New(p.Check, check.Env{
+			Seed:      p.Seed,
+			Algorithm: p.Algorithm.String(),
+			N:         p.N,
+			Now:       k.Now,
+			Stop:      k.Stop,
+			Topo:      topo,
+			NetConfig: p.Network,
+			NodeDown:  func(id ident.NodeID) bool { return nw.NodeDown(id) },
+			WasDownAt: func(id ident.NodeID, at sim.Time) bool {
+				return inj != nil && inj.WasDownAt(id, at)
+			},
+		})
+		topo.SetMutationHook(chk.OnTopologyMutation)
+	}
+
 	traffic := metrics.NewTraffic(p.N)
 	var obs network.Observer = traffic
 	if p.Trace != nil {
 		obs = network.MultiObserver(traffic, &traceObserver{ring: p.Trace, now: k.Now})
 	}
-	nw := network.New(k, topo, p.Network, obs)
+	if chk != nil {
+		obs = network.MultiObserver(obs, chk)
+	}
+	nw = network.New(k, topo, p.Network, obs)
+	if chk != nil {
+		nw.SetArrivalObserver(chk)
+	}
 	if p.NewLossModel != nil {
 		nw.SetLossModel(p.NewLossModel(k.NewStream))
 	}
@@ -299,10 +335,6 @@ func runWith(p Params, st *runState) (Result, error) {
 		st.tracker.Reset(k.Now)
 	}
 	tracker := st.tracker
-
-	// inj is assigned after the engines exist; the closures below only
-	// consult it at virtual run time, long after the assignment.
-	var inj *faults.Injector
 
 	onDeliver := tracker.OnDeliver
 	if p.FaultPlan != nil {
@@ -330,6 +362,15 @@ func runWith(p Params, st *runState) (Result, error) {
 			prev(node, ev, recovered)
 		}
 	}
+	if chk != nil {
+		// Outermost: the checker must see every delivery, including the
+		// ones the downtime filter hides from the tracker.
+		prev := onDeliver
+		onDeliver = func(node ident.NodeID, ev *wire.Event, recovered bool) {
+			chk.OnDeliver(node, ev, recovered)
+			prev(node, ev, recovered)
+		}
+	}
 	pcfg := pubsub.Config{
 		RecordRoutes: p.Algorithm.NeedsRoutes(),
 		OnDeliver:    onDeliver,
@@ -349,6 +390,9 @@ func runWith(p Params, st *runState) (Result, error) {
 		subs[i] = u.RandomSubscriptions(p.PatternsPerNode, subRNG)
 	}
 	pubsub.InstallStableSubscriptions(topo, nodes, subs)
+	if chk != nil {
+		chk.SetSubscriptions(subs)
+	}
 
 	// Per-pattern subscriber sets give O(content) expected-receiver
 	// counting at publish time.
@@ -368,6 +412,13 @@ func runWith(p Params, st *runState) (Result, error) {
 			}
 			e.Start()
 			engines = append(engines, e)
+		}
+	}
+	if chk != nil {
+		for i, e := range engines {
+			e := e
+			chk.AddAudit(fmt.Sprintf("engine %d", i),
+				func() error { return e.AuditInvariants(k.Now()) })
 		}
 	}
 
@@ -422,6 +473,9 @@ func runWith(p Params, st *runState) (Result, error) {
 				expected := st.countReceivers(subscribersOf, content, node.ID(), p.N, down)
 				ev := node.Publish(content, p.PayloadBytes)
 				tracker.OnPublish(ev.ID, expected, k.Now())
+				if chk != nil {
+					chk.OnPublish(node.ID(), ev, expected)
+				}
 				if p.Trace != nil {
 					p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.Publish, Node: node.ID(), Peer: ident.None, Event: ev.ID})
 				}
@@ -472,6 +526,13 @@ func runWith(p Params, st *runState) (Result, error) {
 	k.Run(p.Duration)
 	for _, e := range engines {
 		e.Stop()
+	}
+	if chk != nil {
+		// Verdict before any pooled state is released: the audits walk
+		// live engine buffers.
+		if err := chk.Finish(tracker); err != nil {
+			return Result{}, err
+		}
 	}
 
 	res := Result{

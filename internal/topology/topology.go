@@ -71,6 +71,11 @@ type Tree struct {
 	// distance cache, rebuilt lazily per version
 	distVersion uint64
 	dist        [][]int16
+
+	// onMutate, when set, runs after every structural mutation
+	// (addEdge, RemoveLink). Installed by invariant monitors; nil in
+	// ordinary runs, costing one nil check per mutation.
+	onMutate func()
 }
 
 // New builds a random spanning tree over n dispatchers with node degree
@@ -147,7 +152,17 @@ func (t *Tree) addEdge(a, b ident.NodeID) {
 		t.incarnation = make(map[Link]uint64)
 	}
 	t.incarnation[Link{A: a, B: b}.Canon()]++
+	if t.onMutate != nil {
+		t.onMutate()
+	}
 }
+
+// SetMutationHook installs fn to run after every structural mutation
+// of the tree: each addEdge (AddLink, ReconnectAround, restart rejoin)
+// and each RemoveLink (including the per-link removals inside
+// RemoveNode). Passing nil removes the hook. The hook must not mutate
+// the tree.
+func (t *Tree) SetMutationHook(fn func()) { t.onMutate = fn }
 
 // LinkIncarnation returns how many times the link between a and b has
 // been created so far (0 when it never existed). Transport layers use
@@ -230,6 +245,9 @@ func (t *Tree) RemoveLink(a, b ident.NodeID) error {
 	t.adj[b] = removeNode(t.adj[b], a)
 	t.links--
 	t.version++
+	if t.onMutate != nil {
+		t.onMutate()
+	}
 	return nil
 }
 

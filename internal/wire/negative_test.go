@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+)
+
+// negativeSamples returns one representative encoding per message
+// kind, each with every variable-length section populated, so that
+// truncation and corruption sweeps cross all field boundaries. The
+// payloads are zero-length: the payload region is synthetic filler
+// that re-encodes as zeros, which the canonical-bytes assertions
+// below could not distinguish from corruption (it gets its own test).
+func negativeSamples() map[string]Message {
+	return map[string]Message{
+		"event": &Event{
+			ID:          ident.EventID{Source: 3, Seq: 7},
+			Content:     matching.Content{1, 2, 3},
+			Tags:        []ident.PatternSeq{{Pattern: 1, Seq: 4}, {Pattern: 2, Seq: 9}},
+			Route:       []ident.NodeID{3, 1},
+			PublishedAt: 99,
+		},
+		"subscribe":   &Subscribe{Pattern: 9},
+		"unsubscribe": &Unsubscribe{Pattern: 9},
+		"gossip-push": &GossipPush{Gossiper: 1, Pattern: 2, Digest: []ident.EventID{
+			{Source: 1, Seq: 1}, {Source: 4, Seq: 2},
+		}},
+		"gossip-sub-pull": &GossipSubPull{Gossiper: 1, Pattern: 2, Wanted: []LostEntry{
+			{Source: 1, Pattern: 2, Seq: 3},
+		}},
+		"gossip-pub-pull": &GossipPubPull{Gossiper: 1, Source: 2, Wanted: []LostEntry{
+			{Source: 2, Pattern: 1, Seq: 3},
+		}, Route: []ident.NodeID{2, 4}, Next: 1},
+		"gossip-random": &GossipRandom{Gossiper: 1, Wanted: []LostEntry{
+			{Source: 1, Pattern: 2, Seq: 3},
+		}},
+		"request": &Request{Requester: 5, IDs: []ident.EventID{{Source: 2, Seq: 9}}},
+		"retransmit": &Retransmit{Responder: 5, Events: []*Event{
+			{ID: ident.EventID{Source: 1, Seq: 1}, Content: matching.Content{2}},
+			{ID: ident.EventID{Source: 2, Seq: 4}, Tags: []ident.PatternSeq{{Pattern: 2, Seq: 1}}},
+		}},
+	}
+}
+
+// TestDecodeRejectsEveryTruncation feeds every strict prefix of every
+// sample encoding to the decoder: each one must fail with
+// ErrTruncated — never panic, never succeed on a short buffer.
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	for name, msg := range negativeSamples() {
+		t.Run(name, func(t *testing.T) {
+			buf := Encode(msg)
+			for i := 0; i < len(buf); i++ {
+				m, err := Decode(buf[:i])
+				if err == nil {
+					t.Fatalf("prefix of %d/%d bytes decoded silently to %v", i, len(buf), m.Kind())
+				}
+				if !errors.Is(err, ErrTruncated) {
+					t.Fatalf("prefix of %d/%d bytes: error %v, want ErrTruncated", i, len(buf), err)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsTrailingBytes appends garbage after each complete
+// message: the decoder must refuse the oversized buffer.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	for name, msg := range negativeSamples() {
+		t.Run(name, func(t *testing.T) {
+			for _, extra := range [][]byte{{0x00}, {0xFF, 0x17, 0x2A}} {
+				buf := append(Encode(msg), extra...)
+				if m, err := Decode(buf); err == nil {
+					t.Fatalf("%d trailing bytes decoded silently to %v", len(extra), m.Kind())
+				} else if !errors.Is(err, ErrTrailing) {
+					t.Fatalf("%d trailing bytes: error %v, want ErrTrailing", len(extra), err)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsOversizedCounts sets each sample's first count
+// field to its 16-bit maximum while leaving the body short: the
+// decoder must fail with ErrTruncated without panicking or allocating
+// for elements that cannot exist.
+func TestDecodeRejectsOversizedCounts(t *testing.T) {
+	// Offsets of the first element-count field per kind.
+	counts := map[string]struct {
+		off   int
+		width int
+	}{
+		"event":           {off: 19, width: 1}, // content count
+		"gossip-push":     {off: 9, width: 2},
+		"gossip-sub-pull": {off: 9, width: 2},
+		"gossip-pub-pull": {off: 9, width: 2},
+		"gossip-random":   {off: 5, width: 2},
+		"request":         {off: 5, width: 2},
+		"retransmit":      {off: 5, width: 2},
+	}
+	samples := negativeSamples()
+	for name, loc := range counts {
+		t.Run(name, func(t *testing.T) {
+			buf := Encode(samples[name])
+			if loc.width == 1 {
+				buf[loc.off] = 0xFF
+			} else {
+				binary.LittleEndian.PutUint16(buf[loc.off:], 0xFFFF)
+			}
+			if m, err := Decode(buf); err == nil {
+				t.Fatalf("oversized count decoded silently to %v", m.Kind())
+			} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrTrailing) {
+				t.Fatalf("oversized count: error %v, want ErrTruncated or ErrTrailing", err)
+			}
+		})
+	}
+}
+
+// TestDecodeBitFlipsNeverPanicOrDesync flips every single bit of every
+// sample encoding. Each mutation must either be rejected with a
+// decoding error or produce a message whose canonical re-encoding is
+// byte-identical to the mutated buffer — a flip may legitimately turn
+// one valid message into another, but it must never put the decoder
+// and encoder out of sync (silent acceptance of a non-canonical or
+// half-read buffer).
+func TestDecodeBitFlipsNeverPanicOrDesync(t *testing.T) {
+	for name, msg := range negativeSamples() {
+		t.Run(name, func(t *testing.T) {
+			orig := Encode(msg)
+			buf := make([]byte, len(orig))
+			for bit := 0; bit < len(orig)*8; bit++ {
+				copy(buf, orig)
+				buf[bit/8] ^= 1 << (bit % 8)
+				m, err := Decode(buf)
+				if err != nil {
+					continue
+				}
+				re := Encode(m)
+				if string(re) != string(buf) {
+					t.Fatalf("bit %d: decoded %v re-encodes to %d bytes not equal to the %d-byte input",
+						bit, m.Kind(), len(re), len(buf))
+				}
+			}
+		})
+	}
+}
+
+// TestDecodePayloadIsSyntheticFiller pins the one intentional
+// exception to canonical re-encoding: the event payload region is
+// skipped, not stored, so corrupted filler decodes cleanly and
+// re-encodes as zeros of the same length.
+func TestDecodePayloadIsSyntheticFiller(t *testing.T) {
+	ev := &Event{ID: ident.EventID{Source: 1, Seq: 2}, Content: matching.Content{5}, PayloadLen: 8}
+	buf := Encode(ev)
+	buf[len(buf)-1] ^= 0xFF // corrupt the last filler byte
+	m, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("corrupted filler rejected: %v", err)
+	}
+	re := Encode(m)
+	if len(re) != len(buf) {
+		t.Fatalf("re-encoded length %d, want %d", len(re), len(buf))
+	}
+	if re[len(re)-1] != 0 {
+		t.Fatalf("filler re-encoded as %#x, want zeros", re[len(re)-1])
+	}
+}
