@@ -42,6 +42,10 @@ func BenchmarkHotPathEndToEnd(b *testing.B) { bench.EndToEnd(b) }
 // invariant monitor armed (internal/check) — the verification price.
 func BenchmarkHotPathEndToEndChecked(b *testing.B) { bench.EndToEndChecked(b) }
 
+// BenchmarkHotPathScale10k is one 10,000-dispatcher run — the large-N
+// regime unlocked by the tiered pattern sets and slab-backed state.
+func BenchmarkHotPathScale10k(b *testing.B) { bench.Scale10k(b) }
+
 // benchFigure regenerates one figure identifier in Quick mode, b.N
 // times with distinct seeds, and reports the headline series of the
 // last run as custom metrics.

@@ -102,6 +102,7 @@ func main() {
 		{"LostBuffer", bench.LostBuffer},
 		{"EndToEnd", bench.EndToEnd},
 		{"EndToEndChecked", bench.EndToEndChecked},
+		{"Scale10k", bench.Scale10k},
 	}
 
 	if *cpuProfile != "" {

@@ -287,6 +287,45 @@ func EndToEnd(b *testing.B) {
 	}
 }
 
+// Scale10k measures one 10,000-dispatcher subscriber-pull run — the
+// large-N regime the paper never reaches. The workload mirrors the
+// scenario scale smoke: a spill-heavy 2000-pattern universe (so the
+// tiered PatternSet's spill tier is on the hot path), constant
+// aggregate publish load, and a relaxed gossip interval. The recorded
+// simevents/s is the headline number of the PR that broke the
+// 100-node wall; it is dominated by setup (topology, routing tables,
+// subscription install) plus steady-state dispatch over 10k nodes.
+func Scale10k(b *testing.B) {
+	var events uint64
+	var runner scenario.Runner
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := scenario.DefaultParams()
+		p.Seed = int64(i + 1)
+		p.N = 10_000
+		p.NumPatterns = 2000
+		p.PatternsPerNode = 1
+		p.PublishRate = 0.01 // 100 events/s aggregate
+		p.Duration = time.Second
+		p.MeasureFrom = 100 * time.Millisecond
+		p.MeasureTo = 900 * time.Millisecond
+		p.Network.LossRate = 0.05
+		p.Algorithm = core.SubscriberPull
+		p.Gossip = core.DefaultConfig(core.SubscriberPull)
+		p.Gossip.GossipInterval = 200 * time.Millisecond
+		res, err := runner.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.KernelEvents
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "simevents/s")
+	}
+}
+
 // EndToEndChecked is EndToEnd with all five invariant monitors of
 // internal/check armed. The delta against EndToEnd is the full price
 // of runtime verification; the absence of a delta when the monitors

@@ -44,7 +44,7 @@ type Stats struct {
 // implements pubsub.Recovery.
 type Engine struct {
 	node *pubsub.Node
-	k    *sim.Kernel
+	p    *sim.Proc
 	cfg  Config
 	rng  *rand.Rand
 
@@ -107,11 +107,11 @@ func NewEngineIn(node *pubsub.Node, cfg Config, pool *ScratchPool) (*Engine, err
 	if cfg.Algorithm == NoRecovery {
 		return nil, fmt.Errorf("core: %v installs no engine; use pubsub.NopRecovery", cfg.Algorithm)
 	}
-	k := node.Kernel()
-	rng := k.NewStream(0x636f7265 + int64(node.ID())) // "core" + node
+	p := node.Proc()
+	rng := p.NewStream(0x636f7265 + int64(node.ID())) // "core" + node
 	e := &Engine{
 		node: node,
-		k:    k,
+		p:    p,
 		cfg:  cfg,
 		rng:  rng,
 
@@ -191,7 +191,7 @@ func (e *Engine) Start() {
 	if e.ticker != nil {
 		panic("core: engine already started")
 	}
-	e.ticker = sim.NewJitteredTicker(e.k, e.cfg.GossipInterval, e.rng, e.round)
+	e.ticker = sim.NewJitteredTicker(e.p, e.cfg.GossipInterval, e.rng, e.round)
 }
 
 // Stop cancels future gossip rounds. A stopped engine can be started
@@ -287,7 +287,7 @@ func (e *Engine) unindex(ev *wire.Event) {
 // an event whose per-(source, pattern) sequence number exceeds the
 // expected one reveals the loss of every event in between.
 func (e *Engine) detect(ev *wire.Event) {
-	now := e.k.Now()
+	now := e.p.Now()
 	for _, tag := range ev.Tags {
 		if !e.node.IsLocal(tag.Pattern) {
 			continue
@@ -417,32 +417,13 @@ func (e *Engine) forwardPattern(msg wire.Message, p ident.PatternID, from ident.
 // so the rng draw picks identically and fixed-seed traces are
 // unchanged.
 func (e *Engine) gossipSubPull() bool {
-	now := e.k.Now()
-	var p ident.PatternID
-	lostSet, lostExact := e.lost.PatternSet(now)
-	localSet, localExact := e.node.LocalPatternSet()
-	if lostExact && localExact {
-		cand := lostSet.Intersect(localSet)
-		n := cand.Len()
-		if n == 0 {
-			return false
-		}
-		p = cand.At(e.rng.Intn(n))
-	} else {
-		// Some pattern fell outside the bitset range: the exact slice
-		// scan, in the same ascending order.
-		candidates := e.patScratch[:0]
-		for _, q := range e.node.LocalPatterns() {
-			if len(e.lost.ForPattern(q, now)) > 0 {
-				candidates = append(candidates, q)
-			}
-		}
-		e.patScratch = candidates
-		if len(candidates) == 0 {
-			return false
-		}
-		p = candidates[e.rng.Intn(len(candidates))]
+	now := e.p.Now()
+	cand := e.lost.PatternSet(now).Intersect(e.node.LocalPatternSet())
+	n := cand.Len()
+	if n == 0 {
+		return false
 	}
+	p := cand.At(e.rng.Intn(n))
 	msg := &wire.GossipSubPull{
 		Gossiper: e.node.ID(),
 		Pattern:  p,
@@ -455,7 +436,7 @@ func (e *Engine) gossipSubPull() bool {
 // outstanding losses and a known route, and send a negative digest back
 // along that route toward the publisher.
 func (e *Engine) gossipPubPull() bool {
-	now := e.k.Now()
+	now := e.p.Now()
 	candidates := e.srcScratch[:0]
 	for _, s := range e.lost.Sources(now) {
 		if len(e.routes[s]) > 0 {
@@ -482,7 +463,7 @@ func (e *Engine) gossipPubPull() bool {
 // gossipRandom starts a random-pull round: the full negative digest
 // walks the tree at random.
 func (e *Engine) gossipRandom() bool {
-	now := e.k.Now()
+	now := e.p.Now()
 	wanted := e.lost.All(now)
 	if len(wanted) == 0 {
 		return false
@@ -521,7 +502,7 @@ func (e *Engine) HandleRecovery(from ident.NodeID, msg wire.Message, oob bool) {
 // digest moving toward the pattern's other subscribers.
 func (e *Engine) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
 	if e.node.IsLocal(m.Pattern) {
-		now := e.k.Now()
+		now := e.p.Now()
 		missing := e.idScratch[:0]
 		for _, id := range m.Digest {
 			if e.node.HasReceived(id) {
@@ -692,7 +673,7 @@ func (e *Engine) sweepPending() {
 	if len(e.pending) < 1024 {
 		return
 	}
-	now := e.k.Now()
+	now := e.p.Now()
 	for id, at := range e.pending {
 		if now-at > e.cfg.PendingTTL {
 			delete(e.pending, id)

@@ -111,12 +111,11 @@ type LostBuffer struct {
 	patsStale bool
 	srcsStale bool
 
-	// patSet mirrors the distinct in-range patterns with entries as a
+	// patSet mirrors the distinct patterns with entries as a tiered
 	// bitset, maintained at the same empty↔non-empty transitions that
-	// invalidate pats. patBig counts out-of-range patterns with
-	// entries; while it is zero the bitset is the exact pattern set.
+	// invalidate pats. The tiered set represents every pattern
+	// identifier, so it is always the exact pattern set.
 	patSet ident.PatternSet
-	patBig int
 }
 
 func NewLostBuffer(capacity int, ttl sim.Time) *LostBuffer {
@@ -158,7 +157,6 @@ func (b *LostBuffer) Reset(capacity int, ttl sim.Time) {
 	b.pats, b.srcs = nil, nil
 	b.patsStale, b.srcsStale = false, false
 	b.patSet = ident.PatternSet{}
-	b.patBig = 0
 }
 
 // Add records a newly detected loss. Re-detecting an outstanding entry
@@ -215,9 +213,7 @@ func (b *LostBuffer) indexEntry(e wire.LostEntry) {
 	}
 	if len(pv.items) == 0 {
 		b.patsStale = true
-		if !b.patSet.Add(e.Pattern) {
-			b.patBig++
-		}
+		b.patSet.Add(e.Pattern)
 	}
 	pv.insert(e)
 	sv := b.bySrc[e.Source]
@@ -241,11 +237,7 @@ func (b *LostBuffer) dropEntry(e wire.LostEntry) {
 		pv.remove(e)
 		if len(pv.items) == 0 {
 			b.patsStale = true
-			if ident.PatternInSetRange(e.Pattern) {
-				b.patSet.Remove(e.Pattern)
-			} else {
-				b.patBig--
-			}
+			b.patSet.Remove(e.Pattern)
 		}
 	}
 	if sv := b.bySrc[e.Source]; sv != nil {
@@ -340,14 +332,12 @@ func (b *LostBuffer) All(now sim.Time) []wire.LostEntry {
 	return b.all.view()
 }
 
-// PatternSet returns the distinct in-range patterns with fresh entries
-// as a bitset, sweeping expired ones first. exact is false when some
-// outstanding entry carries a pattern outside the bitset range; the
-// set then understates the buffer and callers must fall back to
-// Patterns.
-func (b *LostBuffer) PatternSet(now sim.Time) (s ident.PatternSet, exact bool) {
+// PatternSet returns the distinct patterns with fresh entries as a
+// bitset, sweeping expired ones first. The tiered set represents every
+// pattern identifier, so the set is always exact.
+func (b *LostBuffer) PatternSet(now sim.Time) ident.PatternSet {
 	b.sweep(now)
-	return b.patSet, b.patBig == 0
+	return b.patSet
 }
 
 // Patterns returns the distinct patterns with fresh entries, sorted.
@@ -355,19 +345,8 @@ func (b *LostBuffer) PatternSet(now sim.Time) (s ident.PatternSet, exact bool) {
 func (b *LostBuffer) Patterns(now sim.Time) []ident.PatternID {
 	b.sweep(now)
 	if b.patsStale || b.pats == nil {
-		pats := make([]ident.PatternID, 0, b.patSet.Len()+b.patBig)
-		if b.patBig == 0 {
-			// Ascending bitset iteration is already sorted order.
-			pats = b.patSet.AppendTo(pats)
-		} else {
-			for p, v := range b.byPat {
-				if len(v.items) > 0 {
-					pats = append(pats, p)
-				}
-			}
-			slices.Sort(pats)
-		}
-		b.pats = pats
+		// Ascending bitset iteration is already sorted order.
+		b.pats = b.patSet.AppendTo(make([]ident.PatternID, 0, b.patSet.Len()))
 		b.patsStale = false
 	}
 	return b.pats

@@ -81,6 +81,7 @@ var generators = map[string]generator{
 	"x-churn":        {"EXTENSION: delivery under deterministic node churn", xChurn},
 	"x-burstloss":    {"EXTENSION: bursty (Gilbert–Elliott) vs independent loss", xBurstLoss},
 	"x-puregossip":   {"PAPER Sec. V: hpcast-style pure gossip vs tree + recovery", xPureGossip},
+	"x-scale":        {"EXTENSION: delivery, overhead, and throughput up to N=100,000", xScale},
 }
 
 // IDs returns every figure identifier in paper order.

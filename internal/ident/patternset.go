@@ -2,91 +2,309 @@ package ident
 
 import "math/bits"
 
-// PatternSetCap is the largest pattern universe a PatternSet can hold:
-// patterns 0 .. PatternSetCap-1. The paper's content model fixes
-// Π = 70 patterns (Sec. IV-A), so the whole universe fits in two
-// machine words with room to spare; packages that accept arbitrary
-// PatternIDs keep a map fallback for out-of-range identifiers.
+// PatternSetCap is the size of the inline tier of a PatternSet:
+// patterns 0 .. PatternSetCap-1 live in two machine words stored by
+// value. The paper's content model fixes Π = 70 patterns (Sec. IV-A),
+// so the whole universe fits the inline tier with room to spare and
+// every operation is branch-free word arithmetic. Larger universes —
+// the 10k–100k-node regime explored in the x-scale experiment — spill
+// into a sparse sorted-word tier; the constant marks where that
+// transition happens, not a capacity limit.
 const PatternSetCap = 128
 
-// PatternSet is a fixed-size bitset over the pattern universe
-// [0, PatternSetCap). It is two machine words, passed and compared by
-// value, which makes subscription matching and digest candidate
-// selection branch-free: membership is one shift and mask, set algebra
-// is two bitwise ops, and iteration ascends in pattern order — the
-// same order a sorted []PatternID slice yields, so replacing sorted
-// slices with bitset iteration cannot change any deterministic trace.
-//
-// The zero value is the empty set.
-type PatternSet [2]uint64
+// spillWord is one 64-pattern chunk of the sparse tier: the bits of
+// patterns [64*idx, 64*idx+63]. Words are kept sorted by idx, contain
+// at least one set bit, and always have idx >= 2 (lower words are the
+// inline tier).
+type spillWord struct {
+	idx  uint32
+	bits uint64
+}
 
-// PatternInSetRange reports whether p can be represented in a
-// PatternSet.
+// PatternSet is a tiered bitset over pattern identifiers. The first
+// 128 patterns are stored inline in two machine words; higher patterns
+// spill into a sparse slice of 64-bit words sorted by word index. For
+// universes within the inline tier the set is exactly the two-word
+// value type it replaced: membership is one shift and mask, set
+// algebra is two bitwise ops, no allocation ever happens, and
+// iteration ascends in pattern order — the same order a sorted
+// []PatternID slice yields, so replacing sorted slices with bitset
+// iteration cannot change any deterministic trace.
+//
+// The set has full value semantics: mutating methods never modify
+// spill storage reachable from a copy (they clone the spill slice on
+// write), so a PatternSet may be copied, stored, and compared with
+// Equal exactly like the array type it replaced. The zero value is the
+// empty set.
+type PatternSet struct {
+	lo [2]uint64
+	hi []spillWord
+}
+
+// PatternInSetRange reports whether p lands in the inline tier.
+// Out-of-tier patterns are still representable — they spill — so this
+// is a layout predicate (used by tests and sizing code), not a
+// capacity check.
 func PatternInSetRange(p PatternID) bool {
 	return uint32(p) < PatternSetCap
 }
 
-// Add inserts p and reports whether it was stored; p outside
-// [0, PatternSetCap) is not representable and Add returns false
-// without modifying the set. Callers that admit arbitrary pattern
-// identifiers must check the result and fall back to a map.
+// PatternSetFromAscending builds a set from identifiers in strictly
+// ascending order in one pass — O(len(ps)) total, against the
+// O(len(hi)) copy-on-write clone that per-element Add pays for each
+// new spill word. Bulk construction (routing-table install, slab
+// loaders) uses this; it panics on out-of-order input rather than
+// silently building a corrupt sorted-word tier.
+func PatternSetFromAscending(ps []PatternID) PatternSet {
+	var s PatternSet
+	prev := PatternID(-1)
+	for _, p := range ps {
+		if p <= prev {
+			panic("ident: PatternSetFromAscending input not strictly ascending")
+		}
+		prev = p
+		u := uint32(p)
+		if u < PatternSetCap {
+			s.lo[u>>6] |= 1 << (u & 63)
+			continue
+		}
+		idx, bit := u>>6, uint64(1)<<(u&63)
+		if n := len(s.hi); n > 0 && s.hi[n-1].idx == idx {
+			s.hi[n-1].bits |= bit
+		} else {
+			s.hi = append(s.hi, spillWord{idx: idx, bits: bit})
+		}
+	}
+	return s
+}
+
+// Add inserts p and reports whether it was stored. Every non-negative
+// pattern identifier is representable; only invalid negative
+// identifiers (NoPattern) are rejected.
 func (s *PatternSet) Add(p PatternID) bool {
-	u := uint32(p)
-	if u >= PatternSetCap {
+	if p < 0 {
 		return false
 	}
-	s[u>>6] |= 1 << (u & 63)
+	u := uint32(p)
+	if u < PatternSetCap {
+		s.lo[u>>6] |= 1 << (u & 63)
+		return true
+	}
+	idx, bit := u>>6, uint64(1)<<(u&63)
+	i := s.findWord(idx)
+	if i < len(s.hi) && s.hi[i].idx == idx {
+		if s.hi[i].bits&bit != 0 {
+			return true
+		}
+		// Copy-on-write: never mutate spill words a copy may share.
+		hi := make([]spillWord, len(s.hi))
+		copy(hi, s.hi)
+		hi[i].bits |= bit
+		s.hi = hi
+		return true
+	}
+	hi := make([]spillWord, len(s.hi)+1)
+	copy(hi, s.hi[:i])
+	hi[i] = spillWord{idx: idx, bits: bit}
+	copy(hi[i+1:], s.hi[i:])
+	s.hi = hi
 	return true
 }
 
-// Remove deletes p from the set. Out-of-range identifiers are a no-op
+// Remove deletes p from the set. Negative identifiers are a no-op
 // (they can never have been stored).
 func (s *PatternSet) Remove(p PatternID) {
-	u := uint32(p)
-	if u >= PatternSetCap {
+	if p < 0 {
 		return
 	}
-	s[u>>6] &^= 1 << (u & 63)
+	u := uint32(p)
+	if u < PatternSetCap {
+		s.lo[u>>6] &^= 1 << (u & 63)
+		return
+	}
+	idx, bit := u>>6, uint64(1)<<(u&63)
+	i := s.findWord(idx)
+	if i >= len(s.hi) || s.hi[i].idx != idx || s.hi[i].bits&bit == 0 {
+		return
+	}
+	if s.hi[i].bits == bit {
+		// Word empties: drop it, preserving the no-zero-words invariant.
+		hi := make([]spillWord, len(s.hi)-1)
+		copy(hi, s.hi[:i])
+		copy(hi[i:], s.hi[i+1:])
+		if len(hi) == 0 {
+			hi = nil
+		}
+		s.hi = hi
+		return
+	}
+	hi := make([]spillWord, len(s.hi))
+	copy(hi, s.hi)
+	hi[i].bits &^= bit
+	s.hi = hi
 }
 
-// Has reports whether p is in the set. Out-of-range identifiers are
-// never members.
+// findWord returns the position of idx in the sorted spill slice, or
+// the insertion point when absent. Spill slices are short (a 4096-
+// pattern universe is at most 62 words), so a linear scan beats binary
+// search's branch misses.
+func (s *PatternSet) findWord(idx uint32) int {
+	for i, w := range s.hi {
+		if w.idx >= idx {
+			return i
+		}
+	}
+	return len(s.hi)
+}
+
+// Has reports whether p is in the set.
 func (s PatternSet) Has(p PatternID) bool {
+	if p < 0 {
+		return false
+	}
 	u := uint32(p)
-	return u < PatternSetCap && s[u>>6]&(1<<(u&63)) != 0
+	if u < PatternSetCap {
+		return s.lo[u>>6]&(1<<(u&63)) != 0
+	}
+	idx, bit := u>>6, uint64(1)<<(u&63)
+	for _, w := range s.hi {
+		if w.idx == idx {
+			return w.bits&bit != 0
+		}
+		if w.idx > idx {
+			break
+		}
+	}
+	return false
 }
 
 // Union returns s ∪ o.
 func (s PatternSet) Union(o PatternSet) PatternSet {
-	return PatternSet{s[0] | o[0], s[1] | o[1]}
+	u := PatternSet{lo: [2]uint64{s.lo[0] | o.lo[0], s.lo[1] | o.lo[1]}}
+	switch {
+	case len(o.hi) == 0:
+		u.hi = s.hi
+	case len(s.hi) == 0:
+		u.hi = o.hi
+	default:
+		hi := make([]spillWord, 0, len(s.hi)+len(o.hi))
+		i, j := 0, 0
+		for i < len(s.hi) && j < len(o.hi) {
+			a, b := s.hi[i], o.hi[j]
+			switch {
+			case a.idx < b.idx:
+				hi = append(hi, a)
+				i++
+			case a.idx > b.idx:
+				hi = append(hi, b)
+				j++
+			default:
+				hi = append(hi, spillWord{idx: a.idx, bits: a.bits | b.bits})
+				i, j = i+1, j+1
+			}
+		}
+		hi = append(hi, s.hi[i:]...)
+		hi = append(hi, o.hi[j:]...)
+		u.hi = hi
+	}
+	return u
 }
 
 // Intersect returns s ∩ o.
 func (s PatternSet) Intersect(o PatternSet) PatternSet {
-	return PatternSet{s[0] & o[0], s[1] & o[1]}
+	r := PatternSet{lo: [2]uint64{s.lo[0] & o.lo[0], s.lo[1] & o.lo[1]}}
+	if len(s.hi) == 0 || len(o.hi) == 0 {
+		return r
+	}
+	var hi []spillWord
+	i, j := 0, 0
+	for i < len(s.hi) && j < len(o.hi) {
+		a, b := s.hi[i], o.hi[j]
+		switch {
+		case a.idx < b.idx:
+			i++
+		case a.idx > b.idx:
+			j++
+		default:
+			if w := a.bits & b.bits; w != 0 {
+				hi = append(hi, spillWord{idx: a.idx, bits: w})
+			}
+			i, j = i+1, j+1
+		}
+	}
+	r.hi = hi
+	return r
 }
 
 // Intersects reports whether s and o share at least one pattern.
 func (s PatternSet) Intersects(o PatternSet) bool {
-	return s[0]&o[0] != 0 || s[1]&o[1] != 0
+	if s.lo[0]&o.lo[0] != 0 || s.lo[1]&o.lo[1] != 0 {
+		return true
+	}
+	i, j := 0, 0
+	for i < len(s.hi) && j < len(o.hi) {
+		a, b := s.hi[i], o.hi[j]
+		switch {
+		case a.idx < b.idx:
+			i++
+		case a.idx > b.idx:
+			j++
+		default:
+			if a.bits&b.bits != 0 {
+				return true
+			}
+			i, j = i+1, j+1
+		}
+	}
+	return false
 }
 
 // Empty reports whether the set has no elements.
-func (s PatternSet) Empty() bool { return s[0] == 0 && s[1] == 0 }
+func (s PatternSet) Empty() bool {
+	return s.lo[0] == 0 && s.lo[1] == 0 && len(s.hi) == 0
+}
+
+// Equal reports whether s and o contain exactly the same patterns.
+// (The struct is not ==-comparable because of the spill slice.)
+func (s PatternSet) Equal(o PatternSet) bool {
+	if s.lo != o.lo || len(s.hi) != len(o.hi) {
+		return false
+	}
+	for i, w := range s.hi {
+		if o.hi[i] != w {
+			return false
+		}
+	}
+	return true
+}
 
 // Len returns the number of patterns in the set.
 func (s PatternSet) Len() int {
-	return bits.OnesCount64(s[0]) + bits.OnesCount64(s[1])
+	n := bits.OnesCount64(s.lo[0]) + bits.OnesCount64(s.lo[1])
+	for _, w := range s.hi {
+		n += bits.OnesCount64(w.bits)
+	}
+	return n
 }
 
 // AppendTo appends the set's patterns to dst in ascending order and
 // returns the extended slice. Ascending bit iteration is exactly the
 // canonical sorted order of the slice-based representations it
-// replaces, so digests and candidate lists built this way are
-// byte-identical to their sorted-slice ancestors.
+// replaced, so digests and candidate lists built this way are
+// byte-identical to their sorted-slice ancestors; the spill tier keeps
+// that property because its words are sorted and all above the inline
+// tier.
 func (s PatternSet) AppendTo(dst []PatternID) []PatternID {
-	for w, word := range s {
+	for w, word := range s.lo {
 		base := PatternID(w << 6)
+		for word != 0 {
+			dst = append(dst, base+PatternID(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	for _, sw := range s.hi {
+		base := PatternID(sw.idx) << 6
+		word := sw.bits
 		for word != 0 {
 			dst = append(dst, base+PatternID(bits.TrailingZeros64(word)))
 			word &= word - 1
@@ -97,8 +315,16 @@ func (s PatternSet) AppendTo(dst []PatternID) []PatternID {
 
 // ForEach invokes fn for every pattern in the set in ascending order.
 func (s PatternSet) ForEach(fn func(PatternID)) {
-	for w, word := range s {
+	for w, word := range s.lo {
 		base := PatternID(w << 6)
+		for word != 0 {
+			fn(base + PatternID(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	for _, sw := range s.hi {
+		base := PatternID(sw.idx) << 6
+		word := sw.bits
 		for word != 0 {
 			fn(base + PatternID(bits.TrailingZeros64(word)))
 			word &= word - 1
@@ -108,17 +334,27 @@ func (s PatternSet) ForEach(fn func(PatternID)) {
 
 // At returns the i-th pattern in ascending order. It panics when
 // i is out of range; use Len to bound it. Selection inside a word uses
-// a select-nth-set-bit ladder, so At is O(1) in the universe size —
-// the gossip round's "pick a uniform random candidate" stays constant
+// a select-nth-set-bit ladder, so At is O(spill words) — the gossip
+// round's "pick a uniform random candidate" stays effectively constant
 // time instead of materializing the candidate list.
 func (s PatternSet) At(i int) PatternID {
 	if i >= 0 {
-		c0 := bits.OnesCount64(s[0])
+		c0 := bits.OnesCount64(s.lo[0])
 		if i < c0 {
-			return PatternID(selectBit(s[0], uint(i)))
+			return PatternID(selectBit(s.lo[0], uint(i)))
 		}
-		if i < c0+bits.OnesCount64(s[1]) {
-			return PatternID(64 + selectBit(s[1], uint(i-c0)))
+		i -= c0
+		c1 := bits.OnesCount64(s.lo[1])
+		if i < c1 {
+			return PatternID(64 + selectBit(s.lo[1], uint(i)))
+		}
+		i -= c1
+		for _, sw := range s.hi {
+			c := bits.OnesCount64(sw.bits)
+			if i < c {
+				return PatternID(sw.idx)<<6 + PatternID(selectBit(sw.bits, uint(i)))
+			}
+			i -= c
 		}
 	}
 	panic("ident: PatternSet.At index out of range")
@@ -133,9 +369,8 @@ func selectBit(w uint64, n uint) int {
 	return bits.TrailingZeros64(w)
 }
 
-// NewPatternSet builds a set from a pattern list, ignoring
-// out-of-range identifiers; use Add directly when the caller must
-// detect them.
+// NewPatternSet builds a set from a pattern list, ignoring invalid
+// negative identifiers.
 func NewPatternSet(ps []PatternID) PatternSet {
 	var s PatternSet
 	for _, p := range ps {

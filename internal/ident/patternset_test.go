@@ -7,13 +7,14 @@ import (
 )
 
 // TestPatternSetBasics covers the fixed-point cases the property test
-// can miss: boundaries, the zero value, and out-of-range behavior.
+// can miss: boundaries, the zero value, spill-tier membership, and
+// invalid-identifier behavior.
 func TestPatternSetBasics(t *testing.T) {
 	var s PatternSet
 	if !s.Empty() || s.Len() != 0 {
 		t.Fatalf("zero PatternSet: Empty=%v Len=%d, want true 0", s.Empty(), s.Len())
 	}
-	for _, p := range []PatternID{0, 1, 63, 64, 127} {
+	for _, p := range []PatternID{0, 1, 63, 64, 127, 128, 129, 1000} {
 		if !s.Add(p) {
 			t.Fatalf("Add(%d) = false, want true", p)
 		}
@@ -21,11 +22,11 @@ func TestPatternSetBasics(t *testing.T) {
 			t.Fatalf("Has(%d) = false after Add", p)
 		}
 	}
-	if s.Len() != 5 {
-		t.Fatalf("Len = %d, want 5", s.Len())
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
 	}
 	got := s.AppendTo(nil)
-	want := []PatternID{0, 1, 63, 64, 127}
+	want := []PatternID{0, 1, 63, 64, 127, 128, 129, 1000}
 	if !slices.Equal(got, want) {
 		t.Fatalf("AppendTo = %v, want %v", got, want)
 	}
@@ -34,27 +35,33 @@ func TestPatternSetBasics(t *testing.T) {
 			t.Fatalf("At(%d) = %d, want %d", i, s.At(i), p)
 		}
 	}
-	for _, p := range []PatternID{128, 1000, -1, NoPattern} {
+	for _, p := range []PatternID{-1, NoPattern} {
 		if s.Add(p) {
-			t.Fatalf("Add(%d) = true, want false (out of range)", p)
+			t.Fatalf("Add(%d) = true, want false (invalid)", p)
 		}
 		if s.Has(p) {
-			t.Fatalf("Has(%d) = true, want false (out of range)", p)
+			t.Fatalf("Has(%d) = true, want false (invalid)", p)
 		}
 		s.Remove(p) // must not panic or corrupt
 	}
-	if s.Len() != 5 {
-		t.Fatalf("Len after out-of-range ops = %d, want 5", s.Len())
+	if s.Len() != 8 {
+		t.Fatalf("Len after invalid ops = %d, want 8", s.Len())
 	}
 	s.Remove(63)
-	if s.Has(63) || s.Len() != 4 {
-		t.Fatalf("Remove(63): Has=%v Len=%d, want false 4", s.Has(63), s.Len())
+	s.Remove(129)
+	if s.Has(63) || s.Has(129) || s.Len() != 6 {
+		t.Fatalf("Remove: Has(63)=%v Has(129)=%v Len=%d, want false false 6", s.Has(63), s.Has(129), s.Len())
+	}
+	s.Remove(128)
+	s.Remove(1000)
+	if len(s.hi) != 0 {
+		t.Fatalf("spill tier not drained: %v", s.hi)
 	}
 }
 
 func TestPatternSetAtPanics(t *testing.T) {
-	s := NewPatternSet([]PatternID{3, 70})
-	for _, i := range []int{-1, 2, 100} {
+	s := NewPatternSet([]PatternID{3, 70, 300})
+	for _, i := range []int{-1, 3, 100} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -66,73 +73,103 @@ func TestPatternSetAtPanics(t *testing.T) {
 	}
 }
 
+// TestPatternSetValueSemantics pins the copy-on-write contract: a copy
+// taken before a spill-tier mutation must not observe it, exactly as
+// the old two-word array value behaved.
+func TestPatternSetValueSemantics(t *testing.T) {
+	var a PatternSet
+	a.Add(5)
+	a.Add(200)
+	a.Add(300)
+	b := a
+	a.Add(201)
+	a.Remove(300)
+	a.Add(64)
+	if b.Has(201) || !b.Has(300) || b.Has(64) {
+		t.Fatalf("copy observed mutation: %v", b.AppendTo(nil))
+	}
+	if !a.Has(201) || a.Has(300) || !a.Has(64) {
+		t.Fatalf("original lost mutation: %v", a.AppendTo(nil))
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Fatalf("Equal: self=%v cross=%v, want true false", a.Equal(a), a.Equal(b))
+	}
+}
+
 // TestPatternSetDifferential drives random operation sequences against
 // a map oracle: after every step, membership, cardinality, ascending
-// iteration, and the set-algebra results must agree with the naive
-// map/sorted-slice model the bitset replaced.
+// iteration, At, and the set-algebra results must agree with the naive
+// map/sorted-slice model the bitset replaced. The universe sweep
+// crosses the Π=128 inline/spill boundary (the regime the tiered set
+// was built for) and reaches into genuinely sparse territory.
 func TestPatternSetDifferential(t *testing.T) {
-	for seed := int64(1); seed <= 20; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		var s PatternSet
-		oracle := make(map[PatternID]bool)
-		for step := 0; step < 500; step++ {
-			p := PatternID(rng.Intn(PatternSetCap))
-			if rng.Intn(3) == 0 {
-				s.Remove(p)
-				delete(oracle, p)
-			} else {
-				s.Add(p)
-				oracle[p] = true
+	for _, universe := range []int{PatternSetCap, 130, 200, 513, 4096} {
+		for seed := int64(1); seed <= 8; seed++ {
+			rng := rand.New(rand.NewSource(seed*1000 + int64(universe)))
+			var s PatternSet
+			oracle := make(map[PatternID]bool)
+			for step := 0; step < 500; step++ {
+				p := PatternID(rng.Intn(universe))
+				if rng.Intn(3) == 0 {
+					s.Remove(p)
+					delete(oracle, p)
+				} else {
+					s.Add(p)
+					oracle[p] = true
+				}
+
+				if s.Len() != len(oracle) {
+					t.Fatalf("Π=%d seed %d step %d: Len = %d, oracle %d", universe, seed, step, s.Len(), len(oracle))
+				}
+				q := PatternID(rng.Intn(universe))
+				if s.Has(q) != oracle[q] {
+					t.Fatalf("Π=%d seed %d step %d: Has(%d) = %v, oracle %v", universe, seed, step, q, s.Has(q), oracle[q])
+				}
 			}
 
-			if s.Len() != len(oracle) {
-				t.Fatalf("seed %d step %d: Len = %d, oracle %d", seed, step, s.Len(), len(oracle))
+			sorted := make([]PatternID, 0, len(oracle))
+			for p := range oracle {
+				sorted = append(sorted, p)
 			}
-			q := PatternID(rng.Intn(PatternSetCap))
-			if s.Has(q) != oracle[q] {
-				t.Fatalf("seed %d step %d: Has(%d) = %v, oracle %v", seed, step, q, s.Has(q), oracle[q])
+			slices.Sort(sorted)
+			if got := s.AppendTo(nil); !slices.Equal(got, sorted) {
+				t.Fatalf("Π=%d seed %d: AppendTo = %v, sorted oracle %v", universe, seed, got, sorted)
 			}
-		}
+			var walked []PatternID
+			s.ForEach(func(p PatternID) { walked = append(walked, p) })
+			if !slices.Equal(walked, sorted) {
+				t.Fatalf("Π=%d seed %d: ForEach order %v, want %v", universe, seed, walked, sorted)
+			}
+			for i, p := range sorted {
+				if s.At(i) != p {
+					t.Fatalf("Π=%d seed %d: At(%d) = %d, want %d", universe, seed, i, s.At(i), p)
+				}
+			}
 
-		sorted := make([]PatternID, 0, len(oracle))
-		for p := range oracle {
-			sorted = append(sorted, p)
-		}
-		slices.Sort(sorted)
-		if got := s.AppendTo(nil); !slices.Equal(got, sorted) {
-			t.Fatalf("seed %d: AppendTo = %v, sorted oracle %v", seed, got, sorted)
-		}
-		var walked []PatternID
-		s.ForEach(func(p PatternID) { walked = append(walked, p) })
-		if !slices.Equal(walked, sorted) {
-			t.Fatalf("seed %d: ForEach order %v, want %v", seed, walked, sorted)
-		}
-		for i, p := range sorted {
-			if s.At(i) != p {
-				t.Fatalf("seed %d: At(%d) = %d, want %d", seed, i, s.At(i), p)
+			other := NewPatternSet(sorted[:len(sorted)/2])
+			union := s.Union(other)
+			inter := s.Intersect(other)
+			for p := PatternID(0); p < PatternID(universe); p++ {
+				if union.Has(p) != (s.Has(p) || other.Has(p)) {
+					t.Fatalf("Π=%d seed %d: Union.Has(%d) mismatch", universe, seed, p)
+				}
+				if inter.Has(p) != (s.Has(p) && other.Has(p)) {
+					t.Fatalf("Π=%d seed %d: Intersect.Has(%d) mismatch", universe, seed, p)
+				}
 			}
-		}
-
-		other := NewPatternSet(sorted[:len(sorted)/2])
-		union := s.Union(other)
-		inter := s.Intersect(other)
-		for p := PatternID(0); p < PatternSetCap; p++ {
-			if union.Has(p) != (s.Has(p) || other.Has(p)) {
-				t.Fatalf("seed %d: Union.Has(%d) mismatch", seed, p)
+			if s.Intersects(other) != !inter.Empty() {
+				t.Fatalf("Π=%d seed %d: Intersects = %v, Intersect.Empty = %v", universe, seed, s.Intersects(other), inter.Empty())
 			}
-			if inter.Has(p) != (s.Has(p) && other.Has(p)) {
-				t.Fatalf("seed %d: Intersect.Has(%d) mismatch", seed, p)
+			if !union.Equal(other.Union(s)) || !inter.Equal(other.Intersect(s)) {
+				t.Fatalf("Π=%d seed %d: set algebra not commutative", universe, seed)
 			}
-		}
-		if s.Intersects(other) != !inter.Empty() {
-			t.Fatalf("seed %d: Intersects = %v, Intersect.Empty = %v", seed, s.Intersects(other), inter.Empty())
 		}
 	}
 }
 
-func TestNewPatternSetIgnoresOutOfRange(t *testing.T) {
+func TestNewPatternSetIgnoresInvalid(t *testing.T) {
 	s := NewPatternSet([]PatternID{5, 500, -3, 99})
-	if got := s.AppendTo(nil); !slices.Equal(got, []PatternID{5, 99}) {
-		t.Fatalf("NewPatternSet kept %v, want [5 99]", got)
+	if got := s.AppendTo(nil); !slices.Equal(got, []PatternID{5, 99, 500}) {
+		t.Fatalf("NewPatternSet kept %v, want [5 99 500]", got)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/ident"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -201,7 +202,7 @@ func NewNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: listening on %q: %w", cfg.Bind, err)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*0x9e3779b9))
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, 'l', int64(cfg.ID))))
 	n := &Node{
 		cfg:       cfg,
 		conn:      conn,
@@ -489,7 +490,7 @@ func (n *Node) observePeer(from ident.NodeID) {
 // phase like the simulator's jittered ticker.
 func (n *Node) gossipLoop() {
 	defer n.wg.Done()
-	phase := time.Duration(rand.New(rand.NewSource(n.cfg.Seed ^ int64(n.cfg.ID))).
+	phase := time.Duration(rand.New(rand.NewSource(sim.DeriveSeed(n.cfg.Seed, 'p', int64(n.cfg.ID)))).
 		Int63n(int64(n.cfg.GossipInterval)))
 	timer := time.NewTimer(phase)
 	select {

@@ -184,15 +184,13 @@ func (n *Node) Publish(content matching.Content) ident.EventID {
 }
 
 // localMatchLocked reports whether the content matches a local
-// subscription. The bitset answers for in-range patterns (the common
-// case — the whole paper universe fits); the map remains authoritative
-// for identifiers outside the bitset range. Callers hold n.mu.
+// subscription. The tiered bitset answers for every pattern
+// identifier — the inline tier covers the paper universe, the spill
+// tier anything beyond it — so the event path never probes the map.
+// Callers hold n.mu.
 func (n *Node) localMatchLocked(c matching.Content) bool {
 	for _, p := range c {
 		if n.localSet.Has(p) {
-			return true
-		}
-		if !ident.PatternInSetRange(p) && n.local[p] {
 			return true
 		}
 	}

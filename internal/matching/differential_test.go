@@ -74,8 +74,8 @@ func checkInterestAgainstOracle(t *testing.T, subs []ident.PatternID, c Content)
 	if got := in.AppendMatchedTo(scratch, c); !slices.Equal(got, wantMatched) {
 		t.Fatalf("subs=%v content=%v: AppendMatchedTo = %v, oracle %v", subs, c, got, wantMatched)
 	}
-	if set, exact := in.MatchedSet(c); exact {
-		got := set.AppendTo(nil)
+	{
+		got := in.MatchedSet(c).AppendTo(nil)
 		sorted := slices.Clone(wantMatched)
 		slices.Sort(sorted)
 		if len(got) == 0 {
@@ -91,7 +91,8 @@ func checkInterestAgainstOracle(t *testing.T, subs []ident.PatternID, c Content)
 	if got, want := c.MatchesAny(subs), oracleContentMatchesAny(c, subs); got != want {
 		t.Fatalf("subs=%v content=%v: MatchesAny = %v, oracle %v", subs, c, got, want)
 	}
-	if cs, ok := c.Set(); ok {
+	{
+		cs := c.Set()
 		for _, p := range c {
 			if !cs.Has(p) {
 				t.Fatalf("content=%v: Content.Set missing %d", c, p)

@@ -46,18 +46,13 @@ func (c Content) Clone() Content {
 	return out
 }
 
-// Set returns the content as a pattern bitset. ok is false when some
-// pattern does not fit in a PatternSet; the returned set then holds
-// only the representable patterns and callers must fall back to the
-// slice representation.
-func (c Content) Set() (s ident.PatternSet, ok bool) {
-	ok = true
+// Set returns the content as a pattern bitset. The tiered PatternSet
+// represents every pattern identifier, so the set is always exact.
+func (c Content) Set() (s ident.PatternSet) {
 	for _, p := range c {
-		if !s.Add(p) {
-			ok = false
-		}
+		s.Add(p)
 	}
-	return s, ok
+	return s
 }
 
 // Universe describes the pattern space of a simulation.
@@ -105,15 +100,14 @@ func (u Universe) RandomSubscriptions(k int, rng *rand.Rand) []ident.PatternID {
 }
 
 // Interest is the set of patterns one dispatcher is locally subscribed
-// to, with O(1) matching. Membership lives in a PatternSet bitset —
-// two machine words — so the per-event match on the routing path is a
-// handful of shifts instead of map probes. Patterns outside the bitset
-// range (none in the paper's Π=70 universe) spill into a lazily built
-// map so semantics stay exact for arbitrary identifiers.
+// to, with O(1) matching. Membership lives in a tiered PatternSet
+// bitset — two inline machine words for the paper's Π=70 universe,
+// spilling to sparse words above Π=128 — so the per-event match on the
+// routing path is a handful of shifts instead of map probes for every
+// representable identifier.
 type Interest struct {
 	patterns []ident.PatternID
 	set      ident.PatternSet
-	big      map[ident.PatternID]bool // out-of-range spill; nil when unused
 }
 
 // NewInterest builds an Interest from a pattern list.
@@ -122,33 +116,23 @@ func NewInterest(ps []ident.PatternID) *Interest {
 		patterns: append([]ident.PatternID(nil), ps...),
 	}
 	for _, p := range ps {
-		if !in.set.Add(p) {
-			if in.big == nil {
-				in.big = make(map[ident.PatternID]bool)
-			}
-			in.big[p] = true
-		}
+		in.set.Add(p)
 	}
 	return in
 }
 
 // Has reports whether p is subscribed.
 func (in *Interest) Has(p ident.PatternID) bool {
-	if ident.PatternInSetRange(p) {
-		return in.set.Has(p)
-	}
-	return in.big[p]
+	return in.set.Has(p)
 }
 
 // Patterns returns the subscribed patterns. The slice is owned by the
 // Interest and must not be mutated.
 func (in *Interest) Patterns() []ident.PatternID { return in.patterns }
 
-// Set returns the bitset of subscribed patterns that fit in a
-// PatternSet. exact is false when some subscription spilled out of
-// range, in which case the set understates the interest.
-func (in *Interest) Set() (s ident.PatternSet, exact bool) {
-	return in.set, in.big == nil
+// Set returns the bitset of subscribed patterns.
+func (in *Interest) Set() ident.PatternSet {
+	return in.set
 }
 
 // Len returns the number of subscribed patterns.
@@ -168,16 +152,9 @@ func (in *Interest) AppendMatchedTo(dst []ident.PatternID, c Content) []ident.Pa
 }
 
 // MatchedSet returns the subscribed patterns contained in content as a
-// bitset, without allocating. exact is false when some content pattern
-// is out of bitset range; the matched patterns are then found with
-// AppendMatchedTo instead.
-func (in *Interest) MatchedSet(c Content) (s ident.PatternSet, exact bool) {
-	cs, ok := c.Set()
-	s = cs.Intersect(in.set)
-	if ok && in.big == nil {
-		return s, true
-	}
-	return s, false
+// bitset. Allocation-free within the inline tier.
+func (in *Interest) MatchedSet(c Content) ident.PatternSet {
+	return c.Set().Intersect(in.set)
 }
 
 // MatchedBy returns the subscribed patterns contained in content, in
@@ -193,14 +170,6 @@ func (in *Interest) MatchedBy(c Content) []ident.PatternID {
 func (in *Interest) Matches(c Content) bool {
 	for _, p := range c {
 		if in.set.Has(p) {
-			return true
-		}
-	}
-	if in.big == nil {
-		return false
-	}
-	for _, p := range c {
-		if in.big[p] {
 			return true
 		}
 	}

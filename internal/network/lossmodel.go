@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/ident"
+	"repro/internal/sim"
 )
 
 // LossModel decides, per transmission, whether the channel drops the
@@ -137,15 +138,19 @@ func NewGilbertElliott(cfg GilbertElliottConfig, stream func(tag int64) *rand.Ra
 	}
 }
 
-// chainTagBase spells "loss"; the pair index is folded in with a prime
-// stride so distinct (from, to) pairs land on distinct tags.
+// chainTagBase spells "loss". The (from, to) pair is folded in with
+// sim.DeriveSeed's splitmix sponge rather than a linear stride: the
+// old base + from*1_000_003 + to scheme walked straight through other
+// components' tag ranges (from ≈ 184 already reached the per-publisher
+// "work" stream family), silently aliasing loss chains with workload
+// arrival streams on large overlays.
 const chainTagBase = 0x6c6f7373
 
 func (g *GilbertElliott) chain(from, to ident.NodeID) *geChain {
 	key := [2]ident.NodeID{from, to}
 	c, ok := g.chains[key]
 	if !ok {
-		tag := chainTagBase + int64(from)*1_000_003 + int64(to)
+		tag := sim.DeriveSeed(chainTagBase, int64(from), int64(to))
 		c = &geChain{rng: g.stream(tag)}
 		g.chains[key] = c
 	}

@@ -67,29 +67,37 @@ type Config struct {
 // Node is one dispatching server. All methods must be called from the
 // simulation goroutine (the kernel is single-threaded).
 //
-// Subscription state is held twice: bitsets (localSet, tableSet) plus
-// a dense per-pattern direction table answer the per-event questions
-// on the routing path without map probes, while sorted lists and spill
-// maps keep exact semantics for pattern identifiers outside the bitset
-// range (none occur in the paper's Π=70 universe).
+// Subscription state is held twice: tiered bitsets (localSet,
+// tableSet) answer the per-event membership questions on the routing
+// path without map probes for every pattern identifier, while the
+// sorted localList stays the authoritative local set. The
+// interest-direction table is struct-of-arrays: dirIdx maps a pattern
+// to a fixed-stride row of the node-local dirRows arena, so a 100k-node
+// run carries one backing array per node instead of one heap slice per
+// (node, pattern) pair; rows wider than the stride (star hubs) spill
+// into dirOver.
 type Node struct {
 	id  ident.NodeID
-	k   *sim.Kernel
+	p   *sim.Proc
 	net *network.Network
 	cfg Config
 
 	neighbors []ident.NodeID
 
 	localSet  ident.PatternSet
-	localBig  map[ident.PatternID]bool // out-of-range local subs; nil when unused
-	localList []ident.PatternID        // sorted; authoritative local set
+	localList []ident.PatternID // sorted; authoritative local set
 
-	// tableDense[p] holds the neighbors with remote interest in the
-	// in-range pattern p; tableSet mirrors which rows are non-empty so
-	// "any interest in p?" and table iteration are bit operations.
-	tableDense [][]ident.NodeID
-	tableSet   ident.PatternSet
-	tableBig   map[ident.PatternID][]ident.NodeID // out-of-range spill; nil when unused
+	// Interest-direction table. dirIdx[p] is the row number in dirRows
+	// (-1: no row yet); dirLen[row] is the live prefix length of the
+	// row's dirStride-entry window, or dirOverMark when the directions
+	// for that pattern overflowed into dirOver. tableSet mirrors which
+	// patterns have at least one direction so "any interest in p?" and
+	// table iteration are bit operations.
+	dirIdx   []int32
+	dirRows  []ident.NodeID
+	dirLen   []uint16
+	dirOver  map[ident.PatternID][]ident.NodeID
+	tableSet ident.PatternSet
 
 	// known caches KnownPatterns between subscription-state changes:
 	// the push gossiper calls it every round, the table changes only on
@@ -100,8 +108,10 @@ type Node struct {
 	// per-call map; reused across forwards (single-threaded kernel).
 	fwdScratch []ident.NodeID
 
-	nextSeq  uint32
-	patSeq   map[ident.PatternID]uint32
+	nextSeq uint32
+	// patSeq is the per-pattern sequence counter, a dense slab indexed
+	// by pattern (grown on demand) instead of a map.
+	patSeq   []uint32
 	received *ident.EventIDSet
 
 	recovery Recovery
@@ -116,15 +126,13 @@ var _ network.Handler = (*Node)(nil)
 // NewNode builds a dispatcher with the given initial neighbor set.
 func NewNode(id ident.NodeID, k *sim.Kernel, net *network.Network, neighbors []ident.NodeID, cfg Config) *Node {
 	n := &Node{
-		id:         id,
-		k:          k,
-		net:        net,
-		cfg:        cfg,
-		neighbors:  append([]ident.NodeID(nil), neighbors...),
-		tableDense: make([][]ident.NodeID, ident.PatternSetCap),
-		patSeq:     make(map[ident.PatternID]uint32),
-		received:   ident.NewEventIDSet(256),
-		recovery:   NopRecovery{},
+		id:        id,
+		p:         k.Proc(int32(id)),
+		net:       net,
+		cfg:       cfg,
+		neighbors: append([]ident.NodeID(nil), neighbors...),
+		received:  ident.NewEventIDSet(256),
+		recovery:  NopRecovery{},
 	}
 	net.Register(id, n)
 	return n
@@ -134,7 +142,12 @@ func NewNode(id ident.NodeID, k *sim.Kernel, net *network.Network, neighbors []i
 func (n *Node) ID() ident.NodeID { return n.id }
 
 // Kernel returns the simulation kernel the node runs on.
-func (n *Node) Kernel() *sim.Kernel { return n.k }
+func (n *Node) Kernel() *sim.Kernel { return n.p.Kernel() }
+
+// Proc returns the node's scheduling handle. All per-node components
+// (the recovery engine, its gossip ticker) schedule through it so
+// their events carry the node's affinity for the parallel executor.
+func (n *Node) Proc() *sim.Proc { return n.p }
 
 // SetRecovery installs the epidemic recovery engine. Passing nil
 // restores the no-recovery baseline.
@@ -154,33 +167,21 @@ func (n *Node) Neighbors() []ident.NodeID { return n.neighbors }
 // slice is owned by the node and must not be mutated.
 func (n *Node) LocalPatterns() []ident.PatternID { return n.localList }
 
-// LocalPatternSet returns the bitset of in-range local subscriptions.
-// exact is false when some local pattern is outside the bitset range,
-// in which case the set understates local interest.
-func (n *Node) LocalPatternSet() (s ident.PatternSet, exact bool) {
-	return n.localSet, n.localBig == nil
+// LocalPatternSet returns the bitset of local subscriptions. The
+// tiered set represents every pattern identifier, so it is exact.
+func (n *Node) LocalPatternSet() ident.PatternSet {
+	return n.localSet
 }
 
 // IsLocal reports whether p is locally subscribed.
 func (n *Node) IsLocal(p ident.PatternID) bool {
-	if ident.PatternInSetRange(p) {
-		return n.localSet.Has(p)
-	}
-	return n.localBig[p]
+	return n.localSet.Has(p)
 }
 
 // LocalMatch reports whether the content matches a local subscription.
 func (n *Node) LocalMatch(c matching.Content) bool {
 	for _, p := range c {
 		if n.localSet.Has(p) {
-			return true
-		}
-	}
-	if n.localBig == nil {
-		return false
-	}
-	for _, p := range c {
-		if n.localBig[p] {
 			return true
 		}
 	}
@@ -192,12 +193,7 @@ func (n *Node) setLocal(p ident.PatternID) bool {
 	if n.IsLocal(p) {
 		return false
 	}
-	if !n.localSet.Add(p) {
-		if n.localBig == nil {
-			n.localBig = make(map[ident.PatternID]bool)
-		}
-		n.localBig[p] = true
-	}
+	n.localSet.Add(p)
 	n.localList = insertSorted(n.localList, p)
 	return true
 }
@@ -208,44 +204,134 @@ func (n *Node) clearLocal(p ident.PatternID) bool {
 	if !n.IsLocal(p) {
 		return false
 	}
-	if ident.PatternInSetRange(p) {
-		n.localSet.Remove(p)
-	} else {
-		delete(n.localBig, p)
-	}
+	n.localSet.Remove(p)
 	n.localList = removeSorted(n.localList, p)
 	return true
 }
 
+// dirStride is the width of one direction row in the dirRows arena.
+// It matches the default overlay degree bound; the rare wider rows
+// (star hubs in tests) overflow into the dirOver map.
+const dirStride = 4
+
+// dirOverMark is the dirLen sentinel for a row that overflowed.
+const dirOverMark = ^uint16(0)
+
 // dirs returns the neighbors with remote interest in p. The slice is
 // owned by the node and must not be mutated.
 func (n *Node) dirs(p ident.PatternID) []ident.NodeID {
-	if ident.PatternInSetRange(p) {
-		return n.tableDense[p]
+	if p < 0 || int(p) >= len(n.dirIdx) {
+		return nil
 	}
-	return n.tableBig[p]
+	row := n.dirIdx[p]
+	if row < 0 {
+		return nil
+	}
+	l := n.dirLen[row]
+	if l == dirOverMark {
+		return n.dirOver[p]
+	}
+	off := int(row) * dirStride
+	return n.dirRows[off : off+int(l) : off+dirStride]
 }
 
-// setDirs replaces the interest directions for p, keeping tableSet in
-// sync for in-range patterns.
-func (n *Node) setDirs(p ident.PatternID, d []ident.NodeID) {
-	if ident.PatternInSetRange(p) {
-		n.tableDense[p] = d
-		if len(d) > 0 {
-			n.tableSet.Add(p)
-		} else {
-			n.tableSet.Remove(p)
+// addDir appends nb to p's direction row, keeping insertion order
+// (exactly as the per-pattern append-grown slices it replaced did).
+// The caller has already checked nb is not present.
+func (n *Node) addDir(p ident.PatternID, nb ident.NodeID) {
+	n.addDirRow(p, nb)
+	n.tableSet.Add(p)
+}
+
+// addDirRow is addDir without the tableSet update: the bulk installer
+// batches the per-pattern set bits into one ascending-order build per
+// node, because per-element spill Adds are O(|tableSet|) each under
+// copy-on-write and dominated large-N setup.
+func (n *Node) addDirRow(p ident.PatternID, nb ident.NodeID) {
+	if int(p) >= len(n.dirIdx) {
+		// Grow the pattern->row index in coarse steps so a universe
+		// discovered pattern-by-pattern does not re-grow per pattern.
+		want := (int(p) + ident.PatternSetCap) &^ (ident.PatternSetCap - 1)
+		idx := make([]int32, want)
+		copy(idx, n.dirIdx)
+		for i := len(n.dirIdx); i < want; i++ {
+			idx[i] = -1
 		}
-		return
+		n.dirIdx = idx
 	}
-	if len(d) == 0 {
-		delete(n.tableBig, p)
-		return
+	row := n.dirIdx[p]
+	if row < 0 {
+		row = int32(len(n.dirLen))
+		n.dirIdx[p] = row
+		n.dirLen = append(n.dirLen, 0)
+		var zero [dirStride]ident.NodeID
+		n.dirRows = append(n.dirRows, zero[:]...)
 	}
-	if n.tableBig == nil {
-		n.tableBig = make(map[ident.PatternID][]ident.NodeID)
+	switch l := n.dirLen[row]; {
+	case l == dirOverMark:
+		n.dirOver[p] = append(n.dirOver[p], nb)
+	case int(l) < dirStride:
+		n.dirRows[int(row)*dirStride+int(l)] = nb
+		n.dirLen[row] = l + 1
+	default:
+		// Row overflows the arena stride: move it to the spill map.
+		if n.dirOver == nil {
+			n.dirOver = make(map[ident.PatternID][]ident.NodeID)
+		}
+		off := int(row) * dirStride
+		n.dirOver[p] = append(append([]ident.NodeID(nil), n.dirRows[off:off+dirStride]...), nb)
+		n.dirLen[row] = dirOverMark
 	}
-	n.tableBig[p] = d
+}
+
+// installRows is the bulk-install finalizer: the installer has laid
+// down direction rows via addDirRow for the strictly ascending pattern
+// list ps; fold them into tableSet in one pass.
+func (n *Node) installRows(ps []ident.PatternID) {
+	n.tableSet = n.tableSet.Union(ident.PatternSetFromAscending(ps))
+	n.invalidateKnown()
+}
+
+// removeDir deletes nb from p's direction row, preserving the order of
+// the remaining entries; it reports whether nb was present.
+func (n *Node) removeDir(p ident.PatternID, nb ident.NodeID) bool {
+	if p < 0 || int(p) >= len(n.dirIdx) {
+		return false
+	}
+	row := n.dirIdx[p]
+	if row < 0 {
+		return false
+	}
+	if l := n.dirLen[row]; l != dirOverMark {
+		off := int(row) * dirStride
+		d := n.dirRows[off : off+int(l)]
+		for i, x := range d {
+			if x == nb {
+				copy(d[i:], d[i+1:])
+				n.dirLen[row] = l - 1
+				if l == 1 {
+					n.tableSet.Remove(p)
+				}
+				return true
+			}
+		}
+		return false
+	}
+	d := n.dirOver[p]
+	for i, x := range d {
+		if x == nb {
+			d = append(d[:i], d[i+1:]...)
+			if len(d) == 0 {
+				delete(n.dirOver, p)
+				n.dirLen[row] = 0
+				n.tableSet.Remove(p)
+			} else {
+				n.dirOver[p] = d
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // KnownPatterns returns every pattern with local or remote interest,
@@ -255,20 +341,7 @@ func (n *Node) setDirs(p ident.PatternID, d []ident.NodeID) {
 func (n *Node) KnownPatterns() []ident.PatternID {
 	if n.known == nil {
 		union := n.localSet.Union(n.tableSet)
-		out := make([]ident.PatternID, 0, union.Len()+len(n.localBig)+len(n.tableBig))
-		out = union.AppendTo(out) // ascending == sorted
-		if n.localBig != nil || n.tableBig != nil {
-			for p := range n.localBig {
-				out = append(out, p)
-			}
-			for p := range n.tableBig {
-				if !n.localBig[p] {
-					out = append(out, p)
-				}
-			}
-			slices.Sort(out)
-		}
-		n.known = out
+		n.known = union.AppendTo(make([]ident.PatternID, 0, union.Len())) // ascending == sorted
 	}
 	return n.known
 }
@@ -306,11 +379,16 @@ func (n *Node) Publish(content matching.Content, payload uint16) *wire.Event {
 	ev := &wire.Event{
 		ID:          ident.EventID{Source: n.id, Seq: n.nextSeq},
 		Content:     content,
-		PublishedAt: int64(n.k.Now()),
+		PublishedAt: int64(n.p.Now()),
 		PayloadLen:  payload,
 	}
 	for _, p := range content {
 		if n.IsLocal(p) || len(n.dirs(p)) > 0 {
+			if int(p) >= len(n.patSeq) {
+				grown := make([]uint32, (int(p)+ident.PatternSetCap)&^(ident.PatternSetCap-1))
+				copy(grown, n.patSeq)
+				n.patSeq = grown
+			}
 			n.patSeq[p]++
 			ev.Tags = append(ev.Tags, ident.PatternSeq{Pattern: p, Seq: n.patSeq[p]})
 		}
@@ -450,21 +528,19 @@ func (n *Node) SetLocalInstant(ps []ident.PatternID) {
 // SetTableInstant installs a remote-interest direction without
 // propagation (scenario setup only).
 func (n *Node) SetTableInstant(p ident.PatternID, dir ident.NodeID) {
-	d := n.dirs(p)
-	for _, x := range d {
+	for _, x := range n.dirs(p) {
 		if x == dir {
 			return
 		}
 	}
-	n.setDirs(p, append(d, dir))
+	n.addDir(p, dir)
 	n.invalidateKnown()
 }
 
 // addInterest records that neighbor from is interested in p and
 // re-propagates the subscription where it is news.
 func (n *Node) addInterest(p ident.PatternID, from ident.NodeID) {
-	d := n.dirs(p)
-	for _, x := range d {
+	for _, x := range n.dirs(p) {
 		if x == from {
 			return // duplicate advertisement
 		}
@@ -474,23 +550,14 @@ func (n *Node) addInterest(p ident.PatternID, from ident.NodeID) {
 			n.SendTree(nb, &wire.Subscribe{Pattern: p})
 		}
 	}
-	n.setDirs(p, append(d, from))
+	n.addDir(p, from)
 	n.invalidateKnown()
 }
 
 // removeInterest drops neighbor from's interest in p and propagates
 // unsubscriptions where no interest remains.
 func (n *Node) removeInterest(p ident.PatternID, from ident.NodeID) {
-	d := n.dirs(p)
-	found := false
-	for i, x := range d {
-		if x == from {
-			n.setDirs(p, append(d[:i], d[i+1:]...))
-			found = true
-			break
-		}
-	}
-	if !found {
+	if !n.removeDir(p, from) {
 		return
 	}
 	n.invalidateKnown()
@@ -508,12 +575,6 @@ func (n *Node) OnLinkDown(nbr ident.NodeID) {
 	n.neighbors = removeNodeID(n.neighbors, nbr)
 	var stale []ident.PatternID
 	stale = n.tableSet.AppendTo(stale) // ascending == the sorted order used before
-	for p := range n.tableBig {
-		stale = append(stale, p)
-	}
-	if len(n.tableBig) > 0 {
-		slices.Sort(stale)
-	}
 	for _, p := range stale {
 		if slices.Contains(n.dirs(p), nbr) {
 			n.removeInterest(p, nbr)
@@ -542,9 +603,11 @@ func (n *Node) OnLinkUp(nbr ident.NodeID) {
 // when the node rejoins.
 func (n *Node) OnNodeDown() {
 	n.neighbors = n.neighbors[:0]
-	n.tableSet.ForEach(func(p ident.PatternID) { n.tableDense[p] = n.tableDense[p][:0] })
+	for i := range n.dirLen {
+		n.dirLen[i] = 0
+	}
+	n.dirOver = nil
 	n.tableSet = ident.PatternSet{}
-	n.tableBig = nil
 	n.invalidateKnown()
 }
 

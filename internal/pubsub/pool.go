@@ -43,16 +43,19 @@ func NewNodeIn(id ident.NodeID, k *sim.Kernel, net *network.Network, neighbors [
 // subscription, routing, and delivery state while keeping the grown
 // capacity of its table rows, maps, and scratch slices.
 func (n *Node) reset(id ident.NodeID, k *sim.Kernel, net *network.Network, neighbors []ident.NodeID, cfg Config) {
-	n.id, n.k, n.net, n.cfg = id, k, net, cfg
+	n.id, n.p, n.net, n.cfg = id, k.Proc(int32(id)), net, cfg
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.localSet = ident.PatternSet{}
-	n.localBig = nil
 	n.localList = n.localList[:0]
-	// Only rows flagged in tableSet can be non-empty (the setDirs
-	// invariant), so clearing those restores an all-empty table.
-	n.tableSet.ForEach(func(p ident.PatternID) { n.tableDense[p] = n.tableDense[p][:0] })
+	// The dirRows arena keeps its capacity; zeroing row lengths and the
+	// pattern index restores an all-empty table without freeing it.
+	for i := range n.dirIdx {
+		n.dirIdx[i] = -1
+	}
+	n.dirRows = n.dirRows[:0]
+	n.dirLen = n.dirLen[:0]
+	n.dirOver = nil
 	n.tableSet = ident.PatternSet{}
-	n.tableBig = nil
 	n.known = nil
 	n.nextSeq = 0
 	clear(n.patSeq)
@@ -71,7 +74,7 @@ func (n *Node) Release() {
 	}
 	p := n.pool
 	n.pool = nil
-	n.k, n.net = nil, nil
+	n.p, n.net = nil, nil
 	n.cfg = Config{}
 	n.recovery = NopRecovery{}
 	p.free = append(p.free, n)

@@ -1,0 +1,124 @@
+package pubsub
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// installOracle is the original O(N²·πmax) installer — BFS from every
+// subscriber, then a table entry on every other node — kept verbatim
+// as the differential oracle for the O(N·Π) down/up sweep, which must
+// reproduce its direction rows entry-for-entry in order.
+func installOracle(topo *topology.Tree, nodes []*Node, subs [][]ident.PatternID) {
+	for i, n := range nodes {
+		n.SetLocalInstant(subs[i])
+	}
+	parent := make([]ident.NodeID, topo.N())
+	queue := make([]ident.NodeID, 0, topo.N())
+	for s := range nodes {
+		if len(subs[s]) == 0 {
+			continue
+		}
+		for i := range parent {
+			parent[i] = ident.None
+		}
+		start := ident.NodeID(s)
+		parent[start] = start
+		queue = append(queue[:0], start)
+		for i := 0; i < len(queue); i++ {
+			x := queue[i]
+			for _, y := range topo.Neighbors(x) {
+				if parent[y] == ident.None {
+					parent[y] = x
+					queue = append(queue, y)
+				}
+			}
+		}
+		for x := range nodes {
+			if x == s || parent[x] == ident.None {
+				continue
+			}
+			for _, p := range subs[s] {
+				nodes[x].SetTableInstant(p, parent[x])
+			}
+		}
+	}
+}
+
+func buildPlainNodes(topo *topology.Tree) []*Node {
+	k := sim.New(1)
+	ncfg := network.DefaultConfig()
+	ncfg.LossRate = 0
+	net := network.New(k, topo, ncfg, nil)
+	nodes := make([]*Node, topo.N())
+	for i := range nodes {
+		id := ident.NodeID(i)
+		nodes[i] = NewNode(id, k, net, topo.Neighbors(id), Config{})
+	}
+	return nodes
+}
+
+// TestInstallMatchesQuadraticOracle pins the sweep installer against
+// the per-subscriber BFS reference: identical direction rows in
+// identical insertion order for every (node, pattern), across tree
+// shapes, universe sizes (straddling the spill-tier boundary), and
+// subscription densities.
+func TestInstallMatchesQuadraticOracle(t *testing.T) {
+	for _, tc := range []struct {
+		n, deg, numPat, perNode int
+		seed                    int64
+	}{
+		{2, 2, 4, 1, 1},
+		{9, 2, 8, 2, 2}, // line-ish: deep rows
+		{25, 3, 70, 2, 3},
+		{40, 4, 200, 3, 4}, // spill-tier universe
+		{60, 6, 500, 5, 5}, // dense: rows overflow dirStride
+		{33, 4, 129, 2, 6}, // boundary pattern ids 127/128/129 in play
+		{17, 16, 12, 3, 7}, // star-ish hub rows
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		topo, err := topology.New(tc.n, tc.deg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs := make([][]ident.PatternID, tc.n)
+		for i := range subs {
+			seen := map[int]bool{}
+			for len(subs[i]) < tc.perNode {
+				p := rng.Intn(tc.numPat)
+				if !seen[p] {
+					seen[p] = true
+					subs[i] = append(subs[i], ident.PatternID(p))
+				}
+			}
+		}
+
+		got := buildPlainNodes(topo)
+		InstallStableSubscriptions(topo, got, subs)
+		want := buildPlainNodes(topo)
+		installOracle(topo, want, subs)
+
+		for x := 0; x < tc.n; x++ {
+			for p := 0; p < tc.numPat; p++ {
+				pid := ident.PatternID(p)
+				g, w := got[x].dirs(pid), want[x].dirs(pid)
+				if len(g) != len(w) {
+					t.Fatalf("case %+v: node %d pattern %d: rows %v vs oracle %v", tc, x, p, g, w)
+				}
+				for i := range g {
+					if g[i] != w[i] {
+						t.Fatalf("case %+v: node %d pattern %d entry %d: %v vs oracle %v (order must match)", tc, x, p, i, g, w)
+					}
+				}
+			}
+			if !got[x].LocalPatternSet().Equal(want[x].LocalPatternSet()) {
+				t.Fatalf("case %+v: node %d local sets differ", tc, x)
+			}
+		}
+	}
+}

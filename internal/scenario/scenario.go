@@ -44,6 +44,18 @@ type Params struct {
 	// PublishRate is the per-dispatcher publish rate in events/second
 	// (Poisson arrivals).
 	PublishRate float64
+	// Publishers restricts publishing to the first Publishers
+	// dispatchers (0 = every dispatcher publishes, the paper's
+	// workload). Large-N studies use it to keep per-source event
+	// chains dense — and hence seqno-gap loss detection meaningful —
+	// under a bounded aggregate load.
+	Publishers int
+	// PublishPatterns restricts published content to the first
+	// PublishPatterns patterns of the universe (0 = all Π).
+	// Subscriptions still draw from the full universe, so at large Π
+	// this concentrates traffic on a hot slice while the rest of the
+	// pattern space only loads the routing state.
+	PublishPatterns int
 	// PayloadBytes is the synthetic payload size stamped on events.
 	PayloadBytes uint16
 	// Duration is the simulated time span.
@@ -87,6 +99,14 @@ type Params struct {
 	// with checking on or off — and a detected violation aborts the run
 	// with a *check.Error carrying a minimal reproducer.
 	Check *check.Options
+	// Shards, when > 1, executes the run on that many OS threads using
+	// the kernel's conservative parallel executor (sim.RunParallel):
+	// node events within one network-latency lookahead window run
+	// concurrently, and all shared-state effects are committed in exact
+	// sequential order, so the Result is bit-identical to Shards <= 1.
+	// Incompatible with Check and Trace, whose observers interleave
+	// with node handlers too finely to defer.
+	Shards int
 }
 
 // DefaultParams returns the paper's default simulation parameters
@@ -122,6 +142,12 @@ func (p Params) normalize() (Params, error) {
 	if p.PublishRate < 0 {
 		return p, fmt.Errorf("scenario: negative publish rate %v", p.PublishRate)
 	}
+	if p.Publishers < 0 || p.Publishers > p.N {
+		return p, fmt.Errorf("scenario: Publishers = %d out of [0, N=%d]", p.Publishers, p.N)
+	}
+	if p.PublishPatterns < 0 || p.PublishPatterns > p.NumPatterns {
+		return p, fmt.Errorf("scenario: PublishPatterns = %d out of [0, Π=%d]", p.PublishPatterns, p.NumPatterns)
+	}
 	if p.Duration <= 0 {
 		return p, fmt.Errorf("scenario: non-positive duration %v", p.Duration)
 	}
@@ -138,6 +164,14 @@ func (p Params) normalize() (Params, error) {
 	}
 	if p.BucketWidth <= 0 {
 		p.BucketWidth = 100 * time.Millisecond
+	}
+	if p.Shards > 1 {
+		if p.Check != nil {
+			return p, fmt.Errorf("scenario: Shards=%d is incompatible with Check (run checks with Shards <= 1)", p.Shards)
+		}
+		if p.Trace != nil {
+			return p, fmt.Errorf("scenario: Shards=%d is incompatible with Trace (trace with Shards <= 1)", p.Shards)
+		}
 	}
 	p.Gossip.Algorithm = p.Algorithm
 	if p.Algorithm != core.NoRecovery {
@@ -371,6 +405,22 @@ func runWith(p Params, st *runState) (Result, error) {
 			prev(node, ev, recovered)
 		}
 	}
+	if p.Shards > 1 {
+		// Deliveries update shared tracker state; inside a parallel
+		// window they are deferred through the delivering node's Proc
+		// and replayed at the commit barrier in exact sequential order.
+		// (The downtime filter reads injector state there; solo global
+		// events are the only mutators, so the commit sees the same
+		// state the in-window delivery did.)
+		base := onDeliver
+		onDeliver = func(node ident.NodeID, ev *wire.Event, recovered bool) {
+			if pr := k.Proc(int32(node)); pr.Deferring() {
+				pr.Defer(func() { base(node, ev, recovered) })
+				return
+			}
+			base(node, ev, recovered)
+		}
+	}
 	pcfg := pubsub.Config{
 		RecordRoutes: p.Algorithm.NeedsRoutes(),
 		OnDeliver:    onDeliver,
@@ -445,17 +495,51 @@ func runWith(p Params, st *runState) (Result, error) {
 		}
 	}
 
-	// Workload: every dispatcher publishes with Poisson arrivals.
+	// Workload: every publishing dispatcher publishes with Poisson
+	// arrivals. Publishers=0 (the default) means all of them; content
+	// draws come from the leading PublishPatterns slice of the
+	// universe when set, from all of Π otherwise.
 	var published uint64
 	if p.PublishRate > 0 {
+		wu := u
+		if p.PublishPatterns > 0 {
+			wu.NumPatterns = p.PublishPatterns
+		}
+		pubs := len(nodes)
+		if p.Publishers > 0 && p.Publishers < pubs {
+			pubs = p.Publishers
+		}
 		meanGap := float64(time.Second) / p.PublishRate
-		for i := range nodes {
+		for i := 0; i < pubs; i++ {
 			node := nodes[i]
+			pr := node.Proc()
 			wlRNG := k.NewStream(0x776f726b + int64(i)) // "work" + node
 			var publish func()
 			schedule := func() {
 				gap := sim.Time(wlRNG.ExpFloat64() * meanGap)
-				k.After(gap, publish)
+				pr.After(gap, publish)
+			}
+			// The post-publish accounting touches state shared across
+			// nodes (the receiver-count stamp array, the tracker, the
+			// publish counter), so it is deferred through the node's
+			// Proc: immediate under sequential execution, replayed at
+			// the commit barrier inside a parallel window. Moving
+			// countReceivers after node.Publish is unobservable — the
+			// two touch disjoint state and draw no randomness.
+			finish := func(content matching.Content, ev *wire.Event) {
+				var down func(ident.NodeID) bool
+				if inj != nil {
+					down = inj.IsDown
+				}
+				expected := st.countReceivers(subscribersOf, content, node.ID(), p.N, down)
+				tracker.OnPublish(ev.ID, expected, k.Now())
+				if chk != nil {
+					chk.OnPublish(node.ID(), ev, expected)
+				}
+				if p.Trace != nil {
+					p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.Publish, Node: node.ID(), Peer: ident.None, Event: ev.ID})
+				}
+				published++
 			}
 			publish = func() {
 				if inj != nil && inj.IsDown(node.ID()) {
@@ -465,21 +549,13 @@ func runWith(p Params, st *runState) (Result, error) {
 					schedule()
 					return
 				}
-				content := u.RandomContent(wlRNG)
-				var down func(ident.NodeID) bool
-				if inj != nil {
-					down = inj.IsDown
-				}
-				expected := st.countReceivers(subscribersOf, content, node.ID(), p.N, down)
+				content := wu.RandomContent(wlRNG)
 				ev := node.Publish(content, p.PayloadBytes)
-				tracker.OnPublish(ev.ID, expected, k.Now())
-				if chk != nil {
-					chk.OnPublish(node.ID(), ev, expected)
+				if pr.Deferring() {
+					pr.Defer(func() { finish(content, ev) })
+				} else {
+					finish(content, ev) // no closure on the sequential path
 				}
-				if p.Trace != nil {
-					p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.Publish, Node: node.ID(), Peer: ident.None, Event: ev.ID})
-				}
-				published++
 				schedule()
 			}
 			schedule()
@@ -523,7 +599,20 @@ func runWith(p Params, st *runState) (Result, error) {
 		k.After(p.ReconfigInterval, reconfigure)
 	}
 
-	k.Run(p.Duration)
+	if p.Shards > 1 {
+		// The lookahead is the minimum virtual-time latency of any
+		// cross-node interaction: tree arrivals add at least PropDelay,
+		// out-of-band messages at least OOBBaseDelay (plus a hop). A
+		// zero lookahead degenerates to the sequential executor inside
+		// RunParallel.
+		la := p.Network.PropDelay
+		if p.Network.OOBBaseDelay < la {
+			la = p.Network.OOBBaseDelay
+		}
+		k.RunParallel(p.Duration, p.Shards, la)
+	} else {
+		k.Run(p.Duration)
+	}
 	for _, e := range engines {
 		e.Stop()
 	}

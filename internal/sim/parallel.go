@@ -1,0 +1,475 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements conservative intra-run parallelism for the
+// kernel: RunParallel executes the same schedule as Run, bit for bit,
+// using several OS threads inside one simulation.
+//
+// The model leans on the physics of the simulated system. Every
+// cross-node interaction travels through the network, and the network
+// imposes a minimum latency L = min(PropDelay, OOBBaseDelay) on every
+// message. Therefore an event at time t on node A cannot influence any
+// node B ≠ A before t+L, and all events in the half-open window
+// [top, top+L) with distinct node affinities are causally independent
+// — except through explicitly shared state (the network's loss
+// streams and FIFO queues, metrics, the kernel's own sequence
+// counter). The driver exploits the independence and defers the
+// shared part:
+//
+//  1. Pop every event in the window; partition by affinity across
+//     shards. Events with the global affinity never enter a window —
+//     they run solo between windows, with full sequential semantics.
+//  2. Shards execute their events concurrently. A handler's calls
+//     that touch shared state — network sends, tracker updates,
+//     counters — are not executed but recorded as intents (Proc.Defer
+//     and Proc.At inside a window). Same-affinity schedules that land
+//     inside the window are executed by the same shard, in (at, seq)
+//     order, exactly where the sequential executor would run them.
+//  3. At the barrier, a single-threaded commit replays all recorded
+//     intents in exact sequential order — events ordered by (at,
+//     seq), each event's calls in program order, spawned in-window
+//     events entering the replay at the sequence number the
+//     sequential kernel would have assigned them. Since every draw
+//     from a shared random stream, every FIFO-queue update, and every
+//     kernel sequence assignment happens inside the replay, their
+//     order — and hence every bit of downstream state — is identical
+//     to the sequential run.
+//
+// The scheme is conservative: it never speculates and never rolls
+// back. Its safety conditions are checked, not assumed — a deferred
+// schedule landing inside the window it was recorded in (which would
+// mean the lookahead was wrong) panics.
+
+// slotGen is a reserved slab slot plus the generation captured at
+// reservation time.
+type slotGen struct {
+	slot int32
+	gen  uint64
+}
+
+// winEv is one event executed inside a parallel window: its identity
+// in the sequential order (at, seq), its handler, and the intents it
+// recorded while executing.
+type winEv struct {
+	at    Time
+	seq   uint64 // real seq (window pop) or synthetic (in-window spawn)
+	aff   int32
+	fn    Handler
+	slot  int32 // slab slot to recycle at commit
+	calls []intent
+}
+
+// intent is one recorded call of a window event, replayed at commit:
+// a deferred external (call != nil), an in-window same-affinity spawn
+// already executed by the shard (child != nil), or an out-of-window
+// schedule (neither).
+type intent struct {
+	at    Time
+	fn    Handler
+	call  func()
+	child *winEv
+	slot  int32
+	gen   uint64
+}
+
+// shardState is the per-shard execution context of one window.
+type shardState struct {
+	now    Time
+	cur    *winEv
+	pq     []*winEv // (at, seq) min-heap; seeded sorted
+	spawnN uint64
+	slots  []slotGen
+	pool   []*winEv // shard-local spawn records; refilled between windows
+	_      [24]byte // keep shards off each other's cache lines
+}
+
+const spawnSeqBase = uint64(1) << 63
+
+// scheduleIntent records a Proc.At made inside a window. Same-shard
+// targets inside the window execute in-shard; everything else is
+// committed at the barrier.
+func (sh *shardState) scheduleIntent(p *Proc, at Time, fn Handler) Canceler {
+	k := p.k
+	if sh.cur == nil || p.aff != sh.cur.aff {
+		panic("sim: Proc.At from a foreign shard inside a parallel window")
+	}
+	if at < sh.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, sh.now))
+	}
+	sg := sh.reserveSlot(k)
+	if at < k.windowEnd && at <= k.parUntil {
+		child := sh.getWinEv()
+		child.at, child.seq, child.aff = at, spawnSeqBase+sh.spawnN, p.aff
+		child.fn, child.slot = fn, sg.slot
+		sh.spawnN++
+		sh.push(child)
+		sh.cur.calls = append(sh.cur.calls, intent{child: child, slot: sg.slot})
+	} else {
+		sh.cur.calls = append(sh.cur.calls, intent{at: at, fn: fn, slot: sg.slot})
+	}
+	return Canceler{k: k, slot: sg.slot, gen: sg.gen}
+}
+
+// deferIntent records a Proc.Defer made inside a window.
+func (sh *shardState) deferIntent(p *Proc, fn func()) {
+	if sh.cur == nil || p.aff != sh.cur.aff {
+		panic("sim: Proc.Defer from a foreign shard inside a parallel window")
+	}
+	sh.cur.calls = append(sh.cur.calls, intent{call: fn})
+}
+
+// reserveSlot hands out a slab slot for an intent's eventual schedule.
+// Slots are taken from the kernel free list (or fresh slab growth) in
+// batches under the slab mutex; their generations are captured under
+// the same lock, and nothing else touches the slab during a window.
+func (sh *shardState) reserveSlot(k *Kernel) slotGen {
+	if len(sh.slots) == 0 {
+		k.slabMu.Lock()
+		for i := 0; i < 32; i++ {
+			var slot int32
+			if n := len(k.free); n > 0 {
+				slot = k.free[n-1]
+				k.free = k.free[:n-1]
+			} else {
+				k.slab = append(k.slab, entry{})
+				slot = int32(len(k.slab) - 1)
+			}
+			sh.slots = append(sh.slots, slotGen{slot: slot, gen: k.slab[slot].gen})
+		}
+		k.slabMu.Unlock()
+	}
+	sg := sh.slots[len(sh.slots)-1]
+	sh.slots = sh.slots[:len(sh.slots)-1]
+	return sg
+}
+
+// push inserts ev into the shard's (at, seq) min-heap.
+func (sh *shardState) push(ev *winEv) {
+	sh.pq = append(sh.pq, ev)
+	i := len(sh.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := sh.pq[parent]
+		if !evBefore(ev, p) {
+			break
+		}
+		sh.pq[i] = p
+		i = parent
+	}
+	sh.pq[i] = ev
+}
+
+// pop removes the minimum event.
+func (sh *shardState) pop() *winEv {
+	top := sh.pq[0]
+	n := len(sh.pq) - 1
+	last := sh.pq[n]
+	sh.pq = sh.pq[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && evBefore(sh.pq[c+1], sh.pq[c]) {
+				c++
+			}
+			if !evBefore(sh.pq[c], last) {
+				break
+			}
+			sh.pq[i] = sh.pq[c]
+			i = c
+		}
+		sh.pq[i] = last
+	}
+	return top
+}
+
+func evBefore(a, b *winEv) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// run executes the shard's window partition in (at, seq) order.
+func (sh *shardState) run() {
+	for len(sh.pq) > 0 {
+		ev := sh.pop()
+		sh.now = ev.at
+		sh.cur = ev
+		ev.fn()
+	}
+	sh.cur = nil
+}
+
+// getWinEv pops a shard-local pooled spawn record; shards never touch
+// the kernel pool during a window.
+func (sh *shardState) getWinEv() *winEv {
+	if n := len(sh.pool); n > 0 {
+		ev := sh.pool[n-1]
+		sh.pool = sh.pool[:n-1]
+		return ev
+	}
+	return &winEv{}
+}
+
+// getWinEv pops a pooled window-event record.
+func (k *Kernel) getWinEv() *winEv {
+	if n := len(k.winPool); n > 0 {
+		ev := k.winPool[n-1]
+		k.winPool = k.winPool[:n-1]
+		return ev
+	}
+	return &winEv{}
+}
+
+func (k *Kernel) putWinEv(ev *winEv) {
+	for i := range ev.calls {
+		ev.calls[i] = intent{}
+	}
+	ev.calls = ev.calls[:0]
+	ev.fn = nil
+	k.winPool = append(k.winPool, ev)
+}
+
+// RunParallel executes events up to the horizon like Run, sharding
+// node-affinity events across the given number of OS threads inside
+// conservative lookahead windows. The result — every metric, every
+// random draw, every event sequence number — is bit-identical to
+// Run(until) on the same kernel state. lookahead must be a lower
+// bound on the virtual-time latency of every cross-node interaction
+// (min propagation delay of the network model); shards <= 1 or a
+// non-positive lookahead falls back to the sequential executor.
+//
+// Constraints: handlers must not call Stop or Kernel.Proc during a
+// window, and every in-handler touch of cross-node shared state must
+// go through Proc.Defer (the network and scenario layers do this);
+// cancellations may only happen from global-affinity events.
+func (k *Kernel) RunParallel(until Time, shards int, lookahead Time) uint64 {
+	if shards <= 1 || lookahead <= 0 {
+		return k.Run(until)
+	}
+	if len(k.shards) != shards {
+		k.shards = make([]shardState, shards)
+	}
+	k.parShards = shards
+	k.parUntil = until
+	for _, p := range k.procs {
+		if p != nil && p.aff >= 0 {
+			p.sh = &k.shards[int(p.aff)%shards]
+		}
+	}
+	defer func() {
+		// Return unused reserved slots so sequential scheduling after
+		// the run (or the next Reset) sees a consistent free list.
+		for s := range k.shards {
+			sh := &k.shards[s]
+			for _, sg := range sh.slots {
+				k.free = append(k.free, sg.slot)
+			}
+			sh.slots = sh.slots[:0]
+		}
+		k.parShards = 0
+	}()
+
+	var n uint64
+	k.stopped = false
+	for len(k.heap) > 0 && !k.stopped {
+		top := k.heap[0]
+		if top.at > until {
+			break
+		}
+		if top.aff == GlobalAff {
+			// Global events interact with arbitrary state (topology
+			// mutations, fault injection): run solo, full sequential
+			// semantics.
+			next := k.popMin()
+			e := &k.slab[next.slot]
+			if e.dead {
+				k.dead--
+				k.recycle(next.slot)
+				continue
+			}
+			k.now = next.at
+			fn := e.fn
+			k.recycle(next.slot)
+			fn()
+			n++
+			k.processed++
+			continue
+		}
+
+		// Collect the lookahead window: every node-affinity event in
+		// [top.at, top.at+L), stopping early at a global event (it
+		// must observe all effects of the events before it and none
+		// after).
+		wEnd := top.at + lookahead
+		count := 0
+		for len(k.heap) > 0 {
+			nd := k.heap[0]
+			if nd.aff == GlobalAff {
+				// A pending global event is a barrier: it must see all
+				// effects of events ordered before it and none after.
+				// In-window spawns at its exact timestamp get commit
+				// seqs larger than its, i.e. they are ordered after it
+				// — truncate the window so they defer to the heap.
+				if nd.at < wEnd {
+					wEnd = nd.at
+				}
+				break
+			}
+			if nd.at > until || nd.at >= wEnd {
+				break
+			}
+			k.popMin()
+			e := &k.slab[nd.slot]
+			if e.dead {
+				k.dead--
+				k.recycle(nd.slot)
+				continue
+			}
+			ev := k.getWinEv()
+			ev.at, ev.seq, ev.aff = nd.at, nd.seq, nd.aff
+			ev.fn, ev.slot = e.fn, nd.slot
+			k.winInit = append(k.winInit, ev)
+			sh := &k.shards[int(nd.aff)%shards]
+			sh.pq = append(sh.pq, ev) // popped in (at,seq) order: stays a valid heap
+			count++
+		}
+		switch count {
+		case 0:
+			continue // everything in range was cancelled
+		case 1:
+			// A 1-event window gains nothing from the barrier: run it
+			// with direct sequential semantics.
+			ev := k.winInit[0]
+			k.winInit = k.winInit[:0]
+			for s := range k.shards {
+				k.shards[s].pq = k.shards[s].pq[:0]
+			}
+			k.now = ev.at
+			fn := ev.fn
+			k.recycle(ev.slot)
+			k.putWinEv(ev)
+			fn()
+			n++
+			k.processed++
+			continue
+		}
+
+		k.windowEnd = wEnd
+		k.inWindow = true
+		var wg sync.WaitGroup
+		for s := range k.shards {
+			sh := &k.shards[s]
+			if len(sh.pq) == 0 {
+				continue
+			}
+			for len(sh.pool) < 16 {
+				n := len(k.winPool)
+				if n == 0 {
+					break
+				}
+				sh.pool = append(sh.pool, k.winPool[n-1])
+				k.winPool = k.winPool[:n-1]
+			}
+			wg.Add(1)
+			go func(sh *shardState) {
+				defer wg.Done()
+				sh.run()
+			}(sh)
+		}
+		wg.Wait()
+		k.inWindow = false
+		n += k.commitWindow()
+	}
+	if k.now < until && !k.stopped {
+		k.now = until
+	}
+	return n
+}
+
+// commitWindow replays the executed window in exact sequential order,
+// applying every deferred intent and assigning kernel sequence
+// numbers precisely as Run would have.
+func (k *Kernel) commitWindow() uint64 {
+	var n uint64
+	// winInit was filled in pop order — globally (at, seq) sorted — so
+	// it is a valid min-heap as-is. Reuse it as the replay queue.
+	rp := k.winInit
+	pushRp := func(ev *winEv) {
+		rp = append(rp, ev)
+		i := len(rp) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			p := rp[parent]
+			if !evBefore(ev, p) {
+				break
+			}
+			rp[i] = p
+			i = parent
+		}
+		rp[i] = ev
+	}
+	popRp := func() *winEv {
+		top := rp[0]
+		last := rp[len(rp)-1]
+		rp = rp[:len(rp)-1]
+		if m := len(rp); m > 0 {
+			i := 0
+			for {
+				c := 2*i + 1
+				if c >= m {
+					break
+				}
+				if c+1 < m && evBefore(rp[c+1], rp[c]) {
+					c++
+				}
+				if !evBefore(rp[c], last) {
+					break
+				}
+				rp[i] = rp[c]
+				i = c
+			}
+			rp[i] = last
+		}
+		return top
+	}
+	for len(rp) > 0 {
+		ev := popRp()
+		k.now = ev.at
+		k.recycle(ev.slot)
+		for i := range ev.calls {
+			c := &ev.calls[i]
+			switch {
+			case c.call != nil:
+				c.call()
+			case c.child != nil:
+				c.child.seq = k.seq
+				k.seq++
+				pushRp(c.child)
+			default:
+				if c.at < k.windowEnd && c.at <= k.parUntil {
+					panic("sim: lookahead violation — deferred schedule lands inside its own window")
+				}
+				e := &k.slab[c.slot]
+				e.fn, e.sched, e.dead = c.fn, true, false
+				nd := heapNode{at: c.at, seq: k.seq, slot: c.slot, aff: ev.aff}
+				k.seq++
+				k.heap = append(k.heap, nd)
+				k.siftUp(len(k.heap)-1, nd)
+			}
+		}
+		n++
+		k.processed++
+		k.putWinEv(ev)
+	}
+	k.winInit = k.winInit[:0]
+	return n
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// parModel is a synthetic multi-node workload exercising every path of
+// the window driver: per-node local timers (in-window same-affinity
+// spawns), cross-node "messages" with a minimum latency (out-of-window
+// schedules tagged with the receiver's affinity), a shared random
+// stream and shared counters touched only through Defer, and periodic
+// global events. It records a full trace of observable actions; the
+// trace must be identical under Run and RunParallel.
+type parModel struct {
+	k     *Kernel
+	procs []*Proc
+	rng   *rand.Rand // shared stream: only drawn from inside Defer
+	trace []string
+	total int
+}
+
+const parLatency = 3 * time.Millisecond
+
+func newParModel(seed int64, n int) *parModel {
+	m := &parModel{k: New(seed)}
+	m.rng = m.k.NewStream(0x7061726d)
+	for i := 0; i < n; i++ {
+		m.procs = append(m.procs, m.k.Proc(int32(i)))
+	}
+	return m
+}
+
+// send models a network hop: the shared loss draw and counter update
+// are deferred; the arrival carries the receiver's affinity.
+func (m *parModel) send(from, to int, hops int) {
+	p := m.procs[from]
+	p.Defer(func() {
+		if m.rng.Float64() < 0.2 {
+			m.trace = append(m.trace, fmt.Sprintf("drop %d->%d @%v", from, to, m.k.Now()))
+			return
+		}
+		m.total++
+		at := m.k.Now() + parLatency + Time(m.rng.Intn(5))*time.Millisecond
+		m.k.AtAff(int32(to), at, func() { m.recv(to, hops) })
+	})
+}
+
+func (m *parModel) recv(at int, hops int) {
+	p := m.procs[at]
+	// Local bookkeeping timer: lands inside the current window when the
+	// jitter is small enough.
+	jitter := Time((at*7+hops*13)%3) * time.Millisecond / 2
+	p.After(jitter, func() {
+		p.Defer(func() {
+			m.trace = append(m.trace, fmt.Sprintf("tick %d/%d @%v", at, hops, m.k.Now()))
+		})
+		if hops > 0 {
+			m.send(at, (at+1+hops)%len(m.procs), hops-1)
+		}
+	})
+	p.Defer(func() {
+		m.trace = append(m.trace, fmt.Sprintf("recv %d/%d @%v", at, hops, m.k.Now()))
+	})
+}
+
+func (m *parModel) start() {
+	n := len(m.procs)
+	for i := 0; i < n; i++ {
+		i := i
+		m.procs[i].At(Time(i)*time.Millisecond/4, func() {
+			m.send(i, (i+1)%n, 6)
+		})
+	}
+	// Global events interleaved with the windows.
+	for t := 5; t < 60; t += 10 {
+		t := t
+		m.k.At(Time(t)*time.Millisecond, func() {
+			m.trace = append(m.trace, fmt.Sprintf("global @%v total=%d", m.k.Now(), m.total))
+		})
+	}
+}
+
+func runParModel(seed int64, n, shards int, until Time) ([]string, uint64, uint64) {
+	m := newParModel(seed, n)
+	m.start()
+	var events uint64
+	if shards <= 1 {
+		events = m.k.Run(until)
+	} else {
+		events = m.k.RunParallel(until, shards, parLatency)
+	}
+	return m.trace, events, m.k.seq
+}
+
+// TestRunParallelMatchesSequential drives the synthetic workload under
+// the sequential executor and under 2/4/7-way sharding and demands the
+// identical action trace, event count, clock, and sequence counter.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, n := range []int{1, 3, 8, 33} {
+		until := 80 * time.Millisecond
+		refTrace, refEvents, refSeq := runParModel(42, n, 1, until)
+		if len(refTrace) == 0 {
+			t.Fatalf("n=%d: reference trace empty", n)
+		}
+		for _, shards := range []int{2, 4, 7} {
+			trace, events, seq := runParModel(42, n, shards, until)
+			if events != refEvents {
+				t.Errorf("n=%d shards=%d: events %d != sequential %d", n, shards, events, refEvents)
+			}
+			if seq != refSeq {
+				t.Errorf("n=%d shards=%d: seq %d != sequential %d", n, shards, seq, refSeq)
+			}
+			if len(trace) != len(refTrace) {
+				t.Fatalf("n=%d shards=%d: trace length %d != %d", n, shards, len(trace), len(refTrace))
+			}
+			for i := range trace {
+				if trace[i] != refTrace[i] {
+					t.Fatalf("n=%d shards=%d: trace diverges at %d:\n  par: %s\n  seq: %s",
+						n, shards, i, trace[i], refTrace[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelHorizon checks that a sharded run respects the
+// horizon exactly like Run: events past until stay scheduled and a
+// follow-up sequential Run picks them up seamlessly.
+func TestRunParallelHorizon(t *testing.T) {
+	until := 20 * time.Millisecond
+	m1 := newParModel(7, 5)
+	m1.start()
+	m1.k.Run(until)
+	m1.k.Run(80 * time.Millisecond)
+
+	m2 := newParModel(7, 5)
+	m2.start()
+	m2.k.RunParallel(until, 4, parLatency)
+	if m2.k.Now() != until {
+		t.Fatalf("clock after horizon run: %v, want %v", m2.k.Now(), until)
+	}
+	m2.k.Run(80 * time.Millisecond)
+
+	if len(m1.trace) != len(m2.trace) {
+		t.Fatalf("trace length %d != %d", len(m2.trace), len(m1.trace))
+	}
+	for i := range m1.trace {
+		if m1.trace[i] != m2.trace[i] {
+			t.Fatalf("trace diverges at %d: %s vs %s", i, m2.trace[i], m1.trace[i])
+		}
+	}
+}
+
+// TestRunParallelFallback ensures shards<=1 or no lookahead delegates
+// to the sequential executor.
+func TestRunParallelFallback(t *testing.T) {
+	k := New(1)
+	ran := false
+	k.Proc(0).At(time.Millisecond, func() { ran = true })
+	if got := k.RunParallel(time.Second, 1, parLatency); got != 1 || !ran {
+		t.Fatalf("shards=1 fallback: events=%d ran=%v", got, ran)
+	}
+	k2 := New(1)
+	ran2 := false
+	k2.Proc(0).At(time.Millisecond, func() { ran2 = true })
+	if got := k2.RunParallel(time.Second, 4, 0); got != 1 || !ran2 {
+		t.Fatalf("lookahead=0 fallback: events=%d ran=%v", got, ran2)
+	}
+}
+
+// TestCancelDuringWindowPanics pins the loud-failure contract for
+// in-window cancellation.
+func TestCancelDuringWindowPanics(t *testing.T) {
+	k := New(3)
+	p0, p1 := k.Proc(0), k.Proc(1)
+	var c Canceler
+	c = k.At(50*time.Millisecond, func() {})
+	panicked := make(chan bool, 2)
+	h := func() {
+		defer func() { panicked <- recover() != nil }()
+		c.Cancel()
+	}
+	p0.At(time.Millisecond, h)
+	p1.At(time.Millisecond, h)
+	k.RunParallel(10*time.Millisecond, 2, parLatency)
+	if !<-panicked || !<-panicked {
+		t.Fatal("Cancel inside a parallel window did not panic")
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Proc is a per-affinity scheduling handle. Every per-node component
+// (dispatcher, recovery engine, workload clock, ticker) schedules and
+// reads the clock through the Proc of its node instead of the raw
+// kernel, which buys two things:
+//
+//   - events it schedules carry the node's affinity, so the parallel
+//     window driver (parallel.go) knows which shard may execute them
+//     concurrently with other nodes' events;
+//   - during a parallel window, Now/At/After/Defer transparently
+//     switch to the executing shard's clock and intent log, so
+//     component code is identical under sequential and sharded
+//     execution.
+//
+// Under the sequential executor (or outside a window) every method is
+// a thin passthrough to the kernel — one predictable branch — so
+// Shards=1 runs are byte-for-byte the sequential simulation.
+//
+// Procs are created with Kernel.Proc and cached per affinity; the same
+// Proc instance must be used by everything belonging to that node.
+type Proc struct {
+	k   *Kernel
+	aff int32
+	sh  *shardState // bound by RunParallel; nil under sequential runs
+}
+
+// Proc returns the scheduling handle for the given affinity, creating
+// it on first use. aff must be GlobalAff or a non-negative node id.
+func (k *Kernel) Proc(aff int32) *Proc {
+	if aff == GlobalAff {
+		// The global handle is a pure passthrough; it is never bound
+		// to a shard (global events run solo between windows).
+		if len(k.procs) == 0 {
+			k.procs = append(k.procs, &Proc{k: k, aff: GlobalAff})
+		}
+		return k.procs[0]
+	}
+	idx := int(aff) + 1 // slot 0 is the global handle
+	for len(k.procs) <= idx {
+		k.procs = append(k.procs, nil)
+	}
+	if k.procs[0] == nil {
+		k.procs[0] = &Proc{k: k, aff: GlobalAff}
+	}
+	if k.procs[idx] == nil {
+		p := &Proc{k: k, aff: aff}
+		if k.parShards > 0 {
+			p.sh = &k.shards[int(aff)%k.parShards]
+		}
+		k.procs[idx] = p
+	}
+	return k.procs[idx]
+}
+
+// Kernel returns the underlying kernel — for setup-time needs (stream
+// derivation, run control) that are not part of the in-handler surface.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Affinity returns the affinity this Proc schedules under.
+func (p *Proc) Affinity() int32 { return p.aff }
+
+// Now returns the current virtual time: the shard clock while this
+// Proc's shard is executing a window, the kernel clock otherwise.
+func (p *Proc) Now() Time {
+	if p.k.inWindow && p.sh != nil {
+		return p.sh.now
+	}
+	return p.k.now
+}
+
+// Seed returns the kernel seed.
+func (p *Proc) Seed() int64 { return p.k.seed }
+
+// NewStream derives a deterministic random stream (see Kernel.NewStream).
+func (p *Proc) NewStream(tag int64) *rand.Rand { return p.k.NewStream(tag) }
+
+// At schedules fn at virtual time at under this Proc's affinity.
+// Inside a parallel window the schedule is recorded as an intent and
+// committed in exact sequential order at the window barrier; a target
+// inside the window (possible only for same-affinity schedules) is
+// executed by the same shard within the window, exactly where the
+// sequential executor would have run it.
+func (p *Proc) At(at Time, fn Handler) Canceler {
+	if p.k.inWindow && p.sh != nil {
+		return p.sh.scheduleIntent(p, at, fn)
+	}
+	return p.k.atAff(p.aff, at, fn)
+}
+
+// After schedules fn d after the current time (shard clock inside a
+// window).
+func (p *Proc) After(d Time, fn Handler) Canceler {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return p.At(p.Now()+d, fn)
+}
+
+// Defer runs fn immediately under sequential execution; inside a
+// parallel window it records fn as an intent and runs it at the
+// commit barrier, at exactly the point in the sequential order where
+// this call happened (with the kernel clock set to the calling
+// event's time). Everything a node handler does to state shared
+// across nodes — network sends, tracker and traffic updates, shared
+// counters — must go through Defer.
+func (p *Proc) Defer(fn func()) {
+	if p.k.inWindow && p.sh != nil {
+		p.sh.deferIntent(p, fn)
+		return
+	}
+	fn()
+}
+
+// Deferring reports whether calls on this Proc are currently being
+// deferred (i.e. a parallel window is executing). Callers use it to
+// skip building closures on the sequential path.
+func (p *Proc) Deferring() bool { return p.k.inWindow && p.sh != nil }

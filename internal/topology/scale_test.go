@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// oracleNew is the original O(N²) builder: per join, re-scan all
+// earlier nodes for free slots at the minimum depth. Kept verbatim as
+// the differential oracle for the Fenwick-frontier builder, which must
+// reproduce its rng draws and edges bit-for-bit at every N.
+func oracleNew(n, maxDegree int, rng *rand.Rand) *Tree {
+	t := &Tree{n: n, maxDegree: maxDegree, adj: make([][]ident.NodeID, n)}
+	depth := make([]int, n)
+	for i := 1; i < n; i++ {
+		best := -1
+		var candidates []ident.NodeID
+		for j := 0; j < i; j++ {
+			if len(t.adj[j]) >= maxDegree {
+				continue
+			}
+			switch {
+			case best == -1 || depth[j] < best:
+				best = depth[j]
+				candidates = candidates[:0]
+				candidates = append(candidates, ident.NodeID(j))
+			case depth[j] == best:
+				candidates = append(candidates, ident.NodeID(j))
+			}
+		}
+		parent := candidates[rng.Intn(len(candidates))]
+		t.addEdge(parent, ident.NodeID(i))
+		depth[i] = depth[parent] + 1
+	}
+	return t
+}
+
+// TestNewMatchesQuadraticOracle pins the frontier builder against the
+// original scan across sizes, degrees, and seeds: identical link sets
+// mean identical rng draw sequences, so every fixed-seed scenario
+// keeps its exact topology.
+func TestNewMatchesQuadraticOracle(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 25, 100, 733} {
+		for _, deg := range []int{2, 3, 4, 6} {
+			for seed := int64(1); seed <= 5; seed++ {
+				got, err := New(n, deg, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatalf("N=%d deg=%d seed=%d: %v", n, deg, seed, err)
+				}
+				want := oracleNew(n, deg, rand.New(rand.NewSource(seed)))
+				g, w := got.Links(), want.Links()
+				if len(g) != len(w) {
+					t.Fatalf("N=%d deg=%d seed=%d: %d links, oracle %d", n, deg, seed, len(g), len(w))
+				}
+				for i := range g {
+					if g[i] != w[i] {
+						t.Fatalf("N=%d deg=%d seed=%d: link %d = %v, oracle %v", n, deg, seed, i, g[i], w[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistMatchesBFSOracle pins the LCA-climb distance (and the O(N)
+// mean) against per-source BFS, including across a forest split.
+func TestDistMatchesBFSOracle(t *testing.T) {
+	tr, err := New(60, 3, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		t.Helper()
+		var sum, cnt float64
+		for src := 0; src < tr.N(); src++ {
+			d := make([]int, tr.N())
+			for i := range d {
+				d[i] = -1
+			}
+			d[src] = 0
+			queue := []ident.NodeID{ident.NodeID(src)}
+			for i := 0; i < len(queue); i++ {
+				x := queue[i]
+				for _, y := range tr.Neighbors(x) {
+					if d[y] == -1 {
+						d[y] = d[x] + 1
+						queue = append(queue, y)
+					}
+				}
+			}
+			for b := 0; b < tr.N(); b++ {
+				if got := tr.Dist(ident.NodeID(src), ident.NodeID(b)); got != d[b] {
+					t.Fatalf("Dist(%d,%d) = %d, BFS %d", src, b, got, d[b])
+				}
+				if b != src && d[b] >= 0 {
+					sum += float64(d[b])
+					cnt++
+				}
+			}
+		}
+		want := 0.0
+		if cnt > 0 {
+			want = sum / cnt
+		}
+		if got := tr.MeanPairwiseDistance(); got != want {
+			t.Fatalf("MeanPairwiseDistance = %v, pairwise oracle %v (must be exact)", got, want)
+		}
+	}
+	check()
+	l := tr.Links()[17]
+	if err := tr.RemoveLink(l.A, l.B); err != nil {
+		t.Fatal(err)
+	}
+	check() // forest: cross-component pairs are -1 and excluded from the mean
+}
+
+// TestNewLargeScaleFast is the 100k-node wall check: building the
+// overlay and computing its mean pairwise distance — both quadratic
+// (or worse) before this change — must complete in seconds.
+func TestNewLargeScaleFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N build in -short mode")
+	}
+	start := time.Now()
+	tr, err := New(100_000, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsTree() {
+		t.Fatal("100k-node build is not a tree")
+	}
+	if m := tr.MeanPairwiseDistance(); m <= 0 {
+		t.Fatalf("mean pairwise distance = %v", m)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("100k-node build+mean took %v", elapsed)
+	}
+}

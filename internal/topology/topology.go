@@ -68,9 +68,15 @@ type Tree struct {
 	// new one.
 	incarnation map[Link]uint64
 
-	// distance cache, rebuilt lazily per version
+	// routing cache, rebuilt lazily per version: a rooted-forest view
+	// (BFS parent, depth, component id) from which hop distances are
+	// answered by an LCA climb. Replaces the old N×N distance matrix,
+	// which was ~20 GB at N=100k.
 	distVersion uint64
-	dist        [][]int16
+	parent      []int32
+	depth       []int32
+	comp        []int32
+	compSize    []int64
 
 	// onMutate, when set, runs after every structural mutation
 	// (addEdge, RemoveLink). Installed by invariant monitors; nil in
@@ -96,32 +102,101 @@ func New(n, maxDegree int, rng *rand.Rand) (*Tree, error) {
 		maxDegree: maxDegree,
 		adj:       make([][]ident.NodeID, n),
 	}
+	// Nodes attach to a uniformly random node among those at the
+	// smallest depth that still has a free slot. The original builder
+	// re-scanned all earlier nodes per join (O(N²), ~10¹⁰ steps at
+	// N=100k); this one keeps the free nodes of the current frontier
+	// depth in a Fenwick tree over node ids and answers "the r-th
+	// candidate in ascending id order" as an order-statistic descent.
+	// Because candidates appear in the same ascending order the scan
+	// produced and the candidate count is identical, every rng.Intn
+	// draw and every chosen parent is bit-identical to the old builder
+	// at every N.
 	depth := make([]int, n)
+	frontier := newFrontier(n)
+	frontier.insert(0) // node 0 sits alone at depth 0
+	pending := [][]ident.NodeID{nil, nil}
+	minDepth := 0
 	for i := 1; i < n; i++ {
-		// Collect nodes with a free slot at the minimum depth.
-		best := -1
-		var candidates []ident.NodeID
-		for j := 0; j < i; j++ {
-			if len(t.adj[j]) >= maxDegree {
-				continue
+		for frontier.count == 0 {
+			minDepth++
+			if minDepth >= len(pending) || len(pending) == 0 {
+				return nil, fmt.Errorf("topology: no free slots for node %d (maxDegree=%d)", i, maxDegree)
 			}
-			switch {
-			case best == -1 || depth[j] < best:
-				best = depth[j]
-				candidates = candidates[:0]
-				candidates = append(candidates, ident.NodeID(j))
-			case depth[j] == best:
-				candidates = append(candidates, ident.NodeID(j))
+			for _, v := range pending[minDepth] {
+				if len(t.adj[v]) < maxDegree {
+					frontier.insert(int(v))
+				}
 			}
+			pending[minDepth] = nil
 		}
-		if len(candidates) == 0 {
-			return nil, fmt.Errorf("topology: no free slots for node %d (maxDegree=%d)", i, maxDegree)
-		}
-		parent := candidates[rng.Intn(len(candidates))]
+		parent := ident.NodeID(frontier.selectNth(rng.Intn(frontier.count)))
 		t.addEdge(parent, ident.NodeID(i))
 		depth[i] = depth[parent] + 1
+		if len(t.adj[parent]) >= maxDegree {
+			frontier.remove(int(parent))
+		}
+		for depth[i] >= len(pending) {
+			pending = append(pending, nil)
+		}
+		pending[depth[i]] = append(pending[depth[i]], ident.NodeID(i))
 	}
 	return t, nil
+}
+
+// frontier is a Fenwick (binary indexed) tree over node ids holding
+// 0/1 membership counts: the builder's candidate set at the current
+// minimum depth, supporting O(log n) insert/remove and "select the
+// r-th member in ascending id order".
+type frontier struct {
+	tree  []int32
+	in    []bool
+	count int
+}
+
+func newFrontier(n int) *frontier {
+	return &frontier{tree: make([]int32, n+1), in: make([]bool, n)}
+}
+
+func (f *frontier) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += int32(delta)
+	}
+}
+
+func (f *frontier) insert(i int) {
+	if !f.in[i] {
+		f.in[i] = true
+		f.count++
+		f.add(i, 1)
+	}
+}
+
+func (f *frontier) remove(i int) {
+	if f.in[i] {
+		f.in[i] = false
+		f.count--
+		f.add(i, -1)
+	}
+}
+
+// selectNth returns the id of the r-th member (0-based) in ascending
+// order, via the standard Fenwick order-statistic descent.
+func (f *frontier) selectNth(r int) int {
+	want := int32(r) + 1
+	pos := 0
+	mask := 1
+	for mask<<1 < len(f.tree) {
+		mask <<= 1
+	}
+	for ; mask > 0; mask >>= 1 {
+		next := pos + mask
+		if next < len(f.tree) && f.tree[next] < want {
+			want -= f.tree[next]
+			pos = next
+		}
+	}
+	return pos // pos is the 1-based prefix position minus one == node id
 }
 
 // NewLine builds a path topology 0-1-2-...-(n-1). Used by tests that
@@ -393,40 +468,73 @@ func freeSlots(t *Tree, comp []ident.NodeID) []ident.NodeID {
 }
 
 // Dist returns the hop distance between a and b, or -1 when they are in
-// different components. Distances are cached per topology version.
+// different components. The rooted-forest view is cached per topology
+// version; a query is an LCA climb, O(tree depth) with no per-pair
+// storage — the old N×N int16 matrix needed ~20 GB at N=100k.
 func (t *Tree) Dist(a, b ident.NodeID) int {
-	t.ensureDist()
-	return int(t.dist[a][b])
+	t.ensureRouting()
+	if t.comp[a] != t.comp[b] {
+		return -1
+	}
+	d := 0
+	x, y := a, b
+	for t.depth[x] > t.depth[y] {
+		x = ident.NodeID(t.parent[x])
+		d++
+	}
+	for t.depth[y] > t.depth[x] {
+		y = ident.NodeID(t.parent[y])
+		d++
+	}
+	for x != y {
+		x = ident.NodeID(t.parent[x])
+		y = ident.NodeID(t.parent[y])
+		d += 2
+	}
+	return d
 }
 
-func (t *Tree) ensureDist() {
-	if t.dist != nil && t.distVersion == t.version {
+// ensureRouting rebuilds the rooted-forest view (BFS parent, depth,
+// component id, component sizes) when the topology changed: one O(N)
+// sweep per mutated version, amortized across all Dist queries.
+func (t *Tree) ensureRouting() {
+	if t.parent != nil && t.distVersion == t.version {
 		return
 	}
-	if t.dist == nil {
-		t.dist = make([][]int16, t.n)
-		for i := range t.dist {
-			t.dist[i] = make([]int16, t.n)
-		}
+	if t.parent == nil {
+		t.parent = make([]int32, t.n)
+		t.depth = make([]int32, t.n)
+		t.comp = make([]int32, t.n)
 	}
+	for i := range t.comp {
+		t.comp[i] = -1
+	}
+	t.compSize = t.compSize[:0]
 	queue := make([]ident.NodeID, 0, t.n)
 	for src := 0; src < t.n; src++ {
-		row := t.dist[src]
-		for i := range row {
-			row[i] = -1
+		if t.comp[src] >= 0 {
+			continue
 		}
-		row[src] = 0
+		c := int32(len(t.compSize))
+		t.comp[src] = c
+		t.parent[src] = -1
+		t.depth[src] = 0
 		queue = queue[:0]
 		queue = append(queue, ident.NodeID(src))
+		size := int64(1)
 		for i := 0; i < len(queue); i++ {
 			x := queue[i]
 			for _, y := range t.adj[x] {
-				if row[y] == -1 {
-					row[y] = row[x] + 1
+				if t.comp[y] < 0 {
+					t.comp[y] = c
+					t.parent[y] = int32(x)
+					t.depth[y] = t.depth[x] + 1
 					queue = append(queue, y)
+					size++
 				}
 			}
 		}
+		t.compSize = append(t.compSize, size)
 	}
 	t.distVersion = t.version
 }
@@ -434,20 +542,44 @@ func (t *Tree) ensureDist() {
 // MeanPairwiseDistance returns the mean hop distance over all ordered
 // pairs of distinct nodes in the same component. Used to calibrate the
 // loss model against the paper's baseline delivery anchors.
+//
+// Computed by edge contribution — a tree edge separating k nodes from
+// the other size-k of its component lies on k·(size-k) unordered
+// paths — in O(N) instead of summing the N² pair matrix. All partial
+// sums are integers below 2⁵³, so the float64 result is exactly the
+// value the pairwise summation produced.
 func (t *Tree) MeanPairwiseDistance() float64 {
-	t.ensureDist()
-	var sum, cnt float64
-	for a := 0; a < t.n; a++ {
-		for b := 0; b < t.n; b++ {
-			if a == b || t.dist[a][b] < 0 {
-				continue
-			}
-			sum += float64(t.dist[a][b])
-			cnt++
+	t.ensureRouting()
+	var sum, cnt int64
+	// below[x] = size of x's subtree in the rooted forest. Children
+	// appear after parents in BFS order per component, so one reverse
+	// sweep over ids ordered by depth accumulates subtree sizes; the
+	// BFS order is re-derived by bucketing ids by depth.
+	below := make([]int64, t.n)
+	maxDepth := int32(0)
+	for _, d := range t.depth {
+		if d > maxDepth {
+			maxDepth = d
 		}
+	}
+	buckets := make([][]ident.NodeID, maxDepth+1)
+	for i := 0; i < t.n; i++ {
+		below[i] = 1
+		buckets[t.depth[i]] = append(buckets[t.depth[i]], ident.NodeID(i))
+	}
+	for d := maxDepth; d >= 1; d-- {
+		for _, x := range buckets[d] {
+			p := t.parent[x]
+			below[p] += below[x]
+			size := t.compSize[t.comp[x]]
+			sum += 2 * below[x] * (size - below[x]) // ordered pairs through edge x→parent
+		}
+	}
+	for _, size := range t.compSize {
+		cnt += size * (size - 1)
 	}
 	if cnt == 0 {
 		return 0
 	}
-	return sum / cnt
+	return float64(sum) / float64(cnt)
 }

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// TestWireCountOverflowPanics pins the large-N audit decision for the
+// u16 count prefixes: the format stays 2-byte (widening would change
+// WireSize and with it every simulated transmission time), and any
+// list that could not be encoded faithfully trips a panic at the
+// WireSize choke point instead of truncating silently in Append.
+func TestWireCountOverflowPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: oversized count did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	bigRoute := make([]ident.NodeID, MaxCount+1)
+	mustPanic("event route", func() {
+		(&Event{Route: bigRoute}).WireSize()
+	})
+	mustPanic("pubpull route", func() {
+		(&GossipPubPull{Route: bigRoute}).WireSize()
+	})
+	mustPanic("subpull digest", func() {
+		(&GossipSubPull{Wanted: make([]LostEntry, MaxCount+1)}).WireSize()
+	})
+	mustPanic("push digest", func() {
+		(&GossipPush{Digest: make([]ident.EventID, MaxCount+1)}).WireSize()
+	})
+	mustPanic("request IDs", func() {
+		(&Request{IDs: make([]ident.EventID, MaxCount+1)}).WireSize()
+	})
+	mustPanic("retransmit batch", func() {
+		(&Retransmit{Events: make([]*Event, MaxCount+1)}).WireSize()
+	})
+
+	// The limit itself must still encode: a route of exactly MaxCount
+	// hops round-trips.
+	e := &Event{ID: ident.EventID{Source: 1, Seq: 1}, Route: bigRoute[:MaxCount]}
+	if got := len(Encode(e)); got != e.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize %d", got, e.WireSize())
+	}
+}

@@ -84,6 +84,29 @@ var (
 	ErrTrailing    = errors.New("wire: trailing bytes after message")
 )
 
+// MaxCount is the largest element count a 2-byte wire prefix can
+// carry. Every variable-length list in the codec (routes, digests,
+// retransmit batches) uses a uint16 count: routes are bounded by the
+// overlay diameter (≈40 hops at N=100k for any maxDegree ≥ 3) and
+// digests by the configured caps, so 65535 is never approached in a
+// valid configuration. Widening the prefixes instead would change
+// WireSize, hence simulated transmission times, hence every pinned
+// fixed-seed metric — so the format stays and checkCount turns the
+// impossible case (a degenerate >65k-hop chain) into a loud panic
+// rather than a silently truncated count.
+const MaxCount = 1<<16 - 1
+
+// checkCount guards the u16 count prefixes at the WireSize choke
+// point: the simulator sizes every send through WireSize (for
+// transmission time) and Encode sizes every live datagram through it,
+// so an oversized list can never reach Append's uint16 conversions
+// silently.
+func checkCount(n int, what string) {
+	if n > MaxCount {
+		panic(fmt.Sprintf("wire: %s has %d entries, exceeding the u16 wire limit %d", what, n, MaxCount))
+	}
+}
+
 // Event is a published event. Tags carry the per-(source, pattern)
 // sequence numbers stamped at the source, which the pull algorithms use
 // for loss detection; Route accumulates the dispatchers traversed so
@@ -125,6 +148,7 @@ func (e *Event) Clone() *Event {
 
 // WireSize implements Message.
 func (e *Event) WireSize() int {
+	checkCount(len(e.Route), "event route")
 	return 1 + // kind
 		8 + // ID
 		8 + // PublishedAt
@@ -215,7 +239,10 @@ var _ Message = (*GossipPush)(nil)
 func (g *GossipPush) Kind() Kind { return KindGossipPush }
 
 // WireSize implements Message.
-func (g *GossipPush) WireSize() int { return 1 + 4 + 4 + 2 + 8*len(g.Digest) }
+func (g *GossipPush) WireSize() int {
+	checkCount(len(g.Digest), "push digest")
+	return 1 + 4 + 4 + 2 + 8*len(g.Digest)
+}
 
 // Append implements Message.
 func (g *GossipPush) Append(buf []byte) []byte {
@@ -258,7 +285,10 @@ var _ Message = (*GossipSubPull)(nil)
 func (g *GossipSubPull) Kind() Kind { return KindGossipSubPull }
 
 // WireSize implements Message.
-func (g *GossipSubPull) WireSize() int { return 1 + 4 + 4 + 2 + 12*len(g.Wanted) }
+func (g *GossipSubPull) WireSize() int {
+	checkCount(len(g.Wanted), "subpull digest")
+	return 1 + 4 + 4 + 2 + 12*len(g.Wanted)
+}
 
 // Append implements Message.
 func (g *GossipSubPull) Append(buf []byte) []byte {
@@ -289,6 +319,8 @@ func (g *GossipPubPull) Kind() Kind { return KindGossipPubPull }
 
 // WireSize implements Message.
 func (g *GossipPubPull) WireSize() int {
+	checkCount(len(g.Wanted), "pubpull digest")
+	checkCount(len(g.Route), "pubpull route")
 	return 1 + 4 + 4 + 2 + 12*len(g.Wanted) + 2 + 4*len(g.Route) + 2
 }
 
@@ -319,7 +351,10 @@ var _ Message = (*GossipRandom)(nil)
 func (g *GossipRandom) Kind() Kind { return KindGossipRandom }
 
 // WireSize implements Message.
-func (g *GossipRandom) WireSize() int { return 1 + 4 + 2 + 12*len(g.Wanted) }
+func (g *GossipRandom) WireSize() int {
+	checkCount(len(g.Wanted), "random-pull digest")
+	return 1 + 4 + 2 + 12*len(g.Wanted)
+}
 
 // Append implements Message.
 func (g *GossipRandom) Append(buf []byte) []byte {
@@ -340,7 +375,10 @@ var _ Message = (*Request)(nil)
 func (r *Request) Kind() Kind { return KindRequest }
 
 // WireSize implements Message.
-func (r *Request) WireSize() int { return 1 + 4 + 2 + 8*len(r.IDs) }
+func (r *Request) WireSize() int {
+	checkCount(len(r.IDs), "request IDs")
+	return 1 + 4 + 2 + 8*len(r.IDs)
+}
 
 // Append implements Message.
 func (r *Request) Append(buf []byte) []byte {
@@ -368,6 +406,7 @@ func (r *Retransmit) Kind() Kind { return KindRetransmit }
 
 // WireSize implements Message.
 func (r *Retransmit) WireSize() int {
+	checkCount(len(r.Events), "retransmit batch")
 	n := 1 + 4 + 2
 	for _, e := range r.Events {
 		n += e.WireSize()
