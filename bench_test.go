@@ -46,6 +46,36 @@ func BenchmarkHotPathEndToEndChecked(b *testing.B) { bench.EndToEndChecked(b) }
 // regime unlocked by the tiered pattern sets and slab-backed state.
 func BenchmarkHotPathScale10k(b *testing.B) { bench.Scale10k(b) }
 
+// The heavy measurement benchmarks below are deliberately outside the
+// BenchmarkHotPath prefix: CI's bench smoke runs -bench=BenchmarkHotPath
+// and each of these takes seconds per iteration.
+
+// BenchmarkMetricsPipelineExact replays a 10k-node-scale synthetic
+// measurement stream (200k events) through a fresh exact tracker per
+// op — the measurement layer in isolation.
+func BenchmarkMetricsPipelineExact(b *testing.B) { bench.MetricsPipelineExact(b) }
+
+// BenchmarkMetricsPipelineStreaming is the same stream on the
+// streaming engine (O(1) memory).
+func BenchmarkMetricsPipelineStreaming(b *testing.B) { bench.MetricsPipelineStreaming(b) }
+
+// BenchmarkHeavy10k runs 10,000 dispatchers under 100× the Scale10k
+// traffic with the exact tracker.
+func BenchmarkHeavy10k(b *testing.B) { bench.Heavy10k(b) }
+
+// BenchmarkHeavy10kStreaming is the same run under
+// scenario.MetricsStreaming.
+func BenchmarkHeavy10kStreaming(b *testing.B) { bench.Heavy10kStreaming(b) }
+
+// BenchmarkShardedRun2000 sweeps the conservative parallel executor's
+// shard count on one mid-size run; cmd/bench -shards records the same
+// curve into the trajectory file.
+func BenchmarkShardedRun2000(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), bench.ShardedRun(shards))
+	}
+}
+
 // benchFigure regenerates one figure identifier in Quick mode, b.N
 // times with distinct seeds, and reports the headline series of the
 // last run as custom metrics.

@@ -27,6 +27,7 @@ import (
 	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -60,6 +61,7 @@ func main() {
 	gate := flag.Bool("gate", false, "regression gate: compare a fresh EndToEnd run against the latest trajectory entry and exit 1 on regression; appends nothing")
 	gateTrajectory := flag.Bool("gate-trajectory", false, "regression gate: compare the two latest recorded entries (no benchmark run, hardware-independent); exit 1 on regression")
 	gateTolerance := flag.Float64("gate-tolerance", 0.10, "allowed fractional EndToEnd ns/op regression in gate modes")
+	shards := flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): additionally run the ShardedRun benchmark per count, recording the sharded-DES wall-clock curve")
 	flag.Parse()
 	if *label == "" {
 		if c := gitCommit(); c != "" {
@@ -103,6 +105,16 @@ func main() {
 		{"EndToEnd", bench.EndToEnd},
 		{"EndToEndChecked", bench.EndToEndChecked},
 		{"Scale10k", bench.Scale10k},
+		{"MetricsPipelineExact", bench.MetricsPipelineExact},
+		{"MetricsPipelineStreaming", bench.MetricsPipelineStreaming},
+		{"Heavy10k", bench.Heavy10k},
+		{"Heavy10kStreaming", bench.Heavy10kStreaming},
+	}
+	for _, s := range parseShards(*shards) {
+		suite = append(suite, struct {
+			name string
+			fn   func(*testing.B)
+		}{fmt.Sprintf("ShardedRun/%d", s), bench.ShardedRun(s)})
 	}
 
 	if *cpuProfile != "" {
@@ -232,6 +244,24 @@ func toMeasurement(r testing.BenchmarkResult) measurement {
 		m.SimEventsPerSec = v
 	}
 	return m
+}
+
+// parseShards parses the -shards list; invalid or non-positive counts
+// abort rather than silently benchmark the wrong sweep.
+func parseShards(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bench: -shards: bad shard count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // gitCommit returns the short HEAD hash, or "" outside a git checkout.

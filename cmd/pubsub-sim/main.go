@@ -45,6 +45,11 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		series   = fs.Bool("series", false, "also print the delivery-rate time series (TSV)")
 		traceN   = fs.Int("trace", 0, "also print the last N protocol trace records")
+		metrics  = fs.String("metrics", "exact", "measurement engine: exact (per-event) or streaming (O(1) memory)")
+		zipf     = fs.Float64("zipf", 0, "Zipf exponent for content and subscription popularity (0 = uniform)")
+		hot      = fs.Int("hot", 0, "concentrate publish load on this many hot publishers (0 = uniform)")
+		hotshare = fs.Float64("hotshare", 0, "share of aggregate load on the hot publishers (default 0.5 with -hot)")
+		churn    = fs.Float64("churn", 0, "subscription churn rate (swaps/s systemwide, 0 = stable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +76,20 @@ func run(args []string, w io.Writer) error {
 	p.Gossip.PSource = *psource
 	if *traceN > 0 {
 		p.Trace = epidemic.NewTrace(*traceN)
+	}
+	switch *metrics {
+	case "exact":
+	case "streaming":
+		p.MetricsMode = epidemic.MetricsStreaming
+	default:
+		return fmt.Errorf("unknown -metrics mode %q (exact or streaming)", *metrics)
+	}
+	p.Workload = epidemic.Workload{
+		ZipfContent:       *zipf,
+		ZipfSubscriptions: *zipf,
+		HotPublishers:     *hot,
+		HotShare:          *hotshare,
+		SubChurnRate:      *churn,
 	}
 
 	start := time.Now()
@@ -100,6 +119,9 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "gossip/event ratio   %.3f\n", res.GossipEventRatio)
 	}
 	fmt.Fprintf(w, "receivers per event  %.2f\n", res.ReceiversPerEvent)
+	if *churn > 0 {
+		fmt.Fprintf(w, "subscription churns  %d\n", res.SubChurns)
+	}
 	fmt.Fprintf(w, "kernel events        %d (%.1fs wall)\n", res.KernelEvents, time.Since(start).Seconds())
 
 	if *series {

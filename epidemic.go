@@ -148,6 +148,22 @@ type Params = scenario.Params
 // Result carries everything one run measured.
 type Result = scenario.Result
 
+// MetricsMode selects the measurement engine: MetricsExact (default,
+// per-event state, what every golden test pins) or MetricsStreaming
+// (O(1) memory for the 10k–100k-node regime; see DESIGN.md Sec. 11).
+type MetricsMode = scenario.MetricsMode
+
+// Measurement engines selectable via Params.MetricsMode.
+const (
+	MetricsExact     = scenario.MetricsExact
+	MetricsStreaming = scenario.MetricsStreaming
+)
+
+// Workload holds the non-uniform workload knobs (Zipf pattern
+// popularity, publisher hot-spots, subscription churn). The zero value
+// is the paper's uniform workload.
+type Workload = scenario.Workload
+
 // DefaultParams returns the paper's default simulation parameters:
 // N=100 dispatchers (degree ≤ 4), Π=70 patterns, πmax=2 subscriptions
 // per dispatcher, 50 publish/s per dispatcher, ε=0.1, β=1500, T=30 ms,

@@ -339,7 +339,9 @@ func (c *Checker) Err() error {
 // buffer audits, and the conservation reconciliation against tracker
 // (which may be nil) — and returns the run's verdict. Call it after
 // the kernel drained, before the scenario releases pooled state.
-func (c *Checker) Finish(tracker *metrics.DeliveryTracker) error {
+// The reconciliation needs only Totals(), which both metrics modes
+// report exactly, so it works against either tracker implementation.
+func (c *Checker) Finish(tracker metrics.Tracker) error {
 	if !c.stopped {
 		if c.opts.Topology {
 			c.finishTopology()

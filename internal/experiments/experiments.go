@@ -82,6 +82,7 @@ var generators = map[string]generator{
 	"x-burstloss":    {"EXTENSION: bursty (Gilbert–Elliott) vs independent loss", xBurstLoss},
 	"x-puregossip":   {"PAPER Sec. V: hpcast-style pure gossip vs tree + recovery", xPureGossip},
 	"x-scale":        {"EXTENSION: delivery, overhead, and throughput up to N=100,000", xScale},
+	"x-zipf":         {"EXTENSION: delivery, audience, and overhead under Zipf workload skew", xZipf},
 }
 
 // IDs returns every figure identifier in paper order.

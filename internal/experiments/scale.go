@@ -127,6 +127,19 @@ func scaleParams(opt Options, n int, alg core.Algorithm) scenario.Params {
 	}
 	p.MeasureFrom = p.Duration / 10
 	p.MeasureTo = p.Duration - p.Duration/10
+	// Keep the window aligned to time-series buckets: the streaming
+	// tracker answers windowed queries at bucket granularity, and on
+	// aligned windows its delivery rate equals the exact tracker's.
+	p.MeasureFrom = p.MeasureFrom / p.BucketWidth * p.BucketWidth
+	p.MeasureTo = p.MeasureTo / p.BucketWidth * p.BucketWidth
+	// Past 10k dispatchers the exact per-event tracker's memory and
+	// map traffic become a measurable share of the run; the streaming
+	// engine keeps totals exact and windowed metrics bucket-granular
+	// (the window above is bucket-aligned, so the reported delivery
+	// rate is identical), at O(1) memory.
+	if n >= 10_000 {
+		p.MetricsMode = scenario.MetricsStreaming
+	}
 	if s := runtime.NumCPU(); s > 1 {
 		if s > 8 {
 			s = 8

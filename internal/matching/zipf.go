@@ -1,0 +1,109 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// ZipfDist is a Zipf(s) distribution over the pattern universe:
+// pattern k is the k-th most popular and is drawn with probability
+// proportional to 1/(k+1)^s. Unlike math/rand's Zipf generator it
+// accepts any exponent s > 0 (the interesting skew regime for content
+// popularity is 0.6–1.2, mostly below math/rand's s > 1 requirement)
+// via an explicit inverse-CDF table: one Float64 draw plus a binary
+// search per sample, so a workload generator consumes exactly one RNG
+// draw per pattern regardless of skew.
+//
+// Identifying popularity rank with pattern id is deliberate: pattern 0
+// is always the hottest. Subscriptions drawn from the same distribution
+// then concentrate on the same patterns events do, which is the
+// correlated-interest regime the uniform paper workload cannot express.
+type ZipfDist struct {
+	s   float64
+	cum []float64 // cum[k] = P(X <= k); cum[n-1] == 1
+}
+
+// NewZipfDist builds the distribution over n patterns with exponent s.
+func NewZipfDist(n int, s float64) *ZipfDist {
+	if n <= 0 {
+		panic("matching: zipf needs a positive universe")
+	}
+	if s <= 0 {
+		panic(fmt.Sprintf("matching: zipf exponent %v must be > 0", s))
+	}
+	cum := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cum[k] = sum
+	}
+	for k := range cum {
+		cum[k] /= sum
+	}
+	cum[n-1] = 1 // guard against rounding leaving it at 0.999…
+	return &ZipfDist{s: s, cum: cum}
+}
+
+// Exponent returns the skew parameter s.
+func (z *ZipfDist) Exponent() float64 { return z.s }
+
+// Draw samples one pattern, consuming exactly one rng.Float64 draw.
+func (z *ZipfDist) Draw(rng *rand.Rand) ident.PatternID {
+	u := rng.Float64()
+	return ident.PatternID(sort.SearchFloat64s(z.cum, u))
+}
+
+// ZipfContent generates event content like RandomContent but with the
+// MaxMatch pattern draws taken from z instead of the uniform
+// distribution: duplicates collapse (more often than under uniform
+// draws, since hot patterns repeat), so skewed events match fewer
+// distinct patterns on average — the realistic cost of popularity.
+func (u Universe) ZipfContent(z *ZipfDist, rng *rand.Rand) Content {
+	out := make(Content, 0, u.MaxMatch)
+	for i := 0; i < u.MaxMatch; i++ {
+		p := z.Draw(rng)
+		if !out.Matches(p) {
+			out = append(out, p)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// ZipfSubscriptions draws k distinct patterns with popularity skew z:
+// repeated Zipf draws, rejecting duplicates. To keep the draw count
+// bounded when k approaches the universe size (hot patterns get
+// redrawn constantly), after 32 consecutive rejections the remaining
+// slots fill deterministically with the most popular not-yet-chosen
+// patterns — the limit the rejection process converges to anyway.
+func (u Universe) ZipfSubscriptions(k int, z *ZipfDist, rng *rand.Rand) []ident.PatternID {
+	if k > u.NumPatterns {
+		k = u.NumPatterns
+	}
+	chosen := make([]ident.PatternID, 0, k)
+	have := make(map[ident.PatternID]bool, k)
+	miss := 0
+	for len(chosen) < k && miss < 32 {
+		p := z.Draw(rng)
+		if have[p] {
+			miss++
+			continue
+		}
+		miss = 0
+		have[p] = true
+		chosen = append(chosen, p)
+	}
+	for p := ident.PatternID(0); len(chosen) < k; p++ {
+		if !have[p] {
+			have[p] = true
+			chosen = append(chosen, p)
+		}
+	}
+	slices.Sort(chosen)
+	return chosen
+}

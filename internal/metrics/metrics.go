@@ -74,14 +74,13 @@ func (t *DeliveryTracker) Reset(now func() sim.Time) {
 	t.recoveryLatency.Reset()
 }
 
-// RoutedLatency returns the publish→delivery latency histogram of
+// RoutedLatency returns the publish→delivery latency statistics of
 // normally routed deliveries.
-func (t *DeliveryTracker) RoutedLatency() *LatencyHistogram { return t.routedLatency }
+func (t *DeliveryTracker) RoutedLatency() LatencyStats { return t.routedLatency }
 
-// RecoveryLatency returns the publish→delivery latency histogram of
-// recovered deliveries — the time a subscriber stayed without an event
-// it should have had.
-func (t *DeliveryTracker) RecoveryLatency() *LatencyHistogram { return t.recoveryLatency }
+// RecoveryLatency returns the same statistics for recovered deliveries
+// — the time a subscriber stayed without an event it should have had.
+func (t *DeliveryTracker) RecoveryLatency() LatencyStats { return t.recoveryLatency }
 
 // OnPublish registers a new event with its expected number of receivers
 // (matching subscribers other than the publisher).

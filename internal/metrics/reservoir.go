@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/sim"
+)
+
+// LatencyStats is the read side shared by the two latency accumulators:
+// the exact log-bucket LatencyHistogram and the streaming
+// LatencyReservoir. Every consumer of latency percentiles (scenario
+// result extraction, experiments, logs) goes through this interface, so
+// a run's MetricsMode never leaks into downstream code.
+//
+// Quantile answers with the histogram's logarithmic bucket resolution
+// (~20% bucket width) in both implementations: the reservoir quantizes
+// its rank estimate through the same bucket edges, which makes the two
+// modes directly comparable — on identical sample streams that fit the
+// reservoir they return identical values.
+type LatencyStats interface {
+	// Count returns the number of samples observed (not retained).
+	Count() uint64
+	// Mean returns the exact mean latency, or 0 without samples.
+	Mean() sim.Time
+	// Min returns the smallest sample, or 0 without samples.
+	Min() sim.Time
+	// Max returns the largest sample, or 0 without samples.
+	Max() sim.Time
+	// Quantile returns the latency below which the q-fraction of
+	// samples fall (0 < q <= 1), at bucket resolution.
+	Quantile(q float64) sim.Time
+	// Quantiles returns several quantiles at once, in the order given.
+	Quantiles(qs ...float64) []sim.Time
+}
+
+var (
+	_ LatencyStats = (*LatencyHistogram)(nil)
+	_ LatencyStats = (*LatencyReservoir)(nil)
+)
+
+// defaultReservoirCap retains enough samples that the sampling error of
+// a p99 estimate stays well inside one histogram bucket on realistic
+// corpora, while keeping the memory fixed at 64 KiB per reservoir.
+const defaultReservoirCap = 8192
+
+// LatencyReservoir accumulates virtual-time latencies with O(1) memory:
+// count/sum/min/max are exact counters, and quantiles come from a
+// uniform reservoir sample (Vitter's Algorithm R) of fixed capacity.
+// While fewer than cap samples have been observed the reservoir holds
+// all of them and quantiles are exact (at bucket resolution); past
+// that, each new sample replaces a uniformly chosen slot with
+// probability cap/seen.
+//
+// Replacement draws come from a private splitmix64 generator seeded at
+// construction — never from kernel streams — so arming a streaming
+// tracker cannot perturb the simulation, and the same (seed, sample
+// stream) always yields the same quantiles.
+type LatencyReservoir struct {
+	samples []sim.Time
+	sorted  bool // samples[:len] is sorted and can answer quantiles
+
+	seen uint64
+	sum  float64
+	min  sim.Time
+	max  sim.Time
+
+	rng uint64 // splitmix64 state
+}
+
+// NewLatencyReservoir returns an empty reservoir with the given sample
+// capacity (0 selects the default) and deterministic replacement seed.
+func NewLatencyReservoir(capacity int, seed int64) *LatencyReservoir {
+	if capacity <= 0 {
+		capacity = defaultReservoirCap
+	}
+	r := &LatencyReservoir{samples: make([]sim.Time, 0, capacity)}
+	r.Reset(seed)
+	return r
+}
+
+// Reset empties the reservoir in place, keeping its sample slab, and
+// re-seeds the replacement stream.
+func (r *LatencyReservoir) Reset(seed int64) {
+	r.samples = r.samples[:0]
+	r.sorted = false
+	r.seen = 0
+	r.sum = 0
+	r.min = math.MaxInt64
+	r.max = 0
+	r.rng = sim.SplitMix64(uint64(seed))
+}
+
+// next returns the next replacement draw in [0, n).
+func (r *LatencyReservoir) next(n uint64) uint64 {
+	r.rng = sim.SplitMix64(r.rng)
+	// The modulo bias over a 64-bit state is immaterial at reservoir
+	// scale (n < 2^40 for any feasible run).
+	return r.rng % n
+}
+
+// Observe records one latency sample. Negative samples are a caller
+// bug and panic, exactly like the histogram.
+func (r *LatencyReservoir) Observe(d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("metrics: negative latency %v", d))
+	}
+	r.seen++
+	r.sum += float64(d)
+	if d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, d)
+		r.sorted = false
+		return
+	}
+	if j := r.next(r.seen); j < uint64(cap(r.samples)) {
+		r.samples[j] = d
+		r.sorted = false
+	}
+}
+
+// Count returns the number of samples observed (not retained).
+func (r *LatencyReservoir) Count() uint64 { return r.seen }
+
+// Mean returns the exact mean latency, or 0 without samples.
+func (r *LatencyReservoir) Mean() sim.Time {
+	if r.seen == 0 {
+		return 0
+	}
+	return sim.Time(r.sum / float64(r.seen))
+}
+
+// Min returns the smallest sample, or 0 without samples.
+func (r *LatencyReservoir) Min() sim.Time {
+	if r.seen == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Max returns the largest sample, or 0 without samples.
+func (r *LatencyReservoir) Max() sim.Time {
+	if r.seen == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// Quantile returns the latency below which the q-fraction of samples
+// fall (0 < q <= 1), quantized through the histogram's bucket edges so
+// exact and streaming modes report at the same resolution. Returns 0
+// without samples.
+func (r *LatencyReservoir) Quantile(q float64) sim.Time {
+	if r.seen == 0 {
+		return 0
+	}
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of (0, 1]", q))
+	}
+	if !r.sorted {
+		slices.Sort(r.samples)
+		r.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(r.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	v := r.samples[idx]
+	if b := bucketOf(v); b > 0 {
+		return bucketUpper(b)
+	}
+	return bucketBase
+}
+
+// Quantiles returns several quantiles at once, in the order given.
+func (r *LatencyReservoir) Quantiles(qs ...float64) []sim.Time {
+	out := make([]sim.Time, len(qs))
+	for i, q := range qs {
+		out[i] = r.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package pubsub
+
+import (
+	"slices"
+
+	"repro/internal/ident"
+)
+
+// SubscriberIndex is the scenario's global pattern → subscribers table:
+// a dense slice-of-slices keyed by pattern id, each subscriber list
+// kept in ascending node order. It replaces the previous ad-hoc
+// map[PatternID][]NodeID with two properties the heavy-traffic path
+// needs: pattern lookup is an index operation (no hashing per content
+// pattern on every publish), and the lists are mutable in place so
+// subscription churn updates expected-audience computation in O(log n)
+// per change instead of a rebuild.
+//
+// Built by sweeping nodes in ascending id order, the per-pattern lists
+// are element-for-element identical to the old map's, so fixed-seed
+// expected-receiver counts — and with them every golden metric — are
+// unchanged.
+type SubscriberIndex struct {
+	byPattern [][]ident.NodeID
+}
+
+// NewSubscriberIndex builds the index for a numPatterns universe from
+// the per-node subscription lists (subs[i] = patterns of node i).
+func NewSubscriberIndex(numPatterns int, subs [][]ident.PatternID) *SubscriberIndex {
+	ix := &SubscriberIndex{byPattern: make([][]ident.NodeID, numPatterns)}
+	for i, ps := range subs {
+		for _, p := range ps {
+			ix.byPattern[p] = append(ix.byPattern[p], ident.NodeID(i))
+		}
+	}
+	return ix
+}
+
+// Subscribers returns the nodes subscribed to p in ascending id order.
+// The slice is owned by the index and must not be mutated or retained
+// across Add/Remove calls.
+func (ix *SubscriberIndex) Subscribers(p ident.PatternID) []ident.NodeID {
+	if int(p) >= len(ix.byPattern) {
+		return nil
+	}
+	return ix.byPattern[p]
+}
+
+// Add records that node subscribed to p, keeping the list sorted.
+// Adding an existing subscription is a no-op.
+func (ix *SubscriberIndex) Add(p ident.PatternID, node ident.NodeID) {
+	if int(p) >= len(ix.byPattern) {
+		panic("pubsub: pattern outside the index universe")
+	}
+	l := ix.byPattern[p]
+	i, found := slices.BinarySearch(l, node)
+	if found {
+		return
+	}
+	ix.byPattern[p] = slices.Insert(l, i, node)
+}
+
+// Remove erases node's subscription to p. Removing a subscription that
+// does not exist is a no-op.
+func (ix *SubscriberIndex) Remove(p ident.PatternID, node ident.NodeID) {
+	if int(p) >= len(ix.byPattern) {
+		return
+	}
+	l := ix.byPattern[p]
+	if i, found := slices.BinarySearch(l, node); found {
+		ix.byPattern[p] = slices.Delete(l, i, i+1)
+	}
+}
+
+// NumSubscribers returns the subscriber count of p.
+func (ix *SubscriberIndex) NumSubscribers(p ident.PatternID) int {
+	if int(p) >= len(ix.byPattern) {
+		return 0
+	}
+	return len(ix.byPattern[p])
+}

@@ -1,0 +1,66 @@
+package pubsub
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func TestSubscriberIndexBuild(t *testing.T) {
+	subs := [][]ident.PatternID{
+		{0, 2},
+		{2},
+		{0, 1, 2},
+	}
+	ix := NewSubscriberIndex(4, subs)
+	want := map[ident.PatternID][]ident.NodeID{
+		0: {0, 2},
+		1: {2},
+		2: {0, 1, 2},
+		3: nil,
+	}
+	for p, w := range want {
+		if got := ix.Subscribers(p); !slices.Equal(got, w) {
+			t.Fatalf("Subscribers(%d) = %v, want %v", p, got, w)
+		}
+		if got := ix.NumSubscribers(p); got != len(w) {
+			t.Fatalf("NumSubscribers(%d) = %d, want %d", p, got, len(w))
+		}
+	}
+	// Out-of-universe lookups are empty, not a crash.
+	if got := ix.Subscribers(99); got != nil {
+		t.Fatalf("Subscribers(99) = %v, want nil", got)
+	}
+}
+
+func TestSubscriberIndexMutation(t *testing.T) {
+	ix := NewSubscriberIndex(3, [][]ident.PatternID{{0}, {0}, {0}})
+
+	ix.Add(1, 2)
+	ix.Add(1, 0) // out-of-order insert must keep the list sorted
+	if got := ix.Subscribers(1); !slices.Equal(got, []ident.NodeID{0, 2}) {
+		t.Fatalf("after adds: %v, want [0 2]", got)
+	}
+	ix.Add(1, 2) // duplicate is a no-op
+	if got := ix.NumSubscribers(1); got != 2 {
+		t.Fatalf("duplicate add changed count: %d", got)
+	}
+
+	ix.Remove(0, 1)
+	if got := ix.Subscribers(0); !slices.Equal(got, []ident.NodeID{0, 2}) {
+		t.Fatalf("after remove: %v, want [0 2]", got)
+	}
+	ix.Remove(0, 1) // absent removal is a no-op
+	ix.Remove(9, 0) // out-of-universe removal is a no-op
+	if got := ix.NumSubscribers(0); got != 2 {
+		t.Fatalf("no-op removals changed count: %d", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add outside the universe did not panic")
+		}
+	}()
+	ix.Add(9, 0)
+}

@@ -107,6 +107,65 @@ type Params struct {
 	// Incompatible with Check and Trace, whose observers interleave
 	// with node handlers too finely to defer.
 	Shards int
+	// MetricsMode selects the delivery-accounting implementation.
+	// MetricsExact (the default) keeps the per-event tracker that
+	// golden fixed-seed tests pin bit for bit; MetricsStreaming swaps
+	// in O(1)-memory counters, a ring-buffer time series, and
+	// reservoir-sampled latency quantiles for heavy-traffic runs
+	// (DESIGN.md Sec. 11). The mode is invisible to the simulated
+	// trajectory either way — both trackers are passive observers.
+	MetricsMode MetricsMode
+	// Workload shapes traffic beyond the paper's uniform model. The
+	// zero value reproduces the paper exactly.
+	Workload Workload
+}
+
+// MetricsMode selects a delivery-accounting implementation.
+type MetricsMode int
+
+const (
+	// MetricsExact is the default per-event tracker: exact windowed
+	// metrics, memory proportional to published events.
+	MetricsExact MetricsMode = iota
+	// MetricsStreaming is the O(1)-memory streaming engine: exact
+	// totals, bucket-granular windowed metrics, reservoir-sampled
+	// latency quantiles.
+	MetricsStreaming
+)
+
+// Workload is the set of declarative traffic-shaping knobs layered on
+// the paper's uniform workload. Every knob defaults to off; a zero
+// Workload draws byte-identical random sequences to the pre-knob code,
+// so fixed-seed golden runs are unaffected.
+type Workload struct {
+	// ZipfContent, when > 0, draws event content patterns from a
+	// Zipf distribution with this exponent instead of uniformly:
+	// pattern 0 is the hottest. Typical skews are 0.6–1.2.
+	ZipfContent float64
+	// ZipfSubscriptions, when > 0, draws subscription patterns with
+	// the same popularity ranking, concentrating subscribers on the
+	// patterns hot content hits.
+	ZipfSubscriptions float64
+	// HotPublishers, when > 0, concentrates HotShare of the aggregate
+	// publish load on the first HotPublishers publishing dispatchers;
+	// the remainder spreads over the rest. Must leave at least one
+	// non-hot publisher.
+	HotPublishers int
+	// HotShare is the load fraction of the hot publishers, in (0, 1].
+	// Defaults to 0.5 when HotPublishers is set.
+	HotShare float64
+	// SubChurnRate is the systemwide rate of subscription changes per
+	// second (Poisson): each change picks a random dispatcher and swaps
+	// one of its subscribed patterns for a fresh draw, propagating the
+	// change through the normal (un)subscription protocol. Expected-
+	// audience accounting follows the swap instantly while routing
+	// tables converge at propagation speed, so delivery rate reflects
+	// the real cost of churn — and can exceed 1: a dispatcher gaining
+	// a subscription after an event was published is not in that
+	// event's publish-time audience but may still receive it through
+	// recovery. Incompatible with Check (the delivery monitors assume
+	// stable subscriptions) and FaultPlan.
+	SubChurnRate float64
 }
 
 // DefaultParams returns the paper's default simulation parameters
@@ -173,6 +232,45 @@ func (p Params) normalize() (Params, error) {
 			return p, fmt.Errorf("scenario: Shards=%d is incompatible with Trace (trace with Shards <= 1)", p.Shards)
 		}
 	}
+	if p.MetricsMode != MetricsExact && p.MetricsMode != MetricsStreaming {
+		return p, fmt.Errorf("scenario: unknown MetricsMode %d", p.MetricsMode)
+	}
+	w := p.Workload
+	if w.ZipfContent < 0 || w.ZipfSubscriptions < 0 {
+		return p, fmt.Errorf("scenario: negative Zipf exponent (content=%v, subscriptions=%v)", w.ZipfContent, w.ZipfSubscriptions)
+	}
+	if w.HotPublishers < 0 {
+		return p, fmt.Errorf("scenario: negative HotPublishers %d", w.HotPublishers)
+	}
+	if w.HotPublishers == 0 && w.HotShare != 0 {
+		return p, fmt.Errorf("scenario: HotShare = %v without HotPublishers", w.HotShare)
+	}
+	if w.HotPublishers > 0 {
+		pubs := p.N
+		if p.Publishers > 0 {
+			pubs = p.Publishers
+		}
+		if w.HotPublishers >= pubs {
+			return p, fmt.Errorf("scenario: HotPublishers = %d must leave a non-hot publisher (have %d)", w.HotPublishers, pubs)
+		}
+		if p.Workload.HotShare == 0 {
+			p.Workload.HotShare = 0.5
+		}
+		if s := p.Workload.HotShare; s < 0 || s > 1 {
+			return p, fmt.Errorf("scenario: HotShare = %v out of (0, 1]", s)
+		}
+	}
+	if w.SubChurnRate < 0 {
+		return p, fmt.Errorf("scenario: negative SubChurnRate %v", w.SubChurnRate)
+	}
+	if w.SubChurnRate > 0 {
+		if p.Check != nil {
+			return p, fmt.Errorf("scenario: SubChurnRate is incompatible with Check (delivery monitors assume stable subscriptions)")
+		}
+		if p.FaultPlan != nil {
+			return p, fmt.Errorf("scenario: SubChurnRate is incompatible with FaultPlan")
+		}
+	}
 	p.Gossip.Algorithm = p.Algorithm
 	if p.Algorithm != core.NoRecovery {
 		g, err := p.Gossip.Normalize()
@@ -230,6 +328,9 @@ type Result struct {
 	// NodeDowntime is the cumulative dispatcher downtime injected by
 	// the fault plan over the run.
 	NodeDowntime sim.Time
+	// SubChurns counts subscription swaps the churn workload performed;
+	// zero unless Workload.SubChurnRate is set.
+	SubChurns uint64
 	// KernelEvents counts simulator events processed (run cost).
 	KernelEvents uint64
 }
@@ -243,12 +344,13 @@ type Result struct {
 // between runs and every run stays deterministic under its seed. The
 // zero value is ready.
 type runState struct {
-	k       *sim.Kernel
-	pool    core.ScratchPool
-	nodes   pubsub.NodePool
-	tracker *metrics.DeliveryTracker
-	stamp   []uint32 // countReceivers dedup marks, indexed by NodeID
-	gen     uint32   // current stamp generation
+	k         *sim.Kernel
+	pool      core.ScratchPool
+	nodes     pubsub.NodePool
+	tracker   *metrics.DeliveryTracker
+	streaming *metrics.StreamingTracker
+	stamp     []uint32 // countReceivers dedup marks, indexed by NodeID
+	gen       uint32   // current stamp generation
 }
 
 // kernel returns a kernel seeded with seed, recycling the previous
@@ -270,7 +372,7 @@ func (st *runState) kernel(seed int64) *sim.Kernel {
 // outage (the paper's metric only counts deliveries a fully reliable
 // scenario would produce, and a reliable system does not deliver to a
 // dead process).
-func (st *runState) countReceivers(subscribersOf map[ident.PatternID][]ident.NodeID, c matching.Content, publisher ident.NodeID, n int, down func(ident.NodeID) bool) int {
+func (st *runState) countReceivers(subIndex *pubsub.SubscriberIndex, c matching.Content, publisher ident.NodeID, n int, down func(ident.NodeID) bool) int {
 	if len(st.stamp) < n {
 		st.stamp = append(st.stamp, make([]uint32, n-len(st.stamp))...)
 	}
@@ -281,7 +383,7 @@ func (st *runState) countReceivers(subscribersOf map[ident.PatternID][]ident.Nod
 	}
 	count := 0
 	for _, p := range c {
-		for _, s := range subscribersOf[p] {
+		for _, s := range subIndex.Subscribers(p) {
 			if s != publisher && st.stamp[s] != st.gen && (down == nil || !down(s)) {
 				st.stamp[s] = st.gen
 				count++
@@ -363,12 +465,38 @@ func runWith(p Params, st *runState) (Result, error) {
 	if p.NewLossModel != nil {
 		nw.SetLossModel(p.NewLossModel(k.NewStream))
 	}
-	if st.tracker == nil {
-		st.tracker = metrics.NewDeliveryTracker(k.Now)
+	var tracker metrics.Tracker
+	if p.MetricsMode == MetricsStreaming {
+		// The ring is sized to span the whole run (plus slack) so no
+		// publish bucket ages out mid-run; the 64Ki cap (2.5 MiB of
+		// cells) only binds past ~1.8 h of simulated time at the
+		// default 100 ms bucket, where the oldest buckets fold into an
+		// aggregate and leave windowed queries. Reservoir seeds derive
+		// from the run seed but never touch kernel streams.
+		ring := int(p.Duration/p.BucketWidth) + 2
+		if ring > 1<<16 {
+			ring = 1 << 16
+		}
+		cfg := metrics.StreamingConfig{
+			Now:         k.Now,
+			Seed:        p.Seed,
+			BucketWidth: p.BucketWidth,
+			RingBuckets: ring,
+		}
+		if st.streaming == nil {
+			st.streaming = metrics.NewStreamingTracker(cfg)
+		} else {
+			st.streaming.Reset(cfg)
+		}
+		tracker = st.streaming
 	} else {
-		st.tracker.Reset(k.Now)
+		if st.tracker == nil {
+			st.tracker = metrics.NewDeliveryTracker(k.Now)
+		} else {
+			st.tracker.Reset(k.Now)
+		}
+		tracker = st.tracker
 	}
-	tracker := st.tracker
 
 	onDeliver := tracker.OnDeliver
 	if p.FaultPlan != nil {
@@ -435,23 +563,27 @@ func runWith(p Params, st *runState) (Result, error) {
 	// patterns per dispatcher, installed before the run starts.
 	u := matching.Universe{NumPatterns: p.NumPatterns, MaxMatch: p.MaxMatch}
 	subRNG := k.NewStream(0x73756273) // "subs"
+	var zipfSubs *matching.ZipfDist
+	if s := p.Workload.ZipfSubscriptions; s > 0 {
+		zipfSubs = matching.NewZipfDist(p.NumPatterns, s)
+	}
 	subs := make([][]ident.PatternID, p.N)
 	for i := range subs {
-		subs[i] = u.RandomSubscriptions(p.PatternsPerNode, subRNG)
+		if zipfSubs != nil {
+			subs[i] = u.ZipfSubscriptions(p.PatternsPerNode, zipfSubs, subRNG)
+		} else {
+			subs[i] = u.RandomSubscriptions(p.PatternsPerNode, subRNG)
+		}
 	}
 	pubsub.InstallStableSubscriptions(topo, nodes, subs)
 	if chk != nil {
 		chk.SetSubscriptions(subs)
 	}
 
-	// Per-pattern subscriber sets give O(content) expected-receiver
-	// counting at publish time.
-	subscribersOf := make(map[ident.PatternID][]ident.NodeID, p.NumPatterns)
-	for i, ps := range subs {
-		for _, pat := range ps {
-			subscribersOf[pat] = append(subscribersOf[pat], ident.NodeID(i))
-		}
-	}
+	// The dense per-pattern subscriber index gives O(content)
+	// expected-receiver counting at publish time and O(log n) updates
+	// under subscription churn.
+	subIndex := pubsub.NewSubscriberIndex(p.NumPatterns, subs)
 
 	engines := make([]*core.Engine, 0, p.N)
 	if p.Algorithm != core.NoRecovery {
@@ -505,12 +637,34 @@ func runWith(p Params, st *runState) (Result, error) {
 		if p.PublishPatterns > 0 {
 			wu.NumPatterns = p.PublishPatterns
 		}
+		var zipfContent *matching.ZipfDist
+		if s := p.Workload.ZipfContent; s > 0 {
+			zipfContent = matching.NewZipfDist(wu.NumPatterns, s)
+		}
 		pubs := len(nodes)
 		if p.Publishers > 0 && p.Publishers < pubs {
 			pubs = p.Publishers
 		}
-		meanGap := float64(time.Second) / p.PublishRate
+		// Per-publisher rate: uniform PublishRate by default; with a
+		// hot-spot the aggregate load pubs·PublishRate is preserved but
+		// HotShare of it concentrates on the first HotPublishers nodes.
+		rateOf := func(i int) float64 {
+			h := p.Workload.HotPublishers
+			if h <= 0 {
+				return p.PublishRate
+			}
+			total := p.PublishRate * float64(pubs)
+			if i < h {
+				return p.Workload.HotShare * total / float64(h)
+			}
+			return (1 - p.Workload.HotShare) * total / float64(pubs-h)
+		}
 		for i := 0; i < pubs; i++ {
+			rate := rateOf(i)
+			if rate <= 0 { // HotShare=1 leaves cold publishers silent
+				continue
+			}
+			meanGap := float64(time.Second) / rate
 			node := nodes[i]
 			pr := node.Proc()
 			wlRNG := k.NewStream(0x776f726b + int64(i)) // "work" + node
@@ -531,7 +685,7 @@ func runWith(p Params, st *runState) (Result, error) {
 				if inj != nil {
 					down = inj.IsDown
 				}
-				expected := st.countReceivers(subscribersOf, content, node.ID(), p.N, down)
+				expected := st.countReceivers(subIndex, content, node.ID(), p.N, down)
 				tracker.OnPublish(ev.ID, expected, k.Now())
 				if chk != nil {
 					chk.OnPublish(node.ID(), ev, expected)
@@ -549,7 +703,12 @@ func runWith(p Params, st *runState) (Result, error) {
 					schedule()
 					return
 				}
-				content := wu.RandomContent(wlRNG)
+				var content matching.Content
+				if zipfContent != nil {
+					content = wu.ZipfContent(zipfContent, wlRNG)
+				} else {
+					content = wu.RandomContent(wlRNG)
+				}
 				ev := node.Publish(content, p.PayloadBytes)
 				if pr.Deferring() {
 					pr.Defer(func() { finish(content, ev) })
@@ -560,6 +719,48 @@ func runWith(p Params, st *runState) (Result, error) {
 			}
 			schedule()
 		}
+	}
+
+	// Subscription churn: Poisson-spaced swaps, each replacing one
+	// subscribed pattern of a random dispatcher with a fresh draw. The
+	// change propagates through the real (un)subscription protocol —
+	// routing tables converge at message speed — while the expected-
+	// audience index updates instantly, so the measured delivery rate
+	// pays the true propagation cost of churn. Runs as global kernel
+	// events (solo under the parallel executor, like reconfigurations).
+	var subChurns uint64
+	if rate := p.Workload.SubChurnRate; rate > 0 {
+		churnRNG := k.NewStream(0x63687572) // "chur"
+		meanGap := float64(time.Second) / rate
+		var churn func()
+		churn = func() {
+			node := nodes[churnRNG.Intn(p.N)]
+			local := node.LocalPatterns()
+			if len(local) > 0 && len(local) < p.NumPatterns {
+				old := local[churnRNG.Intn(len(local))]
+				// Bounded re-draws: under heavy skew the hot patterns
+				// are often already subscribed.
+				for attempt := 0; attempt < 16; attempt++ {
+					var repl ident.PatternID
+					if zipfSubs != nil {
+						repl = zipfSubs.Draw(churnRNG)
+					} else {
+						repl = ident.PatternID(churnRNG.Intn(p.NumPatterns))
+					}
+					if node.IsLocal(repl) {
+						continue
+					}
+					node.Unsubscribe(old)
+					node.Subscribe(repl)
+					subIndex.Remove(old, node.ID())
+					subIndex.Add(repl, node.ID())
+					subChurns++
+					break
+				}
+			}
+			k.After(sim.Time(churnRNG.ExpFloat64()*meanGap), churn)
+		}
+		k.After(sim.Time(churnRNG.ExpFloat64()*meanGap), churn)
 	}
 
 	// Reconfiguration driver (paper Sec. IV-A): every ρ a random link
@@ -636,6 +837,7 @@ func runWith(p Params, st *runState) (Result, error) {
 		MeanPathLength:      topo.MeanPairwiseDistance(),
 		Reconfigurations:    reconfigs,
 		ReconfigSkips:       reconfigSkips,
+		SubChurns:           subChurns,
 		KernelEvents:        k.Processed(),
 	}
 	if inj != nil {
