@@ -20,7 +20,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,23 +34,9 @@ import (
 	"repro/internal/bench"
 )
 
-// measurement is the recorded result of one benchmark function.
-type measurement struct {
-	NsPerOp         float64 `json:"ns_per_op"`
-	AllocsPerOp     int64   `json:"allocs_per_op"`
-	BytesPerOp      int64   `json:"bytes_per_op"`
-	Iterations      int     `json:"iterations"`
-	SimEventsPerSec float64 `json:"sim_events_per_sec,omitempty"`
-}
-
-// entry is one point of the trajectory: all benchmarks from one run.
-type entry struct {
-	Label      string                 `json:"label"`
-	Date       string                 `json:"date"`
-	Commit     string                 `json:"commit,omitempty"`
-	GoVersion  string                 `json:"go"`
-	Benchmarks map[string]measurement `json:"benchmarks"`
-}
+// The measurement and entry schema lives in internal/bench
+// (trajectory.go), shared with cmd/livebench which merges live-network
+// measurements into the same file.
 
 func main() {
 	label := flag.String("label", "", "trajectory label for this run (default bench-<git short hash>)")
@@ -73,14 +58,9 @@ func main() {
 
 	// Validate the trajectory file before spending minutes on the
 	// benchmarks themselves.
-	var trajectory []entry
-	if data, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(data, &trajectory); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %s is not a valid trajectory: %v\n", *out, err)
-			os.Exit(1)
-		}
-	} else if !os.IsNotExist(err) {
-		fmt.Fprintf(os.Stderr, "bench: reading %s: %v\n", *out, err)
+	trajectory, err := bench.LoadTrajectory(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -133,12 +113,12 @@ func main() {
 		}()
 	}
 
-	e := entry{
+	e := bench.Entry{
 		Label:      *label,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Commit:     gitCommit(),
 		GoVersion:  runtime.Version(),
-		Benchmarks: make(map[string]measurement, len(suite)),
+		Benchmarks: make(map[string]bench.Measurement, len(suite)),
 	}
 	for _, s := range suite {
 		r := testing.Benchmark(s.fn)
@@ -166,13 +146,8 @@ func main() {
 	}
 
 	trajectory = append(trajectory, e)
-	data, err := json.MarshalIndent(trajectory, "", "  ")
-	if err != nil {
+	if err := bench.SaveTrajectory(*out, trajectory); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", *out, err)
 		os.Exit(1)
 	}
 	fmt.Printf("appended %q to %s (%d entries)\n", *label, *out, len(trajectory))
@@ -182,7 +157,7 @@ func main() {
 // entry and returns the process exit code. The tolerance absorbs run
 // noise; cross-machine comparisons (a CI runner judging numbers
 // recorded on a dev box) should widen it via -gate-tolerance.
-func runGate(trajectory []entry, out string, tolerance float64) int {
+func runGate(trajectory []bench.Entry, out string, tolerance float64) int {
 	if len(trajectory) == 0 {
 		fmt.Fprintf(os.Stderr, "bench: gate: %s has no entries to compare against\n", out)
 		return 1
@@ -210,7 +185,7 @@ func runGate(trajectory []entry, out string, tolerance float64) int {
 // are recorded on one machine per PR, so unlike runGate this
 // comparison is deterministic and hardware-independent — it runs no
 // benchmark at all.
-func runGateTrajectory(trajectory []entry, out string, tolerance float64) int {
+func runGateTrajectory(trajectory []bench.Entry, out string, tolerance float64) int {
 	if len(trajectory) < 2 {
 		fmt.Printf("gate: %s has %d entries; nothing to compare\n", out, len(trajectory))
 		return 0
@@ -233,8 +208,8 @@ func runGateTrajectory(trajectory []entry, out string, tolerance float64) int {
 	return 0
 }
 
-func toMeasurement(r testing.BenchmarkResult) measurement {
-	m := measurement{
+func toMeasurement(r testing.BenchmarkResult) bench.Measurement {
+	m := bench.Measurement{
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),

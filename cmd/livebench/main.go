@@ -1,0 +1,611 @@
+// Command livebench measures the live transport over real UDP sockets:
+// delivered events per second per process and p99 publish-to-deliver
+// latency, for the goroutine-per-node baseline (NewNode, one socket per
+// node) versus the batched sharded dispatcher (NewDispatcher).
+//
+// It is a multi-process harness: the parent re-executes itself into
+// -procs child processes, each hosting -nodes live nodes; the overlay
+// tree spans all of them, so events cross real process and socket
+// boundaries. The parent wires the topology over a line-JSON pipe
+// protocol, triggers a publish burst, polls deliveries until the
+// network drains, and reports throughput computed from the children's
+// own first/last delivery timestamps.
+//
+//	go run ./cmd/livebench -procs 2 -nodes 1000 -events 100
+//
+// runs the comparison and prints both modes plus the speedup. With
+// -record the results are merged into the benchmark trajectory file
+// (BENCH_hotpath.json) as LivePerNode / LiveDispatcher measurements on
+// the latest entry — merged, not appended, so the live numbers ride the
+// same trajectory point as the micro-benchmarks of the same PR.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/live"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+const pattern = ident.PatternID(7)
+
+type options struct {
+	mode     string
+	procs    int
+	nodes    int
+	events   int
+	degree   int
+	sockets  int
+	batch    int
+	noBatch  bool
+	seed     int64
+	timeout  time.Duration
+	record   bool
+	out      string
+	label    string
+	minRatio float64
+
+	// child-only
+	child bool
+	first int
+	count int
+	epoch int64
+}
+
+func parseFlags() *options {
+	o := &options{}
+	flag.StringVar(&o.mode, "mode", "compare", "pernode, dispatcher, or compare (run both and report the speedup)")
+	flag.IntVar(&o.procs, "procs", 2, "number of child processes")
+	flag.IntVar(&o.nodes, "nodes", 1000, "live nodes per process")
+	flag.IntVar(&o.events, "events", 100, "events published per process")
+	flag.IntVar(&o.degree, "degree", 4, "overlay tree degree bound")
+	flag.IntVar(&o.sockets, "sockets", 4, "dispatcher shard sockets per process")
+	flag.IntVar(&o.batch, "batch", 128, "dispatcher datagrams per batched read/write")
+	flag.BoolVar(&o.noBatch, "nobatchio", false, "dispatcher mode: force the portable transport (no recvmmsg/sendmmsg)")
+	flag.Int64Var(&o.seed, "seed", 1, "topology and node seed")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "overall deadline per benchmarked mode")
+	flag.BoolVar(&o.record, "record", false, "merge results into the trajectory file")
+	flag.StringVar(&o.out, "out", "BENCH_hotpath.json", "trajectory file for -record")
+	flag.StringVar(&o.label, "label", "", "label if -record must create a fresh entry (default livebench-<commit>)")
+	flag.Float64Var(&o.minRatio, "min-ratio", 0, "compare mode: exit non-zero unless dispatcher/pernode events/s ≥ this")
+	flag.BoolVar(&o.child, "child", false, "internal: run as a child process")
+	flag.IntVar(&o.first, "first", 0, "internal: first hosted node ID")
+	flag.IntVar(&o.count, "count", 0, "internal: hosted node count")
+	flag.Int64Var(&o.epoch, "epoch", 0, "internal: shared epoch, unix nanoseconds")
+	flag.Parse()
+	return o
+}
+
+func main() {
+	o := parseFlags()
+	if o.child {
+		if err := runChild(o); err != nil {
+			fmt.Fprintf(os.Stderr, "livebench child: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runParent(o); err != nil {
+		fmt.Fprintf(os.Stderr, "livebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// ── pipe protocol ────────────────────────────────────────────────────
+// One JSON object per line in each direction. The child answers every
+// request in order; cmd selects the action.
+
+type request struct {
+	Cmd    string            `json:"cmd"`
+	Dir    map[string]string `json:"dir,omitempty"`   // nodeID → UDP address
+	Links  [][2]int          `json:"links,omitempty"` // overlay links touching this child
+	Subs   []int             `json:"subs,omitempty"`  // node IDs that subscribe
+	Events int               `json:"events,omitempty"`
+}
+
+type response struct {
+	OK        bool              `json:"ok"`
+	Err       string            `json:"err,omitempty"`
+	Addrs     map[string]string `json:"addrs,omitempty"`
+	Delivered uint64            `json:"delivered,omitempty"`
+	P99Ns     int64             `json:"p99_ns,omitempty"`
+	FirstNs   int64             `json:"first_ns,omitempty"`
+	LastNs    int64             `json:"last_ns,omitempty"`
+	MinPat    int               `json:"min_pat"`
+}
+
+// ── child ────────────────────────────────────────────────────────────
+
+type childState struct {
+	nodes []*live.Node
+	disp  *live.Dispatcher
+
+	delivered atomic.Uint64
+	firstNs   atomic.Int64
+	lastNs    atomic.Int64
+	epoch     time.Time
+
+	mu  sync.Mutex
+	res *metrics.LatencyReservoir
+}
+
+func (c *childState) onDeliver(publishedAt int64) {
+	now := int64(time.Since(c.epoch))
+	c.delivered.Add(1)
+	c.firstNs.CompareAndSwap(0, now)
+	for {
+		last := c.lastNs.Load()
+		if now <= last || c.lastNs.CompareAndSwap(last, now) {
+			break
+		}
+	}
+	c.mu.Lock()
+	c.res.Observe(time.Duration(now - publishedAt))
+	c.mu.Unlock()
+}
+
+func runChild(o *options) error {
+	st := &childState{
+		epoch: time.Unix(0, o.epoch),
+		res:   metrics.NewLatencyReservoir(4096, o.seed),
+	}
+	mkcfg := func(id int) live.Config {
+		return live.Config{
+			ID:        ident.NodeID(id),
+			Algorithm: core.NoRecovery,
+			Seed:      o.seed + int64(id),
+			Epoch:     st.epoch,
+			OnDeliver: func(ev *wire.Event, recovered bool) {
+				st.onDeliver(ev.PublishedAt)
+			},
+		}
+	}
+	if o.mode == "dispatcher" {
+		d, err := live.NewDispatcher(live.DispatcherConfig{
+			Sockets:        o.sockets,
+			Batch:          o.batch,
+			DisableBatchIO: o.noBatch,
+		})
+		if err != nil {
+			return err
+		}
+		st.disp = d
+		defer d.Close()
+		for i := 0; i < o.count; i++ {
+			n, err := d.AddNode(mkcfg(o.first + i))
+			if err != nil {
+				return err
+			}
+			st.nodes = append(st.nodes, n)
+		}
+	} else {
+		for i := 0; i < o.count; i++ {
+			n, err := live.NewNode(mkcfg(o.first + i))
+			if err != nil {
+				return err
+			}
+			defer n.Close()
+			st.nodes = append(st.nodes, n)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	addrs := make(map[string]string, o.count)
+	for _, n := range st.nodes {
+		addrs[strconv.Itoa(int(n.ID()))] = n.Addr().String()
+	}
+	if err := enc.Encode(response{OK: true, Addrs: addrs}); err != nil {
+		return err
+	}
+
+	byID := func(id int) *live.Node { return st.nodes[id-o.first] }
+	mine := func(id int) bool { return id >= o.first && id < o.first+o.count }
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			return err
+		}
+		switch req.Cmd {
+		case "wire":
+			dir := make(map[ident.NodeID]*net.UDPAddr, len(req.Dir))
+			for idStr, as := range req.Dir {
+				id, err := strconv.Atoi(idStr)
+				if err != nil {
+					return err
+				}
+				ua, err := net.ResolveUDPAddr("udp", as)
+				if err != nil {
+					return err
+				}
+				dir[ident.NodeID(id)] = ua
+			}
+			for _, n := range st.nodes {
+				n.SetDirectory(dir)
+			}
+			for _, l := range req.Links {
+				a, b := l[0], l[1]
+				if mine(a) {
+					byID(a).AddNeighbor(ident.NodeID(b), dir[ident.NodeID(b)])
+				}
+				if mine(b) {
+					byID(b).AddNeighbor(ident.NodeID(a), dir[ident.NodeID(a)])
+				}
+			}
+			for _, s := range req.Subs {
+				byID(s).Subscribe(pattern)
+			}
+			if err := enc.Encode(response{OK: true}); err != nil {
+				return err
+			}
+		case "publish":
+			pub := st.nodes[0]
+			for i := 0; i < req.Events; i++ {
+				pub.Publish(matching.Content{pattern})
+				if i%32 == 31 {
+					runtime.Gosched() // let the receive side breathe on small machines
+				}
+			}
+			if err := enc.Encode(response{OK: true}); err != nil {
+				return err
+			}
+		case "stats":
+			minPat := int(^uint(0) >> 1)
+			for _, n := range st.nodes {
+				if k := n.KnownPatternCount(); k < minPat {
+					minPat = k
+				}
+			}
+			st.mu.Lock()
+			p99 := int64(st.res.Quantile(0.99))
+			st.mu.Unlock()
+			r := response{
+				OK:        true,
+				Delivered: st.delivered.Load(),
+				P99Ns:     p99,
+				FirstNs:   st.firstNs.Load(),
+				LastNs:    st.lastNs.Load(),
+				MinPat:    minPat,
+			}
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		case "quit":
+			return enc.Encode(response{OK: true})
+		default:
+			return fmt.Errorf("unknown command %q", req.Cmd)
+		}
+	}
+	return sc.Err()
+}
+
+// ── parent ───────────────────────────────────────────────────────────
+
+type child struct {
+	cmd  *exec.Cmd
+	in   *json.Encoder
+	out  *bufio.Scanner
+	from int
+	to   int // exclusive
+}
+
+func (c *child) call(req request) (response, error) {
+	if err := c.in.Encode(req); err != nil {
+		return response{}, err
+	}
+	return c.read()
+}
+
+func (c *child) read() (response, error) {
+	if !c.out.Scan() {
+		if err := c.out.Err(); err != nil {
+			return response{}, err
+		}
+		return response{}, fmt.Errorf("child exited early")
+	}
+	var r response
+	if err := json.Unmarshal(c.out.Bytes(), &r); err != nil {
+		return response{}, err
+	}
+	if !r.OK {
+		return r, fmt.Errorf("child error: %s", r.Err)
+	}
+	return r, nil
+}
+
+type result struct {
+	mode       string
+	delivered  uint64
+	expected   uint64
+	elapsed    time.Duration
+	eventsPerS float64 // delivered events/s per process
+	p99        time.Duration
+}
+
+func runParent(o *options) error {
+	switch o.mode {
+	case "pernode", "dispatcher":
+		res, err := runMode(o, o.mode)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		if o.record {
+			return record(o, []result{res})
+		}
+		return nil
+	case "compare":
+		per, err := runMode(o, "pernode")
+		if err != nil {
+			return fmt.Errorf("pernode: %w", err)
+		}
+		printResult(per)
+		dis, err := runMode(o, "dispatcher")
+		if err != nil {
+			return fmt.Errorf("dispatcher: %w", err)
+		}
+		printResult(dis)
+		ratio := dis.eventsPerS / per.eventsPerS
+		fmt.Printf("speedup: dispatcher %.2fx pernode (events/s per process)\n", ratio)
+		if o.record {
+			if err := record(o, []result{per, dis}); err != nil {
+				return err
+			}
+		}
+		if o.minRatio > 0 && ratio < o.minRatio {
+			return fmt.Errorf("speedup %.2fx below required %.2fx", ratio, o.minRatio)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -mode %q", o.mode)
+	}
+}
+
+func runMode(o *options, mode string) (result, error) {
+	total := o.procs * o.nodes
+	topo, err := topology.New(total, o.degree, rand.New(rand.NewSource(o.seed)))
+	if err != nil {
+		return result{}, err
+	}
+	links := topo.Links()
+	epoch := time.Now().UnixNano()
+
+	self, err := os.Executable()
+	if err != nil {
+		return result{}, err
+	}
+	var children []*child
+	defer func() {
+		for _, c := range children {
+			_, _ = c.call(request{Cmd: "quit"})
+			_ = c.cmd.Wait()
+		}
+	}()
+	for p := 0; p < o.procs; p++ {
+		first := p * o.nodes
+		cmd := exec.Command(self,
+			"-child", "-mode", mode,
+			"-first", strconv.Itoa(first),
+			"-count", strconv.Itoa(o.nodes),
+			"-epoch", strconv.FormatInt(epoch, 10),
+			"-sockets", strconv.Itoa(o.sockets),
+			"-batch", strconv.Itoa(o.batch),
+			"-seed", strconv.FormatInt(o.seed, 10),
+			"-nobatchio="+strconv.FormatBool(o.noBatch),
+		)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return result{}, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return result{}, err
+		}
+		if err := cmd.Start(); err != nil {
+			return result{}, err
+		}
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 1<<20), 1<<26)
+		children = append(children, &child{
+			cmd: cmd, in: json.NewEncoder(stdin), out: sc,
+			from: first, to: first + o.nodes,
+		})
+	}
+
+	// Gather every node's address, then wire directory + overlay links +
+	// subscriptions. The first node of each child publishes; everyone
+	// else subscribes.
+	dir := make(map[string]string, total)
+	for _, c := range children {
+		r, err := c.read()
+		if err != nil {
+			return result{}, err
+		}
+		for k, v := range r.Addrs {
+			dir[k] = v
+		}
+	}
+	isPublisher := func(id int) bool { return id%o.nodes == 0 }
+	for _, c := range children {
+		var cl [][2]int
+		for _, l := range links {
+			a, b := int(l.A), int(l.B)
+			if (a >= c.from && a < c.to) || (b >= c.from && b < c.to) {
+				cl = append(cl, [2]int{a, b})
+			}
+		}
+		var subs []int
+		for id := c.from; id < c.to; id++ {
+			if !isPublisher(id) {
+				subs = append(subs, id)
+			}
+		}
+		if _, err := c.call(request{Cmd: "wire", Dir: dir, Links: cl, Subs: subs}); err != nil {
+			return result{}, err
+		}
+	}
+
+	// Wait for subscription propagation to flood the whole overlay.
+	deadline := time.Now().Add(o.timeout)
+	for {
+		settled := true
+		for _, c := range children {
+			r, err := c.call(request{Cmd: "stats"})
+			if err != nil {
+				return result{}, err
+			}
+			if r.MinPat < 1 {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			return result{}, fmt.Errorf("subscription propagation did not settle in %v", o.timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	for _, c := range children {
+		if _, err := c.call(request{Cmd: "publish", Events: o.events}); err != nil {
+			return result{}, err
+		}
+	}
+
+	// Poll until delivery stops growing (the burst drained or stalled).
+	expected := uint64(o.procs*o.events) * uint64(total-o.procs)
+	var lastSum uint64
+	stable := 0
+	var final []response
+	for {
+		time.Sleep(150 * time.Millisecond)
+		var sum uint64
+		var rs []response
+		for _, c := range children {
+			r, err := c.call(request{Cmd: "stats"})
+			if err != nil {
+				return result{}, err
+			}
+			sum += r.Delivered
+			rs = append(rs, r)
+		}
+		if sum == expected {
+			final = rs
+			break
+		}
+		if sum == lastSum {
+			if stable++; stable >= 6 {
+				final = rs
+				break
+			}
+		} else {
+			stable = 0
+		}
+		lastSum = sum
+		if time.Now().After(deadline) {
+			final = rs
+			break
+		}
+	}
+
+	res := result{mode: mode, expected: expected}
+	var firstNs, lastNs, p99 int64
+	for _, r := range final {
+		res.delivered += r.Delivered
+		if r.FirstNs > 0 && (firstNs == 0 || r.FirstNs < firstNs) {
+			firstNs = r.FirstNs
+		}
+		if r.LastNs > lastNs {
+			lastNs = r.LastNs
+		}
+		if r.P99Ns > p99 {
+			p99 = r.P99Ns
+		}
+	}
+	if res.delivered == 0 || lastNs <= firstNs {
+		return res, fmt.Errorf("no deliveries observed")
+	}
+	res.elapsed = time.Duration(lastNs - firstNs)
+	res.eventsPerS = float64(res.delivered) / res.elapsed.Seconds() / float64(o.procs)
+	res.p99 = time.Duration(p99)
+	return res, nil
+}
+
+func printResult(r result) {
+	fmt.Printf("%-11s %9d/%d delivered in %8v  %12.0f events/s/process  p99 %v\n",
+		r.mode, r.delivered, r.expected, r.elapsed.Round(time.Millisecond), r.eventsPerS, r.p99.Round(time.Microsecond))
+}
+
+// record merges the results into the latest trajectory entry so live
+// numbers and micro-benchmarks of the same PR share a data point; with
+// no entries yet it creates one.
+func record(o *options, rs []result) error {
+	traj, err := bench.LoadTrajectory(o.out)
+	if err != nil {
+		return err
+	}
+	if len(traj) == 0 {
+		label := o.label
+		if label == "" {
+			label = "livebench"
+			if c := gitCommit(); c != "" {
+				label = "livebench-" + c
+			}
+		}
+		traj = append(traj, bench.Entry{
+			Label:     label,
+			Date:      time.Now().UTC().Format(time.RFC3339),
+			Commit:    gitCommit(),
+			GoVersion: runtime.Version(),
+		})
+	}
+	e := &traj[len(traj)-1]
+	if e.Benchmarks == nil {
+		e.Benchmarks = make(map[string]bench.Measurement)
+	}
+	name := map[string]string{"pernode": "LivePerNode", "dispatcher": "LiveDispatcher"}
+	for _, r := range rs {
+		e.Benchmarks[name[r.mode]] = bench.Measurement{
+			NsPerOp:          float64(r.elapsed.Nanoseconds()) / float64(r.delivered),
+			Iterations:       int(r.delivered),
+			LiveEventsPerSec: r.eventsPerS,
+			P99LatencyNs:     float64(r.p99),
+		}
+	}
+	if err := bench.SaveTrajectory(o.out, traj); err != nil {
+		return err
+	}
+	fmt.Printf("merged live measurements into %q in %s\n", e.Label, o.out)
+	return nil
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

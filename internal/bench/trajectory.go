@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The benchmark trajectory file (BENCH_hotpath.json) is shared by two
+// writers: cmd/bench appends one entry per run with the micro-benchmark
+// suite, and cmd/livebench merges live-transport measurements into the
+// latest entry. Both re-marshal the whole file, so the schema lives
+// here, in one place — a field known to only one writer would silently
+// vanish the next time the other one saved.
+
+// Measurement is the recorded result of one benchmark.
+type Measurement struct {
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	Iterations      int     `json:"iterations"`
+	SimEventsPerSec float64 `json:"sim_events_per_sec,omitempty"`
+	// LiveEventsPerSec is delivered events per second per process over
+	// real sockets (cmd/livebench).
+	LiveEventsPerSec float64 `json:"live_events_per_sec,omitempty"`
+	// P99LatencyNs is the 99th-percentile publish-to-deliver latency of
+	// a live run, in nanoseconds.
+	P99LatencyNs float64 `json:"p99_latency_ns,omitempty"`
+}
+
+// Entry is one point of the trajectory: all measurements from one run.
+type Entry struct {
+	Label      string                 `json:"label"`
+	Date       string                 `json:"date"`
+	Commit     string                 `json:"commit,omitempty"`
+	GoVersion  string                 `json:"go"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+// LoadTrajectory reads a trajectory file; a missing file is an empty
+// trajectory, anything unparsable is an error.
+func LoadTrajectory(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	var t []Entry
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s is not a valid trajectory: %w", path, err)
+	}
+	return t, nil
+}
+
+// SaveTrajectory writes the trajectory back, pretty-printed.
+func SaveTrajectory(path string, t []Entry) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}

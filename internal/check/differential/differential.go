@@ -48,6 +48,11 @@ type Case struct {
 	Algorithm core.Algorithm
 	// Publishes is the number of core (compared) events. Zero means 40.
 	Publishes int
+	// Hosted runs the live side on a shared Dispatcher (batched sockets,
+	// coalesced envelopes) instead of one socket per node. The protocol
+	// traffic must be indistinguishable, so the same fixed point must be
+	// reached.
+	Hosted bool
 }
 
 const (
@@ -277,7 +282,7 @@ func runLive(c Case, pl *plan, want deliveredSets) (deliveredSets, error) {
 	var mu sync.Mutex
 	core_, sets := make(map[ident.EventID]bool), newDeliveredSets(c.N)
 
-	cluster, err := live.NewCluster(c.N, maxDegree, c.Seed, func(i int) live.Config {
+	mkcfg := func(i int) live.Config {
 		id := ident.NodeID(i)
 		return live.Config{
 			Algorithm:      c.Algorithm,
@@ -291,7 +296,14 @@ func runLive(c Case, pl *plan, want deliveredSets) (deliveredSets, error) {
 				mu.Unlock()
 			},
 		}
-	})
+	}
+	var cluster *live.Cluster
+	var err error
+	if c.Hosted {
+		cluster, err = live.NewDispatcherCluster(c.N, maxDegree, c.Seed, live.DispatcherConfig{}, mkcfg)
+	} else {
+		cluster, err = live.NewCluster(c.N, maxDegree, c.Seed, mkcfg)
+	}
 	if err != nil {
 		return nil, err
 	}

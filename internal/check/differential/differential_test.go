@@ -26,3 +26,25 @@ func TestSimMatchesLive(t *testing.T) {
 		}
 	}
 }
+
+// TestSimMatchesHostedLive extends the differential through the
+// Dispatcher: the live side shares batched sockets and coalesces
+// envelopes, yet must reach the exact fixed point the simulator
+// predicts — coalescing must not create, lose, or reorder protocol
+// meaning.
+func TestSimMatchesHostedLive(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, alg := range []core.Algorithm{core.Push, core.CombinedPull} {
+		for _, seed := range seeds {
+			c := Case{Seed: seed, N: 8, Algorithm: alg, Hosted: true}
+			t.Run(c.Algorithm.String()+"/hosted/"+string(rune('0'+seed)), func(t *testing.T) {
+				if err := Run(c); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

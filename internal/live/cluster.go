@@ -14,6 +14,9 @@ import (
 type Cluster struct {
 	Nodes []*Node
 	Topo  *topology.Tree
+	// Disp is non-nil for dispatcher-hosted clusters
+	// (NewDispatcherCluster); standalone clusters leave it nil.
+	Disp *Dispatcher
 }
 
 // NewCluster starts n live dispatchers and wires them into a random
@@ -54,11 +57,55 @@ func NewCluster(n, maxDegree int, seed int64, mkcfg func(i int) Config) (*Cluste
 	return c, nil
 }
 
-// Close shuts every node down.
+// Close shuts every node down, then the hosting dispatcher if any.
 func (c *Cluster) Close() {
 	for _, n := range c.Nodes {
 		if n != nil {
 			_ = n.Close()
 		}
 	}
+	if c.Disp != nil {
+		_ = c.Disp.Close()
+	}
+}
+
+// NewDispatcherCluster is NewCluster with every node hosted on one
+// Dispatcher instead of owning its own socket — same topology, same
+// wiring, same protocol traffic, different transport. Tests use the two
+// constructors as differential twins.
+func NewDispatcherCluster(n, maxDegree int, seed int64, dcfg DispatcherConfig, mkcfg func(i int) Config) (*Cluster, error) {
+	topo, err := topology.New(n, maxDegree, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("live: building overlay: %w", err)
+	}
+	d, err := NewDispatcher(dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("live: starting dispatcher: %w", err)
+	}
+	c := &Cluster{Topo: topo, Disp: d}
+	for i := 0; i < n; i++ {
+		cfg := mkcfg(i)
+		cfg.ID = ident.NodeID(i)
+		if cfg.Seed == 0 {
+			cfg.Seed = seed
+		}
+		node, err := d.AddNode(cfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("live: hosting node %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	dir := make(map[ident.NodeID]*net.UDPAddr, n)
+	for _, node := range c.Nodes {
+		dir[node.ID()] = node.Addr()
+	}
+	for _, node := range c.Nodes {
+		node.SetDirectory(dir)
+	}
+	for _, l := range topo.Links() {
+		c.Nodes[l.A].AddNeighbor(l.B, c.Nodes[l.B].Addr())
+		c.Nodes[l.B].AddNeighbor(l.A, c.Nodes[l.A].Addr())
+	}
+	return c, nil
 }

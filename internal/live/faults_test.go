@@ -32,9 +32,10 @@ func FuzzLiveEnvelope(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)-1]) // truncated payload
 	f.Add(valid[:3])            // truncated envelope
-	f.Add([]byte{1, 0, 0, 0, flagHeartbeat})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, flagHeartbeat})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, flagBatch, 0xff, 0xff}) // batch with lying frame length
 	f.Add([]byte{})
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n.handleDatagram(data) // must not panic
 	})
@@ -46,11 +47,16 @@ func TestLiveFaultMalformedCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	n.handleDatagram([]byte{1, 2, 3})                   // short envelope
-	n.handleDatagram([]byte{1, 0, 0, 0, 0, 0xee, 0xbb}) // undecodable payload
-	n.handleDatagram([]byte{1, 0, 0, 0, flagHeartbeat}) // valid heartbeat
-	if got := n.Stats().Malformed; got != 2 {
-		t.Fatalf("Malformed = %d, want 2", got)
+	n.handleDatagram([]byte{1, 2, 3})                               // short envelope
+	n.handleDatagram([]byte{1, 0, 0, 0, 1, 0, 0, 0, 0, 0xee, 0xbb}) // undecodable payload
+	n.handleDatagram([]byte{1, 0, 0, 0, 1, 0, 0, 0, flagHeartbeat}) // valid heartbeat
+	n.handleDatagram([]byte{1, 0, 0, 0, 9, 0, 0, 0, flagHeartbeat}) // another node's datagram
+	st := n.Stats()
+	if st.Malformed != 2 {
+		t.Fatalf("Malformed = %d, want 2", st.Malformed)
+	}
+	if st.Misrouted != 1 {
+		t.Fatalf("Misrouted = %d, want 1", st.Misrouted)
 	}
 }
 
@@ -119,7 +125,7 @@ func TestLiveFaultDetectorSuspectsAndRevives(t *testing.T) {
 	}
 
 	// Any traffic from the suspect revives it.
-	n.handleDatagram([]byte{2, 0, 0, 0, flagHeartbeat})
+	n.handleDatagram([]byte{2, 0, 0, 0, 1, 0, 0, 0, flagHeartbeat})
 	if len(n.SuspectedNeighbors()) != 0 {
 		t.Fatal("neighbor still suspected after it spoke")
 	}

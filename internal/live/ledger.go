@@ -1,0 +1,175 @@
+package live
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// The fairness ledger tracks recovery traffic (Request and Retransmit
+// messages) per peer, in both directions. It exists because epidemic
+// recovery has an adversarial failure mode the paper's simulations do
+// not exercise: one lossy or malicious peer can monopolize a node's
+// recovery capacity, either by flooding it with requests (serving cost)
+// or by pushing digests that fill the pending-request table (memory
+// cost), starving every other peer. The ledger bounds both:
+//
+//   - Serving is metered: each peer gets ServeBudget bytes of
+//     Retransmit payload per LedgerWindow; events beyond the budget are
+//     trimmed from the response (and, on the gossip-pull path, left in
+//     the "remaining" set so another replica can serve them).
+//   - Shedding is greediest-first: when the pending table is full, the
+//     victim is the peer with the most live entries (ties broken by
+//     most recovery bytes received — the peer that has already consumed
+//     the most), and its oldest entry is evicted. With a single active
+//     peer this reduces to plain oldest-first.
+//
+// The design borrows the shape of Bitswap's per-peer ledgers: symmetric
+// byte counters consulted at serve time, not a global rate limit, so a
+// well-behaved peer's recovery is never throttled by a greedy one.
+
+// PeerLedger is the public snapshot of one peer's ledger entry.
+type PeerLedger struct {
+	// BytesSent and MessagesSent count recovery traffic (Requests and
+	// Retransmit payloads) transmitted to the peer.
+	BytesSent    uint64
+	MessagesSent uint64
+	// BytesReceived and MessagesReceived count recovery traffic
+	// received from the peer.
+	BytesReceived    uint64
+	MessagesReceived uint64
+	// Pending is the number of live pending-request entries waiting on
+	// digests this peer pushed.
+	Pending int
+}
+
+// peerLedger is the mutable per-peer record, guarded by n.mu like the
+// pending table it arbitrates.
+type peerLedger struct {
+	sentB, sentMsgs uint64
+	recvB, recvMsgs uint64
+	pending         int
+	// windowServed is the Retransmit payload bytes served to this peer
+	// since windowStart; the quota refills when the window rolls over.
+	windowServed int
+	windowStart  time.Time
+}
+
+// ledger maps peers to their accounting records.
+type ledger struct {
+	peers map[ident.NodeID]*peerLedger
+}
+
+func (l *ledger) init() {
+	l.peers = make(map[ident.NodeID]*peerLedger)
+}
+
+func (l *ledger) peer(id ident.NodeID) *peerLedger {
+	pl, ok := l.peers[id]
+	if !ok {
+		pl = &peerLedger{}
+		l.peers[id] = pl
+	}
+	return pl
+}
+
+// ledgerSentLocked records recovery bytes transmitted to peer. Callers
+// hold n.mu.
+func (n *Node) ledgerSentLocked(peer ident.NodeID, bytes int) {
+	pl := n.ledger.peer(peer)
+	pl.sentB += uint64(bytes)
+	pl.sentMsgs++
+}
+
+// ledgerRecvLocked records recovery bytes received from peer. Callers
+// hold n.mu.
+func (n *Node) ledgerRecvLocked(peer ident.NodeID, bytes int) {
+	pl := n.ledger.peer(peer)
+	pl.recvB += uint64(bytes)
+	pl.recvMsgs++
+}
+
+// serveAllowanceLocked returns how many more Retransmit payload bytes
+// peer may be served in the current ledger window, rolling the window
+// over if it has elapsed. Unlimited (MaxInt) when no budget is
+// configured. Callers hold n.mu.
+func (n *Node) serveAllowanceLocked(peer ident.NodeID, now time.Time) int {
+	if n.cfg.ServeBudget <= 0 {
+		return math.MaxInt
+	}
+	pl := n.ledger.peer(peer)
+	if pl.windowStart.IsZero() || now.Sub(pl.windowStart) >= n.cfg.LedgerWindow {
+		pl.windowStart = now
+		pl.windowServed = 0
+	}
+	return n.cfg.ServeBudget - pl.windowServed
+}
+
+// chargeServeLocked debits bytes from peer's window quota and records
+// them as sent. Callers hold n.mu.
+func (n *Node) chargeServeLocked(peer ident.NodeID, bytes int) {
+	pl := n.ledger.peer(peer)
+	pl.windowServed += bytes
+	pl.sentB += uint64(bytes)
+	pl.sentMsgs++
+}
+
+// shedGreediestLocked evicts one live pending entry when the table is
+// full: the oldest entry of the greediest peer. Greed is measured in
+// live pending entries (the resource being arbitrated), with recovery
+// bytes already received as the tie-break. Callers hold n.mu.
+func (n *Node) shedGreediestLocked() {
+	var victim ident.NodeID
+	var best *peerLedger
+	for id, pl := range n.ledger.peers {
+		if pl.pending == 0 {
+			continue
+		}
+		if best == nil || pl.pending > best.pending ||
+			(pl.pending == best.pending && pl.recvB > best.recvB) {
+			victim, best = id, pl
+		}
+	}
+	if best == nil {
+		// No attributed entries (should not happen: every pending entry
+		// increments its peer's count) — fall back to plain oldest-first.
+		n.shedOldestLocked()
+		return
+	}
+	for i, pr := range n.pendingQ {
+		if pr.done || pr.from != victim {
+			continue
+		}
+		pr.done = true
+		delete(n.pending, pr.id)
+		best.pending--
+		n.stats.pendingShed.Add(1)
+		// Tombstone stays in pendingQ; compaction reclaims it. Entries
+		// ahead of i belong to other peers and keep their positions.
+		_ = i
+		return
+	}
+	// Ledger said the victim had live entries but the queue disagrees;
+	// resync and shed oldest so the table still shrinks.
+	best.pending = 0
+	n.shedOldestLocked()
+}
+
+// Ledger returns a snapshot of the per-peer recovery-traffic ledger,
+// for tests and monitoring.
+func (n *Node) Ledger() map[ident.NodeID]PeerLedger {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[ident.NodeID]PeerLedger, len(n.ledger.peers))
+	for id, pl := range n.ledger.peers {
+		out[id] = PeerLedger{
+			BytesSent:        pl.sentB,
+			MessagesSent:     pl.sentMsgs,
+			BytesReceived:    pl.recvB,
+			MessagesReceived: pl.recvMsgs,
+			Pending:          pl.pending,
+		}
+	}
+	return out
+}

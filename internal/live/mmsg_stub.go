@@ -1,0 +1,18 @@
+//go:build !linux || !(amd64 || arm64)
+
+package live
+
+import "net"
+
+// Platforms without an mmsg path (darwin, windows, other
+// architectures) fall back to the portable stdlib transport; the
+// dispatcher still shards and coalesces, it just pays one syscall per
+// datagram instead of one per batch.
+
+// batchTransportAvailable reports whether newBatchPacketConn can
+// return a working mmsg transport on this platform.
+const batchTransportAvailable = false
+
+func newBatchPacketConn(conn *net.UDPConn, batch int) (packetConn, bool) {
+	return nil, false
+}

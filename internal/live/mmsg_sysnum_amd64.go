@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package live
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64. The stdlib
+// syscall package stops short of exporting SYS_SENDMMSG, so both are
+// pinned here from the kernel's syscall table.
+const (
+	sysRecvmmsg uintptr = 299
+	sysSendmmsg uintptr = 307
+)

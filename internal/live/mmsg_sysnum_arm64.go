@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package live
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64 (the generic
+// 64-bit syscall table).
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

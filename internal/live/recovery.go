@@ -11,7 +11,9 @@ import (
 // time and real sockets. The algorithms are identical to the
 // simulator's — same digests, same routing of gossip messages, same
 // Lost-buffer discipline — so a live network and a simulated one are
-// two deployments of one protocol.
+// two deployments of one protocol. On top of the ported algorithms the
+// live node adds the fairness ledger (ledger.go): recovery serving is
+// metered per peer and the pending-request table sheds greediest-first.
 
 // indexLocked buffers ev and maintains the pattern and tag indices.
 // Callers hold n.mu.
@@ -58,7 +60,7 @@ func (n *Node) detectLocked(ev *wire.Event) {
 		if tag.Seq > high {
 			for q := high + 1; q < tag.Seq; q++ {
 				n.lost.Add(wire.LostEntry{Source: ev.ID.Source, Pattern: tag.Pattern, Seq: q}, now)
-				n.stats.LossesDetected++
+				n.stats.lossesDetected.Add(1)
 			}
 			n.high[key] = tag.Seq
 		} else {
@@ -102,7 +104,7 @@ func (n *Node) gossipRound() {
 func (n *Node) forwardPatternLocked(msg wire.Message, p ident.PatternID, from ident.NodeID) []out {
 	var outs []out
 	for _, nb := range n.table[p] {
-		if nb == from || n.suspects[nb] {
+		if nb == from || n.isSuspect(nb) {
 			continue
 		}
 		if n.rng.Float64() < n.cfg.PForward {
@@ -219,7 +221,9 @@ func (n *Node) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
 			missing = append(missing, id)
 		}
 		if len(missing) > 0 {
-			outs = append(outs, out{to: m.Gossiper, msg: &wire.Request{Requester: n.cfg.ID, IDs: missing}, oob: true})
+			req := &wire.Request{Requester: n.cfg.ID, IDs: missing}
+			n.ledgerSentLocked(m.Gossiper, req.WireSize())
+			outs = append(outs, out{to: m.Gossiper, msg: req, oob: true})
 		}
 	}
 	outs = append(outs, n.forwardPatternLocked(m, m.Pattern, from)...)
@@ -259,12 +263,16 @@ func (n *Node) onGossipPubPull(m *wire.GossipPubPull) {
 }
 
 // serveLocked looks wanted events up in the buffer and returns the
-// retransmission (as outs) plus the entries still missing. Callers
-// hold n.mu.
+// retransmission (as outs) plus the entries still missing. Events the
+// gossiper's ledger quota cannot cover are trimmed from the response
+// and returned in the remaining set, so a replica with quota to spare
+// can serve them instead. Callers hold n.mu.
 func (n *Node) serveLocked(gossiper ident.NodeID, wanted []wire.LostEntry) ([]wire.LostEntry, []out) {
 	if gossiper == n.cfg.ID {
 		return nil, nil
 	}
+	allowance := n.serveAllowanceLocked(gossiper, time.Now())
+	served := 0
 	var events []*wire.Event
 	seen := make(map[ident.EventID]bool, len(wanted))
 	var remaining []wire.LostEntry
@@ -280,28 +288,49 @@ func (n *Node) serveLocked(gossiper ident.NodeID, wanted []wire.LostEntry) ([]wi
 			remaining = append(remaining, w)
 			continue
 		}
-		if !seen[id] {
-			seen[id] = true
-			events = append(events, ev)
+		if seen[id] {
+			continue
 		}
+		sz := ev.WireSize()
+		if served+sz > allowance {
+			n.stats.quotaTrimmed.Add(1)
+			remaining = append(remaining, w)
+			continue
+		}
+		seen[id] = true
+		served += sz
+		events = append(events, ev)
 	}
 	if len(events) == 0 {
 		return remaining, nil
 	}
-	n.stats.Served += uint64(len(events))
+	n.chargeServeLocked(gossiper, served)
+	n.stats.served.Add(uint64(len(events)))
 	return remaining, []out{{to: gossiper, msg: &wire.Retransmit{Responder: n.cfg.ID, Events: events}, oob: true}}
 }
 
 func (n *Node) onRequest(m *wire.Request) {
 	n.mu.Lock()
+	n.ledgerRecvLocked(m.Requester, m.WireSize())
+	allowance := n.serveAllowanceLocked(m.Requester, time.Now())
+	served := 0
 	var events []*wire.Event
 	for _, id := range m.IDs {
-		if ev := n.buf.Get(id); ev != nil {
-			events = append(events, ev)
+		ev := n.buf.Get(id)
+		if ev == nil {
+			continue
 		}
+		sz := ev.WireSize()
+		if served+sz > allowance {
+			n.stats.quotaTrimmed.Add(1)
+			continue
+		}
+		served += sz
+		events = append(events, ev)
 	}
 	if len(events) > 0 {
-		n.stats.Served += uint64(len(events))
+		n.chargeServeLocked(m.Requester, served)
+		n.stats.served.Add(uint64(len(events)))
 	}
 	n.mu.Unlock()
 	if len(events) > 0 {
@@ -312,14 +341,16 @@ func (n *Node) onRequest(m *wire.Request) {
 func (n *Node) onRetransmit(m *wire.Retransmit) {
 	for _, ev := range m.Events {
 		n.mu.Lock()
+		n.ledgerRecvLocked(m.Responder, ev.WireSize())
 		if pr := n.pending[ev.ID]; pr != nil {
 			pr.done = true
 			delete(n.pending, ev.ID)
+			n.ledger.peer(pr.from).pending--
 		}
 		deliver := n.localMatchLocked(ev.Content) && n.received.Add(ev.ID)
 		if deliver {
-			n.stats.Delivered++
-			n.stats.Recovered++
+			n.stats.delivered.Add(1)
+			n.stats.recovered.Add(1)
 			n.indexLocked(ev)
 			if n.cfg.Algorithm.NeedsSeqTags() {
 				n.detectLocked(ev)
@@ -345,19 +376,21 @@ type pendingReq struct {
 }
 
 // addPendingLocked registers an outstanding request, shedding the
-// oldest entries when the table is full. Callers hold n.mu.
+// greediest peer's oldest entries when the table is full. Callers hold
+// n.mu.
 func (n *Node) addPendingLocked(id ident.EventID, from ident.NodeID, now time.Time) {
 	for len(n.pending) >= n.cfg.MaxPending {
-		n.shedOldestLocked()
+		n.shedGreediestLocked()
 	}
 	pr := &pendingReq{id: id, from: from, attempts: 1, nextAt: now.Add(n.backoffLocked(1))}
 	n.pending[id] = pr
 	n.pendingQ = append(n.pendingQ, pr)
+	n.ledger.peer(from).pending++
 }
 
-// shedOldestLocked evicts the oldest live pending entry — bounded
-// memory beats complete recovery when a burst floods the table.
-// Callers hold n.mu.
+// shedOldestLocked evicts the oldest live pending entry regardless of
+// peer — the pre-ledger policy, kept as the fallback when the ledger
+// has no attribution to offer. Callers hold n.mu.
 func (n *Node) shedOldestLocked() {
 	for len(n.pendingQ) > 0 {
 		pr := n.pendingQ[0]
@@ -368,7 +401,10 @@ func (n *Node) shedOldestLocked() {
 		}
 		pr.done = true
 		delete(n.pending, pr.id)
-		n.stats.PendingShed++
+		if pl := n.ledger.peer(pr.from); pl.pending > 0 {
+			pl.pending--
+		}
+		n.stats.pendingShed.Add(1)
 		return
 	}
 }
@@ -410,12 +446,15 @@ func (n *Node) retryPendingLocked() []out {
 		if pr.attempts >= n.cfg.RequestRetries {
 			pr.done = true
 			delete(n.pending, id)
-			n.stats.RequestsAbandoned++
+			if pl := n.ledger.peer(pr.from); pl.pending > 0 {
+				pl.pending--
+			}
+			n.stats.requestsAbandoned.Add(1)
 			continue
 		}
 		pr.attempts++
 		pr.nextAt = now.Add(n.backoffLocked(pr.attempts))
-		n.stats.RequestsRetried++
+		n.stats.requestsRetried.Add(1)
 		if byFrom == nil {
 			byFrom = make(map[ident.NodeID][]ident.EventID)
 		}
@@ -423,7 +462,9 @@ func (n *Node) retryPendingLocked() []out {
 	}
 	var outs []out
 	for from, ids := range byFrom {
-		outs = append(outs, out{to: from, msg: &wire.Request{Requester: n.cfg.ID, IDs: ids}, oob: true})
+		req := &wire.Request{Requester: n.cfg.ID, IDs: ids}
+		n.ledgerSentLocked(from, req.WireSize())
+		outs = append(outs, out{to: from, msg: req, oob: true})
 	}
 	return outs
 }

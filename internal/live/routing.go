@@ -165,12 +165,12 @@ func (n *Node) Publish(content matching.Content) ident.EventID {
 	if n.cfg.Algorithm.NeedsRoutes() {
 		ev.Route = []ident.NodeID{n.cfg.ID}
 	}
-	n.stats.Published++
+	n.stats.published.Add(1)
 	n.received.Add(ev.ID)
 	n.indexLocked(ev)
 	selfDeliver := n.localMatchLocked(content)
 	if selfDeliver {
-		n.stats.Delivered++
+		n.stats.delivered.Add(1)
 	}
 	outs := n.forwardLocked(ev, ident.None)
 	cb := n.cfg.OnDeliver
@@ -243,7 +243,7 @@ func (n *Node) handleEvent(ev *wire.Event, from ident.NodeID) {
 	n.mu.Lock()
 	deliver := n.localMatchLocked(ev.Content) && n.received.Add(ev.ID)
 	if deliver {
-		n.stats.Delivered++
+		n.stats.delivered.Add(1)
 		n.indexLocked(ev)
 		if n.cfg.Algorithm.NeedsSeqTags() {
 			n.detectLocked(ev)

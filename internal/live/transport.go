@@ -1,0 +1,146 @@
+package live
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+
+	"repro/internal/ident"
+	"repro/internal/wire"
+)
+
+// The live transport has two layers. packetConn is the socket layer:
+// read and write *batches* of datagrams in one call, so a dispatcher
+// hosting thousands of nodes pays one syscall per batch instead of one
+// per packet. On Linux it is backed by recvmmsg/sendmmsg (batch_linux);
+// everywhere else by a portable stdlib fallback that degrades to one
+// datagram per call. transport is the node layer: how one live.Node
+// emits messages — a standalone node owns a socket, a hosted node
+// borrows its dispatcher's shard ring.
+
+// dgram is one datagram of a batch I/O operation. Reads fill b
+// (re-sliced to the payload length); writes consume b and send to `to`.
+type dgram struct {
+	b  []byte
+	to netip.AddrPort
+}
+
+// packetConn reads and writes datagrams in batches on one socket.
+type packetConn interface {
+	// readBatch blocks until at least one datagram arrives and fills up
+	// to len(ds) entries, re-slicing each entry's b to the payload; it
+	// returns the number filled.
+	readBatch(ds []dgram) (int, error)
+	// writeBatch transmits ds in order, returning how many were sent.
+	writeBatch(ds []dgram) (int, error)
+	localAddr() *net.UDPAddr
+	close() error
+}
+
+// stdConn is the portable packetConn: plain blocking stdlib reads and
+// writes, one datagram at a time under the batch interface. It is the
+// fallback on platforms without an mmsg path and the reference
+// implementation the batch path is differential-tested against.
+type stdConn struct {
+	conn *net.UDPConn
+}
+
+func (c *stdConn) readBatch(ds []dgram) (int, error) {
+	n, _, err := c.conn.ReadFromUDPAddrPort(ds[0].b)
+	if err != nil {
+		return 0, err
+	}
+	ds[0].b = ds[0].b[:n]
+	return 1, nil
+}
+
+func (c *stdConn) writeBatch(ds []dgram) (int, error) {
+	for i := range ds {
+		if _, err := c.conn.WriteToUDPAddrPort(ds[i].b, ds[i].to); err != nil {
+			return i, err
+		}
+	}
+	return len(ds), nil
+}
+
+func (c *stdConn) localAddr() *net.UDPAddr { return c.conn.LocalAddr().(*net.UDPAddr) }
+func (c *stdConn) close() error            { return c.conn.Close() }
+
+// transport is how a node transmits: the standalone implementation
+// encodes and writes synchronously on its own socket; the hosted
+// implementation enqueues on the dispatcher shard's ring, where the
+// writer coalesces messages into batched datagrams.
+type transport interface {
+	// sendMsg envelopes msg from one node to another and transmits it
+	// (possibly coalesced and deferred, per implementation).
+	sendMsg(from, to ident.NodeID, addr netip.AddrPort, msg wire.Message, oob bool)
+	// sendHeartbeat transmits a payload-free liveness envelope.
+	sendHeartbeat(from, to ident.NodeID, addr netip.AddrPort)
+	// localAddr is the address peers use to reach this node.
+	localAddr() *net.UDPAddr
+	// close releases transport resources the node owns (the socket for
+	// a standalone node; nothing for a hosted one).
+	close() error
+}
+
+// recvBufPool recycles the 64 KB receive buffers shared by standalone
+// read loops and dispatcher shards, so opening and closing nodes in
+// bulk does not churn the allocator.
+var recvBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64<<10)
+		return &b
+	},
+}
+
+// sendBufPool recycles datagram encode buffers (envelope + payload,
+// sized for a coalesced datagram). Buffers grown past 64 KB by an
+// oversized retransmit batch are dropped rather than pinned.
+var sendBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+func putSendBuf(bp *[]byte) {
+	if cap(*bp) <= 64<<10 {
+		sendBufPool.Put(bp)
+	}
+}
+
+// sockTransport is the standalone transport: the node's own socket,
+// one synchronous write per message, exactly the pre-dispatcher
+// behavior. WriteToUDPAddrPort copies the payload into the kernel
+// before returning, so the pooled buffer is immediately reusable.
+type sockTransport struct {
+	conn *net.UDPConn
+}
+
+func (t *sockTransport) sendMsg(from, to ident.NodeID, addr netip.AddrPort, msg wire.Message, oob bool) {
+	var flags byte
+	if oob {
+		flags = flagOOB
+	}
+	bp := sendBufPool.Get().(*[]byte)
+	b := appendEnvelope((*bp)[:0], from, to, flags)
+	b = msg.Append(b)
+	if _, err := t.conn.WriteToUDPAddrPort(b, addr); err != nil && !closing(err) {
+		// Best-effort, like UDP itself: the protocols tolerate loss by
+		// design, and errors to live addresses are not actionable here.
+		_ = err
+	}
+	*bp = b
+	putSendBuf(bp)
+}
+
+func (t *sockTransport) sendHeartbeat(from, to ident.NodeID, addr netip.AddrPort) {
+	var b [envelopeLen]byte
+	putEnvelope(b[:], from, to, flagHeartbeat)
+	if _, err := t.conn.WriteToUDPAddrPort(b[:], addr); err != nil && !closing(err) {
+		_ = err
+	}
+}
+
+func (t *sockTransport) localAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+func (t *sockTransport) close() error            { return t.conn.Close() }

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/matching"
+)
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&Subscribe{Pattern: 7},
+		&Event{
+			ID:      ident.EventID{Source: 3, Seq: 9},
+			Content: matching.Content{1, 2},
+			Tags:    []ident.PatternSeq{{Pattern: 1, Seq: 4}},
+		},
+		&Request{Requester: 5, IDs: []ident.EventID{{Source: 3, Seq: 9}}},
+	}
+	var buf []byte
+	for _, m := range msgs {
+		if !Fits(m) {
+			t.Fatalf("%T does not fit a frame", m)
+		}
+		buf = AppendFrame(buf, m)
+	}
+	var got []Message
+	for len(buf) > 0 {
+		frame, rest, err := NextFrame(buf)
+		if err != nil {
+			t.Fatalf("NextFrame: %v", err)
+		}
+		m, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		got = append(got, m)
+		buf = rest
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		// Compare re-encodings: decode may materialize empty slices where
+		// the original had nil, which is semantically identical.
+		if !reflect.DeepEqual(got[i].Append(nil), msgs[i].Append(nil)) {
+			t.Fatalf("message %d: got %+v, want %+v", i, got[i], msgs[i])
+		}
+	}
+}
+
+func TestBatchFrameTruncation(t *testing.T) {
+	full := AppendFrame(nil, &Subscribe{Pattern: 1})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := NextFrame(full[:cut]); cut > 0 && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("NextFrame of %d/%d bytes: err = %v, want ErrTruncated", cut, len(full), err)
+		}
+	}
+	// A frame header lying about its length must not read past the buffer.
+	if _, _, err := NextFrame([]byte{0xff, 0xff, 1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("lying header: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestBatchFrameSizeBound(t *testing.T) {
+	// A Retransmit stuffed past MaxFrame must be rejected by Fits and
+	// panic in AppendFrame — the same discipline as oversized counts.
+	big := &Retransmit{Responder: 1}
+	for i := 0; big.WireSize() <= MaxFrame; i++ {
+		big.Events = append(big.Events, &Event{
+			ID:      ident.EventID{Source: 1, Seq: uint32(i)},
+			Content: make(matching.Content, 16),
+		})
+	}
+	if Fits(big) {
+		t.Fatal("oversized message reported as fitting")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendFrame of oversized message did not panic")
+		}
+	}()
+	AppendFrame(nil, big)
+}
