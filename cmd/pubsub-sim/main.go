@@ -46,6 +46,9 @@ func run(args []string, w io.Writer) error {
 		series   = fs.Bool("series", false, "also print the delivery-rate time series (TSV)")
 		traceN   = fs.Int("trace", 0, "also print the last N protocol trace records")
 		metrics  = fs.String("metrics", "exact", "measurement engine: exact (per-event) or streaming (O(1) memory)")
+		overlay  = fs.String("overlay", "tree", "overlay kind: tree, scale-free, small-world")
+		repairMd = fs.String("repair", "oracle", "fault repair mode: oracle or self-stabilizing (needs -plan churn)")
+		planRate = fs.Float64("plan", 0, "node churn plan: crashes/s systemwide over the run (0 = none)")
 		zipf     = fs.Float64("zipf", 0, "Zipf exponent for content and subscription popularity (0 = uniform)")
 		hot      = fs.Int("hot", 0, "concentrate publish load on this many hot publishers (0 = uniform)")
 		hotshare = fs.Float64("hotshare", 0, "share of aggregate load on the hot publishers (default 0.5 with -hot)")
@@ -56,6 +59,14 @@ func run(args []string, w io.Writer) error {
 	}
 
 	a, err := epidemic.ParseAlgorithm(*algo)
+	if err != nil {
+		return err
+	}
+	kind, err := epidemic.ParseOverlayKind(*overlay)
+	if err != nil {
+		return err
+	}
+	rmode, err := epidemic.ParseRepairMode(*repairMd)
 	if err != nil {
 		return err
 	}
@@ -70,6 +81,11 @@ func run(args []string, w io.Writer) error {
 	p.Network.LossRate = *eps
 	p.Network.OOBLossRate = *eps
 	p.ReconfigInterval = *rho
+	p.Overlay = kind
+	p.Repair = rmode
+	if *planRate > 0 {
+		p.FaultPlan = epidemic.ChurnPlan(*seed, *n, *planRate, p.Duration, 300*time.Millisecond)
+	}
 	p.Gossip.BufferSize = *beta
 	p.Gossip.GossipInterval = *interval
 	p.Gossip.PForward = *pforward
@@ -99,6 +115,9 @@ func run(args []string, w io.Writer) error {
 	}
 
 	fmt.Fprintf(w, "algorithm            %v\n", a)
+	if kind != epidemic.OverlayTree {
+		fmt.Fprintf(w, "overlay              %v (first-arrival dedup forwarding)\n", kind)
+	}
 	fmt.Fprintf(w, "dispatchers          N=%d (mean path %.2f hops)\n", p.N, res.MeanPathLength)
 	fmt.Fprintf(w, "workload             %.0f publish/s per dispatcher, %v simulated\n", p.PublishRate, p.Duration)
 	if *rho > 0 {
@@ -117,6 +136,17 @@ func run(args []string, w io.Writer) error {
 			res.EngineStats.Recovered, res.EngineStats.DuplicateRecoveries)
 		fmt.Fprintf(w, "gossip msgs/disp     %.0f\n", res.GossipPerDispatcher)
 		fmt.Fprintf(w, "gossip/event ratio   %.3f\n", res.GossipEventRatio)
+	}
+	if *planRate > 0 {
+		fmt.Fprintf(w, "node churn           %d crashes, %d restarts, %v cumulative downtime\n",
+			res.Crashes, res.Restarts, res.NodeDowntime)
+		fmt.Fprintf(w, "repair mode          %v\n", rmode)
+		if rmode == epidemic.RepairSelfStabilizing {
+			fmt.Fprintf(w, "repair protocol      %d rounds, +%d/-%d links, %d reattaches\n",
+				res.Repair.Rounds, res.Repair.LinksAdded, res.Repair.LinksDropped, res.Repair.Reattaches)
+		} else if res.RepairAbandoned > 0 {
+			fmt.Fprintf(w, "repairs abandoned    %d\n", res.RepairAbandoned)
+		}
 	}
 	fmt.Fprintf(w, "receivers per event  %.2f\n", res.ReceiversPerEvent)
 	if *churn > 0 {

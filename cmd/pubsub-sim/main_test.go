@@ -86,3 +86,37 @@ func TestRunRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+func TestRunOverlayAndRepairFlags(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-n", "20", "-duration", "3s", "-rate", "10", "-algo", "combined-pull",
+		"-overlay", "small-world", "-repair", "self-stabilizing", "-plan", "1",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"overlay              small-world",
+		"node churn",
+		"repair mode          self-stabilizing",
+		"repair protocol",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadOverlayAndRepair(t *testing.T) {
+	for _, args := range [][]string{
+		{"-overlay", "torus"},
+		{"-repair", "magic"},
+		{"-overlay", "scale-free", "-rho", "200ms"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

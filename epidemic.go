@@ -38,8 +38,10 @@ import (
 	"repro/internal/ident"
 	"repro/internal/matching"
 	"repro/internal/network"
+	"repro/internal/repair"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -163,6 +165,44 @@ const (
 // popularity, publisher hot-spots, subscription churn). The zero value
 // is the paper's uniform workload.
 type Workload = scenario.Workload
+
+// OverlayKind selects the overlay family via Params.Overlay: the
+// paper's degree-bounded random tree (the zero value), Barabási–Albert
+// scale-free, or Newman–Watts small-world. Non-tree overlays forward
+// events with first-arrival dedup, since their redundant links would
+// otherwise circulate every event forever.
+type OverlayKind = topology.Kind
+
+// The overlay families selectable via Params.Overlay.
+const (
+	OverlayTree       = topology.KindTree
+	OverlayScaleFree  = topology.KindScaleFree
+	OverlaySmallWorld = topology.KindSmallWorld
+)
+
+// ParseOverlayKind maps a name ("tree", "scale-free", "small-world")
+// to an OverlayKind. The empty string means OverlayTree.
+func ParseOverlayKind(s string) (OverlayKind, error) { return topology.ParseKind(s) }
+
+// RepairMode selects how the overlay heals after injected faults via
+// Params.Repair: RepairOracle (the zero value) keeps the fault
+// injector's omniscient healing, RepairSelfStabilizing runs the
+// decentralized maintenance protocol of internal/repair instead.
+type RepairMode = scenario.RepairMode
+
+// The repair modes selectable via Params.Repair.
+const (
+	RepairOracle          = scenario.RepairOracle
+	RepairSelfStabilizing = scenario.RepairSelfStabilizing
+)
+
+// ParseRepairMode maps a name ("oracle", "self-stabilizing") to a
+// RepairMode. The empty string means RepairOracle.
+func ParseRepairMode(s string) (RepairMode, error) { return scenario.ParseRepairMode(s) }
+
+// RepairStats carries the self-stabilizing protocol's counters,
+// reported in Result.Repair.
+type RepairStats = repair.Stats
 
 // DefaultParams returns the paper's default simulation parameters:
 // N=100 dispatchers (degree ≤ 4), Π=70 patterns, πmax=2 subscriptions

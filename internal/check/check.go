@@ -66,6 +66,18 @@ type Options struct {
 	// Conservation enables per-event delivery-count bounds and the
 	// final reconciliation against the DeliveryTracker.
 	Conservation bool
+	// Convergence enables the repair-convergence monitor: after the
+	// last injected fault (Env.LastFaultAt), the overlay must reach —
+	// and then retain — the legality of its kind (connected,
+	// degree-bounded, acyclic for trees, judged over live nodes) within
+	// ConvergenceBound. Because the checker is passive it cannot sample
+	// the overlay on a clock; instead it verifies the equivalent pair
+	// at Finish: no topology mutation happened after
+	// LastFaultAt+ConvergenceBound (quiescence), and the final overlay
+	// is legal — together these imply legality was reached within the
+	// bound and held through the end of the run. Runs whose last fault
+	// falls within ConvergenceBound of the end are not judged.
+	Convergence bool
 
 	// KeepGoing collects violations instead of stopping the run at the
 	// first one. Fail-fast (the default) asks the kernel to stop, so
@@ -82,6 +94,12 @@ type Options struct {
 	// without a recorded channel loss (routing state is re-converging).
 	// Default 500ms.
 	DisruptionSlack sim.Time
+	// ConvergenceBound is how long after the last fault the repair
+	// machinery (oracle or self-stabilizing) may keep mutating the
+	// overlay before the Convergence monitor calls it non-convergent.
+	// Default 2s; self-stabilizing runs need roughly
+	// repair.Config.TTL·Period plus propagation slack.
+	ConvergenceBound sim.Time
 }
 
 // All returns Options with every monitor enabled and fail-fast on.
@@ -160,6 +178,9 @@ type Topology interface {
 	HasLink(a, b ident.NodeID) bool
 	NeighborSlot(from, to ident.NodeID) int
 	LinkIncarnation(a, b ident.NodeID) uint64
+	// Kind is the overlay family the shape checks are judged against:
+	// only KindTree overlays are required to be acyclic.
+	Kind() topology.Kind
 }
 
 var _ Topology = (*topology.Tree)(nil)
@@ -188,6 +209,12 @@ type Env struct {
 	// instant; it must match the filter the delivery accounting uses.
 	// May be nil.
 	WasDownAt func(ident.NodeID, sim.Time) bool
+	// LastFaultAt reports the virtual time of the most recent injected
+	// disturbance (crash, restart, link cut/restore); the Convergence
+	// monitor anchors its bound here. May be nil (treated as time 0 —
+	// an adversarial initial configuration counts as a fault before
+	// the run started).
+	LastFaultAt func() sim.Time
 }
 
 // Checker is one run's invariant monitor. Build it with New, wire its
@@ -260,6 +287,9 @@ func New(opts *Options, env Env) *Checker {
 	}
 	if o.DisruptionSlack <= 0 {
 		o.DisruptionSlack = 500 * time.Millisecond
+	}
+	if o.ConvergenceBound <= 0 {
+		o.ConvergenceBound = 2 * time.Second
 	}
 	c := &Checker{opts: o, env: env}
 	if o.FIFO {
@@ -345,6 +375,9 @@ func (c *Checker) Finish(tracker metrics.Tracker) error {
 	if !c.stopped {
 		if c.opts.Topology {
 			c.finishTopology()
+		}
+		if c.opts.Convergence {
+			c.finishConvergence()
 		}
 		if c.opts.Recovery {
 			for _, a := range c.audits {

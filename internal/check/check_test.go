@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/wire"
 )
 
@@ -20,6 +21,7 @@ type fakeTopo struct {
 	n, maxDeg int
 	adj       [][]ident.NodeID
 	inc       uint64
+	kind      topology.Kind
 }
 
 func (f *fakeTopo) N() int                                  { return f.n }
@@ -36,6 +38,7 @@ func (f *fakeTopo) NeighborSlot(from, to ident.NodeID) int {
 	return -1
 }
 func (f *fakeTopo) LinkIncarnation(a, b ident.NodeID) uint64 { return f.inc }
+func (f *fakeTopo) Kind() topology.Kind                      { return f.kind }
 
 // line builds the path 0-1-…-(n-1).
 func line(n int) *fakeTopo {
@@ -49,11 +52,12 @@ func line(n int) *fakeTopo {
 
 // harness bundles a checker with a hand-driven clock and stop flag.
 type harness struct {
-	c       *Checker
-	now     sim.Time
-	stopped bool
-	down    map[ident.NodeID]bool
-	wasDown map[ident.NodeID]bool
+	c         *Checker
+	now       sim.Time
+	stopped   bool
+	down      map[ident.NodeID]bool
+	wasDown   map[ident.NodeID]bool
+	lastFault sim.Time
 }
 
 func newHarness(opts *Options, topo Topology) *harness {
@@ -63,15 +67,16 @@ func newHarness(opts *Options, topo Topology) *harness {
 		n = topo.N()
 	}
 	h.c = New(opts, Env{
-		Seed:      7,
-		Algorithm: "test",
-		N:         n,
-		Now:       func() sim.Time { return h.now },
-		Stop:      func() { h.stopped = true },
-		Topo:      topo,
-		NetConfig: network.DefaultConfig(),
-		NodeDown:  func(id ident.NodeID) bool { return h.down[id] },
-		WasDownAt: func(id ident.NodeID, _ sim.Time) bool { return h.wasDown[id] },
+		Seed:        7,
+		Algorithm:   "test",
+		N:           n,
+		Now:         func() sim.Time { return h.now },
+		Stop:        func() { h.stopped = true },
+		Topo:        topo,
+		NetConfig:   network.DefaultConfig(),
+		NodeDown:    func(id ident.NodeID) bool { return h.down[id] },
+		WasDownAt:   func(id ident.NodeID, _ sim.Time) bool { return h.wasDown[id] },
+		LastFaultAt: func() sim.Time { return h.lastFault },
 	})
 	return h
 }

@@ -1,0 +1,106 @@
+package check
+
+import (
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// finishConvergence is the repair-convergence monitor's end-of-run
+// verdict. The claim it proves: within ConvergenceBound of the last
+// injected fault, the overlay reached the legality of its kind and
+// retained it until the end of the run.
+//
+// The checker is passive — it may not schedule kernel events, so it
+// cannot sample legality on a clock. It instead verifies an equivalent
+// pair of facts at Finish time:
+//
+//  1. Quiescence: no topology mutation happened after
+//     LastFaultAt + ConvergenceBound. Every mutation (fault, oracle
+//     heal, protocol round) flows through OnTopologyMutation, so
+//     lastMutation is exact.
+//  2. Final legality: the overlay satisfies its kind's invariant over
+//     the live nodes at the end of the run.
+//
+// Together: the overlay stopped changing by the deadline and is legal
+// now, hence it was already legal at the deadline and stayed legal —
+// "reaches and retains legality within a bounded number of repair
+// rounds". A run whose last fault falls within ConvergenceBound of the
+// end cannot be judged (the repair is legitimately still in flight)
+// and is skipped, mirroring FinalGrace.
+func (c *Checker) finishConvergence() {
+	end := c.env.Now()
+	fault := c.lastFaultAt()
+	deadline := fault + c.opts.ConvergenceBound
+	if end < deadline {
+		return // fault too close to the end: repair may still be in flight
+	}
+	if c.anyMutation && c.lastMutation > deadline {
+		c.report("convergence", "no-quiescence", ident.None, ident.None, ident.EventID{},
+			"overlay still mutating %v after the last fault at %v (bound %v)",
+			c.lastMutation-fault, fault, c.opts.ConvergenceBound)
+		return
+	}
+	c.checkLegality()
+}
+
+func (c *Checker) lastFaultAt() sim.Time {
+	if c.env.LastFaultAt != nil {
+		return c.env.LastFaultAt()
+	}
+	return 0
+}
+
+// checkLegality verifies the overlay's per-kind invariant over the
+// live nodes: degree bound, no live-to-dead links, single live
+// component, and acyclicity on KindTree.
+func (c *Checker) checkLegality() {
+	t := c.env.Topo
+	n := t.N()
+	live := 0
+	for v := ident.NodeID(0); int(v) < n; v++ {
+		if c.nodeDown(v) {
+			continue
+		}
+		live++
+		if d := t.Degree(v); d > t.MaxDegree() {
+			c.report("convergence", "final-degree", v, ident.None, ident.EventID{},
+				"degree %d exceeds bound %d after convergence deadline", d, t.MaxDegree())
+			return
+		}
+		for _, w := range t.Neighbors(v) {
+			if c.nodeDown(w) {
+				c.report("convergence", "final-dead-link", v, w, ident.EventID{},
+					"live dispatcher linked to crashed dispatcher after convergence deadline")
+				return
+			}
+		}
+	}
+	if live <= 1 {
+		return
+	}
+	comps := c.componentCount(c.nodeDown)
+	if comps > 1 {
+		c.report("convergence", "final-disconnected", ident.None, ident.None, ident.EventID{},
+			"%d live dispatchers split across %d components after the convergence deadline", live, comps)
+		return
+	}
+	if t.Kind() != topology.KindTree {
+		return
+	}
+	edges := 0
+	for v := ident.NodeID(0); int(v) < n; v++ {
+		if c.nodeDown(v) {
+			continue
+		}
+		for _, w := range t.Neighbors(v) {
+			if !c.nodeDown(w) {
+				edges++
+			}
+		}
+	}
+	if edges/2 != live-1 {
+		c.report("convergence", "final-cycle", ident.None, ident.None, ident.EventID{},
+			"tree overlay holds %d live links over %d live dispatchers after the convergence deadline", edges/2, live)
+	}
+}

@@ -1,0 +1,133 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/topology"
+)
+
+// convOpts enables only the convergence monitor so its verdicts are not
+// shadowed by the topology monitor's own finish checks.
+func convOpts() *Options {
+	return &Options{Convergence: true, ConvergenceBound: 2 * time.Second}
+}
+
+func TestConvergenceCleanOnQuiescentLegalRun(t *testing.T) {
+	h := newHarness(convOpts(), line(4))
+	h.now = 1 * time.Second
+	h.lastFault = h.now
+	h.c.OnTopologyMutation() // repair lands immediately after the fault
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantClean(t, h.c)
+}
+
+func TestConvergenceNoQuiescence(t *testing.T) {
+	h := newHarness(convOpts(), line(4))
+	h.now = 1 * time.Second
+	h.lastFault = h.now
+	// A mutation past lastFault+bound means the overlay never settled.
+	h.now = 5 * time.Second
+	h.c.OnTopologyMutation()
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantViolation(t, h.c, "convergence", "no-quiescence")
+}
+
+func TestConvergenceSkipsWhenFaultNearEnd(t *testing.T) {
+	// The overlay is split, but the last fault is within the bound of
+	// the end of the run: repair is legitimately still in flight.
+	f := line(4)
+	f.adj[1] = f.adj[1][:1]
+	f.adj[2] = f.adj[2][1:]
+	h := newHarness(convOpts(), f)
+	h.now = 9 * time.Second
+	h.lastFault = h.now
+	h.now = 9500 * time.Millisecond
+	h.c.Finish(nil)
+	wantClean(t, h.c)
+}
+
+func TestConvergenceFinalDegree(t *testing.T) {
+	// Star 0-{1,2,3} with bound 2: the hub is over-degree.
+	f := &fakeTopo{n: 4, maxDeg: 2, adj: make([][]ident.NodeID, 4), inc: 1}
+	for i := 1; i < 4; i++ {
+		f.adj[0] = append(f.adj[0], ident.NodeID(i))
+		f.adj[i] = append(f.adj[i], 0)
+	}
+	h := newHarness(convOpts(), f)
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantViolation(t, h.c, "convergence", "final-degree")
+}
+
+func TestConvergenceFinalDeadLink(t *testing.T) {
+	h := newHarness(convOpts(), line(3))
+	h.down[1] = true // still linked to 0 and 2
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantViolation(t, h.c, "convergence", "final-dead-link")
+}
+
+func TestConvergenceFinalDisconnected(t *testing.T) {
+	f := line(4)
+	f.adj[1] = f.adj[1][:1] // cut 1-2 symmetrically
+	f.adj[2] = f.adj[2][1:]
+	h := newHarness(convOpts(), f)
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantViolation(t, h.c, "convergence", "final-disconnected")
+}
+
+func TestConvergenceFinalCycleOnTreeKind(t *testing.T) {
+	f := line(4)
+	f.adj[0] = append(f.adj[0], 3)
+	f.adj[3] = append(f.adj[3], 0)
+	h := newHarness(convOpts(), f)
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantViolation(t, h.c, "convergence", "final-cycle")
+}
+
+func TestConvergenceToleratesCyclesOnCyclicKinds(t *testing.T) {
+	f := line(4)
+	f.adj[0] = append(f.adj[0], 3)
+	f.adj[3] = append(f.adj[3], 0)
+	f.kind = topology.KindSmallWorld
+	h := newHarness(convOpts(), f)
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantClean(t, h.c)
+}
+
+func TestConvergenceSingleLiveNodeIsTriviallyLegal(t *testing.T) {
+	f := &fakeTopo{n: 1, maxDeg: 2, adj: make([][]ident.NodeID, 1), inc: 1}
+	h := newHarness(convOpts(), f)
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantClean(t, h.c)
+}
+
+func TestConvergenceWithoutFaultSource(t *testing.T) {
+	// A run with no injector wires no LastFaultAt; the monitor treats
+	// the whole run as post-fault and still judges final legality.
+	h := newHarness(convOpts(), line(4))
+	h.c.env.LastFaultAt = nil
+	h.now = 10 * time.Second
+	h.c.Finish(nil)
+	wantClean(t, h.c)
+}
+
+func TestMutationCycleCheckSkippedOnCyclicKinds(t *testing.T) {
+	// The same shape that fires topology/cycle on a tree is legal
+	// redundancy on a scale-free overlay.
+	f := line(4)
+	f.adj[0] = append(f.adj[0], 3)
+	f.adj[3] = append(f.adj[3], 0)
+	f.kind = topology.KindScaleFree
+	h := newHarness(&Options{Topology: true}, f)
+	h.c.OnTopologyMutation()
+	wantClean(t, h.c)
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Case is one generated scenario, algorithm-agnostic: Run drives all
@@ -42,11 +43,13 @@ type Case struct {
 	Duration    sim.Time
 	Reconfig    sim.Time // 0 = no reconfigurations
 	ChurnRate   float64  // crashes/second; 0 = no fault plan
+	Overlay     topology.Kind
+	Repair      scenario.RepairMode
 }
 
 func (c Case) String() string {
-	return fmt.Sprintf("seed=%d n=%d ε=%.2f εoob=%.2f rate=%.0f dur=%v reconfig=%v churn=%.1f",
-		c.Seed, c.N, c.LossRate, c.OOBLossRate, c.PublishRate, c.Duration, c.Reconfig, c.ChurnRate)
+	return fmt.Sprintf("seed=%d n=%d ε=%.2f εoob=%.2f rate=%.0f dur=%v reconfig=%v churn=%.1f overlay=%v repair=%v",
+		c.Seed, c.N, c.LossRate, c.OOBLossRate, c.PublishRate, c.Duration, c.Reconfig, c.ChurnRate, c.Overlay, c.Repair)
 }
 
 // Generate draws one case. The ranges are chosen to stress the
@@ -68,6 +71,17 @@ func Generate(rng *rand.Rand) Case {
 	if rng.Intn(2) == 1 {
 		c.ChurnRate = 1 + float64(rng.Intn(3))
 	}
+	// Overlay diversity and repair mode. Reconfiguration is a
+	// tree-with-oracle feature (the driver's ReplacementLink mends a
+	// two-way split), so the draws respect scenario's compatibility
+	// rules rather than generating cases normalize would reject.
+	c.Overlay = topology.Kind(rng.Intn(len(topology.Kinds())))
+	if rng.Intn(2) == 1 {
+		c.Repair = scenario.RepairSelfStabilizing
+	}
+	if c.Overlay != topology.KindTree || c.Repair == scenario.RepairSelfStabilizing {
+		c.Reconfig = 0
+	}
 	return c
 }
 
@@ -86,6 +100,8 @@ func (c Case) Params(alg core.Algorithm) scenario.Params {
 	p.Network.LossRate = c.LossRate
 	p.Network.OOBLossRate = c.OOBLossRate
 	p.ReconfigInterval = c.Reconfig
+	p.Overlay = c.Overlay
+	p.Repair = c.Repair
 	if c.ChurnRate > 0 {
 		p.FaultPlan = faults.ChurnPlan(c.Seed, c.N, c.ChurnRate, c.Duration, 200*time.Millisecond)
 	}
@@ -119,6 +135,8 @@ func Shrink(c Case, origErr error) (Case, error) {
 		return err, err != nil
 	}
 	smaller := []func(Case) Case{
+		func(c Case) Case { c.Repair = scenario.RepairOracle; return c },
+		func(c Case) Case { c.Overlay = topology.KindTree; return c },
 		func(c Case) Case { c.ChurnRate = 0; return c },
 		func(c Case) Case { c.Reconfig = 0; return c },
 		func(c Case) Case { c.LossRate = 0; return c },

@@ -75,6 +75,9 @@ func TestShardedRunsBitIdentical(t *testing.T) {
 		for _, alg := range core.Algorithms() {
 			p := c.Params(alg)
 			p.Check = nil
+			// Self-stabilizing repair rejects Shards > 1; the sharded
+			// property runs the case under the oracle instead.
+			p.Repair = scenario.RepairOracle
 			seq, err := r.Run(p)
 			if err != nil {
 				t.Fatalf("case [%s] %s sequential: %v", c, alg, err)

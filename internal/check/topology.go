@@ -2,6 +2,7 @@ package check
 
 import (
 	"repro/internal/ident"
+	"repro/internal/topology"
 )
 
 // OnTopologyMutation runs after every structural mutation of the
@@ -52,6 +53,13 @@ func (c *Checker) OnTopologyMutation() {
 		edges += len(nbs)
 	}
 	edges /= 2
+	// The forest invariant is per-overlay legality: only KindTree
+	// overlays must stay acyclic at every instant. Cyclic kinds
+	// (scale-free, small-world) carry redundancy by design and are
+	// judged on degree/symmetry here and connectivity at the end.
+	if t.Kind() != topology.KindTree {
+		return
+	}
 	if comps := c.componentCount(nil); edges != n-comps {
 		c.report("topology", "cycle", ident.None, ident.None, ident.EventID{},
 			"%d links across %d nodes in %d components: not a forest", edges, n, comps)

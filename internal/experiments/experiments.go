@@ -81,6 +81,7 @@ var generators = map[string]generator{
 	"x-churn":        {"EXTENSION: delivery under deterministic node churn", xChurn},
 	"x-burstloss":    {"EXTENSION: bursty (Gilbert–Elliott) vs independent loss", xBurstLoss},
 	"x-puregossip":   {"PAPER Sec. V: hpcast-style pure gossip vs tree + recovery", xPureGossip},
+	"x-overlay":      {"EXTENSION: delivery across overlay kinds and repair modes under churn", xOverlay},
 	"x-scale":        {"EXTENSION: delivery, overhead, and throughput up to N=100,000", xScale},
 	"x-zipf":         {"EXTENSION: delivery, audience, and overhead under Zipf workload skew", xZipf},
 }

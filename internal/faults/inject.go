@@ -33,10 +33,29 @@ type Config struct {
 	// survivors around a crash, and between retries when degree slots
 	// are temporarily exhausted.
 	RepairDelay sim.Time
+	// MaxHealRetries bounds how many times one heal reschedules itself
+	// when a component cannot merge (all survivors degree-saturated)
+	// before giving up and counting Stats.RepairAbandoned. Zero means
+	// DefaultMaxHealRetries; an abandoned merge is picked up by the
+	// next crash's heal touching the same components, or never — which
+	// is exactly what the counter surfaces.
+	MaxHealRetries int
+	// DisableHealing switches the injector to pure fault mode for the
+	// self-stabilizing repair protocol: crashes no longer schedule the
+	// omniscient ReconnectAround heal, and restarts bring the node back
+	// up isolated (no oracle attach point) — the decentralized protocol
+	// owns all re-linking.
+	DisableHealing bool
 	// Trace, when non-nil, records NodeDown/NodeUp and the injector's
 	// LinkDown/LinkUp transitions.
 	Trace *trace.Ring
 }
+
+// DefaultMaxHealRetries is the heal retry cap when
+// Config.MaxHealRetries is zero. At the default 100ms RepairDelay it
+// allows ~6.4s of retrying, far beyond any transient degree
+// exhaustion seen in the churn plans.
+const DefaultMaxHealRetries = 64
 
 // Stats counts what the injector actually did.
 type Stats struct {
@@ -50,6 +69,10 @@ type Stats struct {
 	// already-down node, restart of an up node, flap of an absent link,
 	// partition of disconnected endpoints.
 	Skipped uint64
+	// RepairAbandoned counts heals that exhausted MaxHealRetries with
+	// components still unmerged (all survivors degree-saturated for the
+	// whole retry budget).
+	RepairAbandoned uint64
 }
 
 // interval is one downtime span of a node; to < 0 marks still-down.
@@ -64,6 +87,10 @@ type Injector struct {
 	down []bool
 	hist [][]interval
 	st   Stats
+	// lastFault is the virtual time of the most recent injector-driven
+	// disturbance (crash, restart, cut, restore) — repairs excluded.
+	// The convergence monitor anchors its bound here.
+	lastFault sim.Time
 }
 
 // NewInjector builds an injector over one run's components. Its
@@ -98,6 +125,11 @@ func (in *Injector) Schedule(plan *Plan) error {
 
 // Stats returns what the injector has done so far.
 func (in *Injector) Stats() Stats { return in.st }
+
+// LastFaultAt returns the virtual time of the most recent disturbance
+// the injector applied (crash, restart, link cut, link restore) — zero
+// when nothing has been injected yet. Healing is not a disturbance.
+func (in *Injector) LastFaultAt() sim.Time { return in.lastFault }
 
 // IsDown reports whether the dispatcher is currently crashed.
 func (in *Injector) IsDown(v ident.NodeID) bool { return in.down[v] }
@@ -171,6 +203,7 @@ func (in *Injector) crash(v ident.NodeID, downtime sim.Time) {
 	in.down[v] = true
 	in.hist[v] = append(in.hist[v], interval{from: now, to: -1})
 	in.st.Crashes++
+	in.lastFault = now
 	in.cfg.Net.SetNodeDown(v, true)
 	if e := in.engine(v); e != nil {
 		e.Stop()
@@ -184,17 +217,28 @@ func (in *Injector) crash(v ident.NodeID, downtime sim.Time) {
 		anchors = append(anchors, nb)
 	}
 	in.record(trace.NodeDown, v, ident.None)
-	if len(anchors) > 1 {
-		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.heal(anchors) })
+	if len(anchors) > 1 && !in.cfg.DisableHealing {
+		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.heal(anchors, 0) })
 	}
 	if downtime > 0 {
 		in.cfg.Kernel.After(downtime, func() { in.restart(v) })
 	}
 }
 
+// maxHealRetries returns the configured heal retry cap.
+func (in *Injector) maxHealRetries() int {
+	if in.cfg.MaxHealRetries > 0 {
+		return in.cfg.MaxHealRetries
+	}
+	return DefaultMaxHealRetries
+}
+
 // heal merges the surviving components around a crash, retrying while
-// degree slots are exhausted by overlapping reconfigurations.
-func (in *Injector) heal(anchors []ident.NodeID) {
+// degree slots are exhausted by overlapping reconfigurations. attempt
+// counts retries so far: a component that cannot merge within
+// MaxHealRetries is abandoned (Stats.RepairAbandoned) instead of
+// rescheduling forever.
+func (in *Injector) heal(anchors []ident.NodeID, attempt int) {
 	live := anchors[:0]
 	for _, a := range anchors {
 		if !in.down[a] {
@@ -211,7 +255,11 @@ func (in *Injector) heal(anchors []ident.NodeID) {
 		in.record(trace.LinkUp, l.A, l.B)
 	}
 	if err != nil {
-		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.heal(live) })
+		if attempt+1 >= in.maxHealRetries() {
+			in.st.RepairAbandoned++
+			return
+		}
+		in.cfg.Kernel.After(in.cfg.RepairDelay, func() { in.heal(live, attempt+1) })
 	}
 }
 
@@ -223,6 +271,23 @@ func (in *Injector) heal(anchors []ident.NodeID) {
 func (in *Injector) restart(v ident.NodeID) {
 	if !in.down[v] {
 		in.st.Skipped++
+		return
+	}
+	if in.cfg.DisableHealing {
+		// Decentralized mode: the node comes back isolated and the
+		// self-stabilizing repair protocol re-attaches it.
+		now := in.cfg.Kernel.Now()
+		in.down[v] = false
+		ivs := in.hist[v]
+		ivs[len(ivs)-1].to = now
+		in.st.Restarts++
+		in.lastFault = now
+		in.cfg.Net.SetNodeDown(v, false)
+		in.cfg.Nodes[v].OnNodeUp()
+		if e := in.engine(v); e != nil {
+			e.Start()
+		}
+		in.record(trace.NodeUp, v, ident.None)
 		return
 	}
 	var cand []ident.NodeID
@@ -246,6 +311,7 @@ func (in *Injector) restart(v ident.NodeID) {
 	ivs := in.hist[v]
 	ivs[len(ivs)-1].to = now
 	in.st.Restarts++
+	in.lastFault = now
 	in.cfg.Net.SetNodeDown(v, false)
 	in.cfg.Nodes[v].OnNodeUp()
 	// Subscription-table resync over the new link: v re-advertises its
@@ -266,6 +332,7 @@ func (in *Injector) cut(a, b ident.NodeID, downtime sim.Time, counter *uint64) {
 		return
 	}
 	*counter++
+	in.lastFault = in.cfg.Kernel.Now()
 	in.cfg.Nodes[a].OnLinkDown(b)
 	in.cfg.Nodes[b].OnLinkDown(a)
 	in.record(trace.LinkDown, a, b)
@@ -286,6 +353,7 @@ func (in *Injector) restore(a, b ident.NodeID) {
 	err := in.cfg.Topo.AddLink(a, b)
 	switch {
 	case err == nil:
+		in.lastFault = in.cfg.Kernel.Now()
 		in.cfg.Nodes[a].OnLinkUp(b)
 		in.cfg.Nodes[b].OnLinkUp(a)
 		in.record(trace.LinkUp, a, b)

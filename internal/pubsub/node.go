@@ -60,6 +60,12 @@ type Config struct {
 	// RecordRoutes appends each traversed dispatcher to the event's
 	// Route field, as required by publisher-based pull.
 	RecordRoutes bool
+	// DedupForward makes every dispatcher record each event it sees and
+	// forward only first arrivals. On the acyclic tree this is redundant
+	// (the tree itself guarantees a single arrival per event), so it
+	// stays off by default; on cyclic overlays (scale-free, small-world)
+	// it is what terminates the flood.
+	DedupForward bool
 	// OnDeliver, when non-nil, observes local deliveries (metrics).
 	OnDeliver DeliverFunc
 }
@@ -444,6 +450,21 @@ func (n *Node) HandleMessage(from ident.NodeID, msg wire.Message, oob bool) {
 }
 
 func (n *Node) handleEvent(ev *wire.Event, from ident.NodeID) {
+	if n.cfg.DedupForward {
+		// First arrival wins: duplicates (which cyclic overlays produce
+		// by design) are dropped without delivery or re-forwarding.
+		if !n.received.Add(ev.ID) {
+			return
+		}
+		if n.LocalMatch(ev.Content) {
+			if n.cfg.OnDeliver != nil {
+				n.cfg.OnDeliver(n.id, ev, false)
+			}
+			n.recovery.OnDeliver(ev, from)
+		}
+		n.forward(ev, from)
+		return
+	}
 	if n.LocalMatch(ev.Content) && n.received.Add(ev.ID) {
 		if n.cfg.OnDeliver != nil {
 			n.cfg.OnDeliver(n.id, ev, false)

@@ -495,3 +495,67 @@ func BenchmarkPublishRouting(b *testing.B) {
 	}
 	k.RunAll()
 }
+
+// ringTopo builds the cycle 0-1-…-(n-1)-0 under a cyclic overlay kind.
+func ringTopo(t *testing.T, n int) *topology.Tree {
+	t.Helper()
+	links := make([]topology.Link, n)
+	for i := 0; i < n; i++ {
+		links[i] = topology.Link{A: ident.NodeID(i), B: ident.NodeID((i + 1) % n)}
+	}
+	topo, err := topology.NewUnchecked(topology.KindSmallWorld, n, 3, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestDedupForwardTerminatesFloodOnRing(t *testing.T) {
+	// On a cycle the subscription advertisements reach every node from
+	// both directions, so a publish floods both ways around the ring.
+	// Without first-arrival dedup the copies would orbit forever; with
+	// DedupForward the flood terminates and every subscriber delivers
+	// exactly once.
+	topo := ringTopo(t, 6)
+	r := newRig(t, topo, Config{DedupForward: true})
+	for _, sub := range []int{2, 4} {
+		r.nodes[sub].Subscribe(5)
+	}
+	r.run() // let the advertisements settle
+
+	ev := r.nodes[0].Publish(matching.Content{5}, 0)
+	r.run()
+
+	for node, want := range map[ident.NodeID]int{0: 0, 1: 0, 2: 1, 3: 0, 4: 1, 5: 0} {
+		if got := len(r.deliveries[node]); got != want {
+			t.Errorf("node %v got %d deliveries, want %d", node, got, want)
+		}
+	}
+	if len(r.deliveries[2]) > 0 && r.deliveries[2][0].ID != ev.ID {
+		t.Fatalf("node 2 delivered %v, want %v", r.deliveries[2][0].ID, ev.ID)
+	}
+	// Every dispatcher recorded the event exactly once: the flood died
+	// out instead of orbiting.
+	for _, nd := range r.nodes {
+		if !nd.HasReceived(ev.ID) {
+			t.Errorf("node %v never saw the event", nd.ID())
+		}
+	}
+}
+
+func TestDedupForwardOffKeepsTreeBehavior(t *testing.T) {
+	// The flag must not change tree-path behavior: pure forwarders do
+	// not record events they relay.
+	topo := topology.NewLine(3)
+	r := newRig(t, topo, Config{})
+	subs := [][]ident.PatternID{nil, nil, {5}}
+	InstallStableSubscriptions(topo, r.nodes, subs)
+	ev := r.nodes[0].Publish(matching.Content{5}, 0)
+	r.run()
+	if len(r.deliveries[2]) != 1 {
+		t.Fatalf("node 2 got %d deliveries, want 1", len(r.deliveries[2]))
+	}
+	if r.nodes[1].HasReceived(ev.ID) {
+		t.Error("relay node recorded the event with DedupForward off")
+	}
+}

@@ -1,0 +1,432 @@
+// Package repair is the decentralized, self-stabilizing overlay
+// maintenance protocol: the replacement for the fault injector's
+// omniscient ReconnectAround healing. Dispatchers detect dead
+// neighbors, elect a per-component leader by epidemic minimum with TTL
+// aging, learn candidate endpoints from neighbor gossip and a small
+// bootstrap contact set (the "supervisor registry" of the supervised
+// publish-subscribe literature), and re-link under local degree
+// constraints with randomized backoff — converging to a legal overlay
+// of the topology's kind (connected, degree-bounded, acyclic for
+// KindTree) from any reachable configuration: mass churn, partitions,
+// or adversarial initial graphs.
+//
+// # Model
+//
+// The protocol runs in rounds, one kernel event per Period. A round
+// executes every live node's maintenance move in id order; each move
+// reads only the node's own state, its neighbors' published state
+// (leader, age, parent, stability — one hop of shared-memory state
+// reading, the standard self-stabilization model), its candidate
+// cache, and the liveness of nodes it probes (a failure-detector
+// query). No move reads global topology; the one exception is
+// delegated to topology.AddLink, whose cycle refusal on KindTree
+// stands in for the leader-comparison handshake a message-passing
+// implementation would run before committing a link.
+//
+// # Convergence argument (DESIGN.md Sec. 13 carries the full version)
+//
+//   - Over-degree nodes shed their highest-id excess links; proposals
+//     never create over-degree, so the degree bound is reached once
+//     and retained.
+//   - Leader election: each node adopts the smallest (leader, age+1)
+//     among itself and its neighbors, discarding records older than
+//     TTL rounds. Live-leader records refresh at age 0 every round, so
+//     within diameter rounds every component agrees on its minimum
+//     live id; records of a crashed leader age by one per hop-round
+//     and purge within TTL rounds. Parent pointers (the neighbor the
+//     record came from) have strictly decreasing age toward the
+//     leader, hence form a spanning forest of the component.
+//   - Merging: nodes whose candidate probe reveals a foreign leader
+//     (or that are isolated) propose a link; rejected proposals back
+//     off a random number of rounds. Bootstrap contacts give every
+//     component an expected path to the majority component, so the
+//     component count strictly decreases until connected.
+//   - Tree restoration (KindTree): an edge whose two endpoints agree
+//     on the leader, are neither each other's parent, and have both
+//     been stable for StableRounds is redundant — the parent forest
+//     spans without it — and its higher-id endpoint drops it. Each
+//     drop resets stability, so drops are spaced and never race the
+//     forest they rely on; cycles vanish one edge per settled round.
+//   - Once legal and settled there are no over-degree nodes, no
+//     foreign leaders, and no redundant edges: the protocol performs
+//     no further mutations, which is the quiescence the convergence
+//     monitor (internal/check) asserts.
+package repair
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config wires the protocol into one run.
+type Config struct {
+	Kernel *sim.Kernel
+	Topo   *topology.Tree
+	// Period is the round interval. Default 50ms.
+	Period sim.Time
+	// TTL is the maximum age (in rounds/hops) of a leader record before
+	// it is discarded; it bounds how long a crashed leader's id can
+	// keep circulating. Must exceed the overlay diameter. Default 24.
+	TTL int
+	// Bootstrap is how many well-known contact node ids each dispatcher
+	// holds (the decentralized stand-in for a supervisor registry);
+	// they are drawn once, deterministically, at construction.
+	// Default 3.
+	Bootstrap int
+	// CandCap bounds the learned-candidate cache per node. Default 8.
+	CandCap int
+	// MaxBackoff is the largest randomized backoff, in rounds, after a
+	// rejected link proposal. Default 8.
+	MaxBackoff int
+	// StableRounds is how many rounds both endpoints must have been
+	// unchanged before a redundant edge may be dropped (KindTree).
+	// Default 3.
+	StableRounds int
+	// IsDown reports whether a dispatcher is currently crashed. May be
+	// nil when the run injects no faults.
+	IsDown func(ident.NodeID) bool
+	// OnLinkUp/OnLinkDown run after the protocol adds or removes a
+	// link, with both endpoints — the scenario wires pubsub
+	// subscription resync and tracing here. Either may be nil.
+	OnLinkUp   func(a, b ident.NodeID)
+	OnLinkDown func(a, b ident.NodeID)
+}
+
+// Stats counts what the protocol did over the run.
+type Stats struct {
+	// Rounds counts maintenance rounds executed.
+	Rounds uint64
+	// LinksAdded/LinksDropped count protocol link mutations;
+	// DegreeDrops is the subset of drops shedding over-degree.
+	LinksAdded, LinksDropped, DegreeDrops uint64
+	// ProposalsRejected counts link proposals the topology refused
+	// (degree races, duplicate links, same-component adds on KindTree).
+	ProposalsRejected uint64
+	// Reattaches counts isolated dispatchers that regained a link;
+	// ReattachTotal accumulates their isolation time, so mean reattach
+	// latency is ReattachTotal/Reattaches.
+	Reattaches    uint64
+	ReattachTotal sim.Time
+	// LastChangeAt is the virtual time of the protocol's most recent
+	// topology mutation (zero when it never mutated).
+	LastChangeAt sim.Time
+}
+
+// node is the published per-dispatcher protocol state.
+type node struct {
+	leader        ident.NodeID
+	age           int
+	parent        ident.NodeID   // neighbor the leader record came from; None at the leader
+	stable        int            // full rounds since the node's last local change
+	backoff       int            // rounds left before the next link proposal
+	isolatedSince sim.Time       // when degree dropped to 0; -1 while attached
+	cand          []ident.NodeID // learned candidate endpoints
+	boot          []ident.NodeID // fixed bootstrap contacts
+}
+
+// Protocol is one run's maintenance protocol instance. Build with New,
+// then Start; it reschedules itself every Period until the kernel
+// drains. Not safe for concurrent use.
+type Protocol struct {
+	cfg   Config
+	rng   *rand.Rand
+	nodes []node
+	st    Stats
+	// probesPerRound bounds candidate probes per node per round.
+	probesPerRound int
+}
+
+// New builds the protocol over the run's topology. Its randomness
+// (bootstrap draws, candidate sampling, backoff) comes from a dedicated
+// kernel stream, so enabling it never perturbs workload or fault
+// streams.
+func New(cfg Config) (*Protocol, error) {
+	if cfg.Kernel == nil || cfg.Topo == nil {
+		return nil, fmt.Errorf("repair: Kernel and Topo are required")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 50 * time.Millisecond
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 24
+	}
+	if cfg.Bootstrap <= 0 {
+		cfg.Bootstrap = 3
+	}
+	if cfg.CandCap <= 0 {
+		cfg.CandCap = 8
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 8
+	}
+	if cfg.StableRounds <= 0 {
+		cfg.StableRounds = 3
+	}
+	p := &Protocol{
+		cfg:            cfg,
+		rng:            cfg.Kernel.NewStream(0x72657072), // "repr"
+		nodes:          make([]node, cfg.Topo.N()),
+		probesPerRound: 4,
+	}
+	n := cfg.Topo.N()
+	for i := range p.nodes {
+		v := &p.nodes[i]
+		v.leader = ident.NodeID(i)
+		v.parent = ident.None
+		v.isolatedSince = -1
+		if cfg.Topo.Degree(ident.NodeID(i)) == 0 {
+			v.isolatedSince = 0 // isolated from the start
+		}
+		if n > 1 {
+			v.boot = make([]ident.NodeID, 0, cfg.Bootstrap)
+			for len(v.boot) < cfg.Bootstrap {
+				c := ident.NodeID(p.rng.Intn(n))
+				if c != ident.NodeID(i) && !contains(v.boot, c) {
+					v.boot = append(v.boot, c)
+				}
+				if len(v.boot) >= n-1 {
+					break
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Start schedules the first maintenance round.
+func (p *Protocol) Start() {
+	p.cfg.Kernel.After(p.cfg.Period, p.round)
+}
+
+// Stats returns what the protocol has done so far.
+func (p *Protocol) Stats() Stats { return p.st }
+
+func (p *Protocol) down(v ident.NodeID) bool {
+	return p.cfg.IsDown != nil && p.cfg.IsDown(v)
+}
+
+// round executes one maintenance move per live node, in id order, then
+// reschedules itself.
+func (p *Protocol) round() {
+	p.st.Rounds++
+	t := p.cfg.Topo
+	now := p.cfg.Kernel.Now()
+	for i := range p.nodes {
+		v := ident.NodeID(i)
+		s := &p.nodes[i]
+		if p.down(v) {
+			// A crashed dispatcher holds no protocol state: it restarts
+			// believing itself leader, exactly the self-stabilization
+			// contract.
+			s.leader, s.age, s.parent, s.stable, s.backoff = v, 0, ident.None, 0, 0
+			s.cand = s.cand[:0]
+			s.isolatedSince = -1
+			continue
+		}
+		if s.isolatedSince < 0 && t.Degree(v) == 0 {
+			s.isolatedSince = now
+		}
+		p.shedOverDegree(v, s)
+		p.refreshLeader(v, s)
+		p.learnCandidates(v, s)
+		p.dropRedundant(v, s)
+		p.propose(v, s, now)
+	}
+	p.cfg.Kernel.After(p.cfg.Period, p.round)
+}
+
+// shedOverDegree removes excess links — highest-id non-parent
+// neighbors first — until v is within the degree bound. Only
+// adversarial initial graphs produce over-degree; proposals never do.
+func (p *Protocol) shedOverDegree(v ident.NodeID, s *node) {
+	t := p.cfg.Topo
+	for t.Degree(v) > t.MaxDegree() {
+		drop := ident.NodeID(-1)
+		for _, w := range t.Neighbors(v) {
+			if w == s.parent {
+				continue
+			}
+			if w > drop {
+				drop = w
+			}
+		}
+		if drop < 0 {
+			drop = t.Neighbors(v)[0] // parent is the only neighbor left
+		}
+		p.removeLink(v, drop)
+		p.st.DegreeDrops++
+	}
+}
+
+// refreshLeader adopts the smallest (leader, age+1) record among v
+// itself and its live neighbors, discarding records at TTL. Ties on
+// leader id prefer the smallest age (freshest route).
+func (p *Protocol) refreshLeader(v ident.NodeID, s *node) {
+	t := p.cfg.Topo
+	bestLeader, bestAge, bestParent := v, 0, ident.None
+	for _, w := range t.Neighbors(v) {
+		if p.down(w) {
+			continue
+		}
+		ws := &p.nodes[w]
+		age := ws.age + 1
+		if age >= p.cfg.TTL {
+			continue
+		}
+		if ws.leader < bestLeader || (ws.leader == bestLeader && age < bestAge) {
+			bestLeader, bestAge, bestParent = ws.leader, age, w
+		}
+	}
+	if bestLeader != s.leader || bestParent != s.parent {
+		s.stable = 0
+	} else {
+		s.stable++
+	}
+	s.leader, s.age, s.parent = bestLeader, bestAge, bestParent
+}
+
+// learnCandidates gossips endpoints: from each neighbor, v learns one
+// random neighbor-of-neighbor and one random entry of the neighbor's
+// own cache, bounded by CandCap with random eviction.
+func (p *Protocol) learnCandidates(v ident.NodeID, s *node) {
+	t := p.cfg.Topo
+	for _, w := range t.Neighbors(v) {
+		if p.down(w) {
+			continue
+		}
+		if wn := t.Neighbors(w); len(wn) > 0 {
+			p.offerCandidate(v, s, wn[p.rng.Intn(len(wn))])
+		}
+		if wc := p.nodes[w].cand; len(wc) > 0 {
+			p.offerCandidate(v, s, wc[p.rng.Intn(len(wc))])
+		}
+	}
+}
+
+func (p *Protocol) offerCandidate(v ident.NodeID, s *node, c ident.NodeID) {
+	if c == v || contains(s.cand, c) {
+		return
+	}
+	if len(s.cand) < p.cfg.CandCap {
+		s.cand = append(s.cand, c)
+		return
+	}
+	s.cand[p.rng.Intn(len(s.cand))] = c
+}
+
+// dropRedundant removes one cycle edge per settled round on KindTree
+// overlays: an edge to a lower-id neighbor (so exactly one endpoint
+// owns the drop) where both endpoints agree on the leader, neither is
+// the other's parent — the spanning parent forest survives without the
+// edge — and both have been stable for StableRounds.
+func (p *Protocol) dropRedundant(v ident.NodeID, s *node) {
+	t := p.cfg.Topo
+	if t.Kind() != topology.KindTree || s.stable < p.cfg.StableRounds {
+		return
+	}
+	for _, w := range t.Neighbors(v) {
+		if w >= v || w == s.parent || p.down(w) {
+			continue
+		}
+		ws := &p.nodes[w]
+		if ws.parent == v || ws.leader != s.leader || ws.stable < p.cfg.StableRounds {
+			continue
+		}
+		p.removeLink(v, w)
+		s.stable, ws.stable = 0, 0
+		return
+	}
+}
+
+// propose attempts one link addition when v has a free slot and no
+// backoff: a bounded number of random candidate probes looking for a
+// live, unsaturated, unlinked endpoint in a foreign component (by
+// leader comparison; an isolated v takes any endpoint). Both sides
+// must have held their leader record for StableRounds — a node still
+// converging has no reliable component identity, and proposing on a
+// transient disagreement would add links a legal overlay never asked
+// for. A refusal from the topology — a degree race, or KindTree's
+// cycle check catching a stale leader — costs a randomized backoff.
+func (p *Protocol) propose(v ident.NodeID, s *node, now sim.Time) {
+	t := p.cfg.Topo
+	if s.backoff > 0 {
+		s.backoff--
+		return
+	}
+	if s.stable < p.cfg.StableRounds || t.Degree(v) >= t.MaxDegree() {
+		return
+	}
+	pool := len(s.boot) + len(s.cand)
+	if pool == 0 {
+		return
+	}
+	for probe := 0; probe < p.probesPerRound; probe++ {
+		i := p.rng.Intn(pool)
+		var w ident.NodeID
+		if i < len(s.boot) {
+			w = s.boot[i]
+		} else {
+			w = s.cand[i-len(s.boot)]
+		}
+		if w == v || p.down(w) || t.HasLink(v, w) || t.Degree(w) >= t.MaxDegree() {
+			continue
+		}
+		ws := &p.nodes[w]
+		if ws.stable < p.cfg.StableRounds {
+			continue // candidate still converging: identity unreliable
+		}
+		if ws.leader == s.leader && t.Degree(v) > 0 {
+			continue // same component (as far as the protocol can tell)
+		}
+		if err := t.AddLink(v, w); err != nil {
+			p.st.ProposalsRejected++
+			s.backoff = 1 + p.rng.Intn(p.cfg.MaxBackoff)
+			return
+		}
+		p.st.LinksAdded++
+		p.st.LastChangeAt = p.cfg.Kernel.Now()
+		s.stable, ws.stable = 0, 0
+		p.noteAttached(v, s, now)
+		p.noteAttached(w, ws, now)
+		if p.cfg.OnLinkUp != nil {
+			p.cfg.OnLinkUp(v, w)
+		}
+		return
+	}
+}
+
+// noteAttached closes an isolation span when the node just regained
+// its first link.
+func (p *Protocol) noteAttached(v ident.NodeID, s *node, now sim.Time) {
+	if s.isolatedSince >= 0 && p.cfg.Topo.Degree(v) > 0 {
+		p.st.Reattaches++
+		p.st.ReattachTotal += now - s.isolatedSince
+		s.isolatedSince = -1
+	}
+}
+
+// removeLink drops the edge v-w and fires the hook.
+func (p *Protocol) removeLink(v, w ident.NodeID) {
+	if err := p.cfg.Topo.RemoveLink(v, w); err != nil {
+		return // raced another removal this round
+	}
+	p.st.LinksDropped++
+	p.st.LastChangeAt = p.cfg.Kernel.Now()
+	if p.cfg.OnLinkDown != nil {
+		p.cfg.OnLinkDown(v, w)
+	}
+}
+
+func contains(s []ident.NodeID, v ident.NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// run executes the protocol over topo for d of virtual time and
+// returns its stats.
+func run(t *testing.T, topo *topology.Tree, seed int64, d sim.Time, isDown func(ident.NodeID) bool) Stats {
+	t.Helper()
+	k := sim.New(seed)
+	p, err := New(Config{Kernel: k, Topo: topo, IsDown: isDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.Run(d)
+	return p.Stats()
+}
+
+// mustConverge asserts the overlay is legal and the protocol settled
+// well before the end of the run.
+func mustConverge(t *testing.T, topo *topology.Tree, st Stats, d sim.Time, isDown func(ident.NodeID) bool) {
+	t.Helper()
+	if err := topo.Legal(isDown); err != nil {
+		t.Fatalf("overlay still illegal after %v: %v (stats %+v)", d, err, st)
+	}
+	if st.LastChangeAt > d-2*time.Second {
+		t.Fatalf("protocol still mutating at %v of %v — no quiescence (stats %+v)", st.LastChangeAt, d, st)
+	}
+}
+
+func TestConvergesFromDisconnectedForest(t *testing.T) {
+	// Three disjoint paths of 10 nodes each.
+	var links []topology.Link
+	for c := 0; c < 3; c++ {
+		base := ident.NodeID(c * 10)
+		for i := 0; i < 9; i++ {
+			links = append(links, topology.Link{A: base + ident.NodeID(i), B: base + ident.NodeID(i+1)})
+		}
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		topo, err := topology.NewUnchecked(topology.KindTree, 30, 4, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const d = 10 * time.Second
+		st := run(t, topo, seed, d, nil)
+		mustConverge(t, topo, st, d, nil)
+		if !topo.IsTree() {
+			t.Fatalf("seed %d: final overlay is not a tree (%d links)", seed, topo.NumLinks())
+		}
+		if st.LinksAdded < 2 {
+			t.Fatalf("seed %d: merged 3 components with %d links added", seed, st.LinksAdded)
+		}
+	}
+}
+
+func TestConvergesFromCycleUnderTreeKind(t *testing.T) {
+	// A 20-node ring is connected but cyclic: one redundant edge must
+	// be shed, none added.
+	var links []topology.Link
+	for i := 0; i < 20; i++ {
+		links = append(links, topology.Link{A: ident.NodeID(i), B: ident.NodeID((i + 1) % 20)}.Canon())
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		topo, err := topology.NewUnchecked(topology.KindTree, 20, 4, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const d = 10 * time.Second
+		st := run(t, topo, seed, d, nil)
+		mustConverge(t, topo, st, d, nil)
+		if !topo.IsTree() {
+			t.Fatalf("seed %d: ring did not settle to a tree (%d links)", seed, topo.NumLinks())
+		}
+		if st.LinksDropped == 0 {
+			t.Fatalf("seed %d: no redundant edge was dropped", seed)
+		}
+	}
+}
+
+func TestConvergesFromOverDegree(t *testing.T) {
+	// A star of 9 leaves with maxDegree 4: the hub must shed 5 links,
+	// stranding leaves that then re-attach elsewhere.
+	var links []topology.Link
+	for i := 1; i <= 9; i++ {
+		links = append(links, topology.Link{A: 0, B: ident.NodeID(i)})
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		topo, err := topology.NewUnchecked(topology.KindTree, 10, 4, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const d = 10 * time.Second
+		st := run(t, topo, seed, d, nil)
+		mustConverge(t, topo, st, d, nil)
+		if st.DegreeDrops == 0 {
+			t.Fatalf("seed %d: over-degree hub was never shed", seed)
+		}
+		if !topo.IsTree() {
+			t.Fatalf("seed %d: not a tree after shedding", seed)
+		}
+	}
+}
+
+func TestConvergesOnCyclicKinds(t *testing.T) {
+	// Disconnected pieces under scale-free and small-world kinds must
+	// reach connectivity; acyclicity is NOT required, so existing
+	// redundant edges survive.
+	for _, kind := range []topology.Kind{topology.KindScaleFree, topology.KindSmallWorld} {
+		links := []topology.Link{
+			{A: 0, B: 1}, {A: 1, B: 2}, {A: 2, B: 0}, // triangle
+			{A: 3, B: 4}, {A: 4, B: 5}, // path
+			// 6, 7 isolated
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			topo, err := topology.NewUnchecked(kind, 8, 4, links)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const d = 10 * time.Second
+			st := run(t, topo, seed, d, nil)
+			mustConverge(t, topo, st, d, nil)
+			if topo.HasLink(0, 1) && topo.HasLink(1, 2) && topo.HasLink(2, 0) {
+				// triangle intact: cyclic kinds keep redundancy
+			} else {
+				t.Fatalf("%v seed %d: protocol dropped redundant edges on a cyclic kind", kind, seed)
+			}
+			if st.Reattaches < 2 {
+				t.Fatalf("%v seed %d: isolated nodes reattached %d times, want >= 2", kind, seed, st.Reattaches)
+			}
+			if st.ReattachTotal <= 0 {
+				t.Fatalf("%v seed %d: reattach latency not accounted", kind, seed)
+			}
+		}
+	}
+}
+
+func TestConvergenceSkipsDownNodes(t *testing.T) {
+	// Nodes 5..9 are down for the whole run: legality is judged over
+	// the live subgraph, and no link may touch a dead node.
+	topo, err := topology.NewUnchecked(topology.KindTree, 10, 4, []topology.Link{
+		{A: 0, B: 1}, {A: 2, B: 3}, // two live components; 4 isolated
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isDown := func(v ident.NodeID) bool { return v >= 5 }
+	const d = 10 * time.Second
+	st := run(t, topo, 1, d, isDown)
+	mustConverge(t, topo, st, d, isDown)
+	for v := ident.NodeID(5); v < 10; v++ {
+		if topo.Degree(v) != 0 {
+			t.Fatalf("dead node %v gained links", v)
+		}
+	}
+}
+
+func TestProtocolDeterministic(t *testing.T) {
+	build := func() *topology.Tree {
+		topo, err := topology.NewUnchecked(topology.KindTree, 16, 4, []topology.Link{
+			{A: 0, B: 1}, {A: 2, B: 3}, {A: 4, B: 5}, {A: 6, B: 7},
+			{A: 8, B: 9}, {A: 10, B: 11}, {A: 12, B: 13}, {A: 14, B: 15},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	a := build()
+	stA := run(t, a, 7, 8*time.Second, nil)
+	b := build()
+	stB := run(t, b, 7, 8*time.Second, nil)
+	if stA != stB {
+		t.Fatalf("same seed produced different stats:\n%+v\n%+v", stA, stB)
+	}
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatalf("same seed produced different link counts %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("same seed produced different links at %d: %v vs %v", i, la[i], lb[i])
+		}
+	}
+	c := build()
+	stC := run(t, c, 8, 8*time.Second, nil)
+	if stA == stC {
+		t.Log("different seeds produced identical stats (possible but unlikely)")
+	}
+}
+
+func TestQuiescenceOnLegalOverlay(t *testing.T) {
+	// Starting from an already-legal overlay the protocol must never
+	// mutate anything.
+	for _, kind := range topology.Kinds() {
+		topo, err := topology.NewOverlay(kind, 40, 4, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := topo.Version()
+		st := run(t, topo, 1, 5*time.Second, nil)
+		if topo.Version() != before {
+			t.Fatalf("%v: protocol mutated a legal overlay (stats %+v)", kind, st)
+		}
+		if st.Rounds == 0 {
+			t.Fatalf("%v: no rounds ran", kind)
+		}
+	}
+}

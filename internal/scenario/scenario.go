@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/pubsub"
+	"repro/internal/repair"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -34,6 +35,12 @@ type Params struct {
 	N int
 	// MaxDegree bounds the overlay tree's node degree.
 	MaxDegree int
+	// Overlay selects the overlay family: the paper's degree-bounded
+	// random tree (the zero value), Barabási–Albert scale-free, or
+	// Newman–Watts small-world (see internal/topology). Non-tree kinds
+	// imply duplicate-suppressing event forwarding, since their
+	// redundant links would otherwise orbit every event forever.
+	Overlay topology.Kind
 	// NumPatterns is Π, the pattern universe size.
 	NumPatterns int
 	// MaxMatch bounds how many patterns one event matches.
@@ -78,6 +85,12 @@ type Params struct {
 	// RepairDelay is how long a broken link stays down before the
 	// replacement link appears (0.1 s in the paper).
 	RepairDelay sim.Time
+	// Repair selects how the overlay heals after injected faults:
+	// RepairOracle (the zero value) keeps the injector's omniscient
+	// ReconnectAround healing; RepairSelfStabilizing disables it and
+	// runs the decentralized maintenance protocol of internal/repair,
+	// which detects dead neighbors and re-links from local state only.
+	Repair RepairMode
 	// BucketWidth is the time-series bucket (by publish time).
 	BucketWidth sim.Time
 	// Trace, when non-nil, records protocol activity (publishes,
@@ -118,6 +131,46 @@ type Params struct {
 	// Workload shapes traffic beyond the paper's uniform model. The
 	// zero value reproduces the paper exactly.
 	Workload Workload
+}
+
+// RepairMode selects how the overlay heals after injected faults.
+type RepairMode int
+
+const (
+	// RepairOracle is the fault injector's omniscient healing: it reads
+	// global component structure and reconnects survivors directly.
+	RepairOracle RepairMode = iota
+	// RepairSelfStabilizing replaces oracle healing with the
+	// decentralized protocol of internal/repair: dispatchers detect
+	// dead neighbors, gossip candidate endpoints, and re-link under
+	// local degree constraints, converging to a legal overlay without
+	// any global view.
+	RepairSelfStabilizing
+)
+
+// String names the mode for flags and result tables.
+func (m RepairMode) String() string {
+	switch m {
+	case RepairOracle:
+		return "oracle"
+	case RepairSelfStabilizing:
+		return "self-stabilizing"
+	default:
+		return fmt.Sprintf("RepairMode(%d)", int(m))
+	}
+}
+
+// ParseRepairMode parses the string forms of RepairMode. The empty
+// string means RepairOracle.
+func ParseRepairMode(s string) (RepairMode, error) {
+	switch s {
+	case "", "oracle":
+		return RepairOracle, nil
+	case "self-stabilizing", "selfstabilizing", "self-stab", "selfstab":
+		return RepairSelfStabilizing, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown repair mode %q (want oracle or self-stabilizing)", s)
+	}
 }
 
 // MetricsMode selects a delivery-accounting implementation.
@@ -235,6 +288,26 @@ func (p Params) normalize() (Params, error) {
 	if p.MetricsMode != MetricsExact && p.MetricsMode != MetricsStreaming {
 		return p, fmt.Errorf("scenario: unknown MetricsMode %d", p.MetricsMode)
 	}
+	switch p.Overlay {
+	case topology.KindTree, topology.KindScaleFree, topology.KindSmallWorld:
+	default:
+		return p, fmt.Errorf("scenario: unknown overlay kind %d", int(p.Overlay))
+	}
+	if p.Overlay != topology.KindTree && p.ReconfigInterval > 0 {
+		return p, fmt.Errorf("scenario: ReconfigInterval needs the tree overlay (ReplacementLink reconnects a two-way split; %v overlays stay connected through their redundancy)", p.Overlay)
+	}
+	switch p.Repair {
+	case RepairOracle:
+	case RepairSelfStabilizing:
+		if p.Shards > 1 {
+			return p, fmt.Errorf("scenario: Repair=self-stabilizing is incompatible with Shards=%d (protocol rounds mutate the shared overlay)", p.Shards)
+		}
+		if p.ReconfigInterval > 0 {
+			return p, fmt.Errorf("scenario: Repair=self-stabilizing is incompatible with ReconfigInterval (the reconfiguration driver repairs with the oracle)")
+		}
+	default:
+		return p, fmt.Errorf("scenario: unknown RepairMode %d", int(p.Repair))
+	}
 	w := p.Workload
 	if w.ZipfContent < 0 || w.ZipfSubscriptions < 0 {
 		return p, fmt.Errorf("scenario: negative Zipf exponent (content=%v, subscriptions=%v)", w.ZipfContent, w.ZipfSubscriptions)
@@ -328,6 +401,13 @@ type Result struct {
 	// NodeDowntime is the cumulative dispatcher downtime injected by
 	// the fault plan over the run.
 	NodeDowntime sim.Time
+	// RepairAbandoned counts oracle heals the injector gave up on after
+	// exhausting its retry budget; zero without a FaultPlan or with
+	// self-stabilizing repair.
+	RepairAbandoned uint64
+	// Repair carries the self-stabilizing protocol's counters; the zero
+	// value under RepairOracle.
+	Repair repair.Stats
 	// SubChurns counts subscription swaps the churn workload performed;
 	// zero unless Workload.SubChurnRate is set.
 	SubChurns uint64
@@ -422,7 +502,7 @@ func runWith(p Params, st *runState) (Result, error) {
 	}
 	k := st.kernel(p.Seed)
 	topoRNG := k.NewStream(0x746f706f) // "topo"
-	topo, err := topology.New(p.N, p.MaxDegree, topoRNG)
+	topo, err := topology.NewOverlay(p.Overlay, p.N, p.MaxDegree, topoRNG)
 	if err != nil {
 		return Result{}, fmt.Errorf("scenario: building topology: %w", err)
 	}
@@ -434,7 +514,16 @@ func runWith(p Params, st *runState) (Result, error) {
 	var chk *check.Checker
 	var nw *network.Network
 	if p.Check != nil {
-		chk = check.New(p.Check, check.Env{
+		copts := p.Check
+		if copts.Convergence && copts.ConvergenceBound == 0 && p.Repair == RepairSelfStabilizing {
+			// The decentralized protocol needs TTL rounds to purge a dead
+			// leader plus settle-and-propose rounds to re-link: budget
+			// TTL·Period with slack rather than the oracle's 2s default.
+			o := *copts
+			o.ConvergenceBound = 3 * time.Second
+			copts = &o
+		}
+		chk = check.New(copts, check.Env{
 			Seed:      p.Seed,
 			Algorithm: p.Algorithm.String(),
 			N:         p.N,
@@ -445,6 +534,12 @@ func runWith(p Params, st *runState) (Result, error) {
 			NodeDown:  func(id ident.NodeID) bool { return nw.NodeDown(id) },
 			WasDownAt: func(id ident.NodeID, at sim.Time) bool {
 				return inj != nil && inj.WasDownAt(id, at)
+			},
+			LastFaultAt: func() sim.Time {
+				if inj == nil {
+					return 0
+				}
+				return inj.LastFaultAt()
 			},
 		})
 		topo.SetMutationHook(chk.OnTopologyMutation)
@@ -551,6 +646,10 @@ func runWith(p Params, st *runState) (Result, error) {
 	}
 	pcfg := pubsub.Config{
 		RecordRoutes: p.Algorithm.NeedsRoutes(),
+		// Cyclic overlays flood events over redundant links; only
+		// first-arrival dedup terminates the flood. The tree keeps the
+		// paper's forwarding untouched.
+		DedupForward: p.Overlay != topology.KindTree,
 		OnDeliver:    onDeliver,
 	}
 	nodes := make([]*pubsub.Node, p.N)
@@ -614,17 +713,48 @@ func runWith(p Params, st *runState) (Result, error) {
 			repairDelay = 100 * time.Millisecond
 		}
 		inj = faults.NewInjector(faults.Config{
-			Kernel:      k,
-			Topo:        topo,
-			Net:         nw,
-			Nodes:       nodes,
-			Engines:     gossipers,
-			RepairDelay: repairDelay,
-			Trace:       p.Trace,
+			Kernel:         k,
+			Topo:           topo,
+			Net:            nw,
+			Nodes:          nodes,
+			Engines:        gossipers,
+			RepairDelay:    repairDelay,
+			Trace:          p.Trace,
+			DisableHealing: p.Repair == RepairSelfStabilizing,
 		})
 		if err := inj.Schedule(p.FaultPlan); err != nil {
 			return Result{}, fmt.Errorf("scenario: scheduling fault plan: %w", err)
 		}
+	}
+
+	// Self-stabilizing maintenance: the protocol runs whether or not a
+	// fault plan is scheduled — on an undamaged overlay it settles and
+	// goes quiescent, which the convergence monitor relies on.
+	var prot *repair.Protocol
+	if p.Repair == RepairSelfStabilizing {
+		prot, err = repair.New(repair.Config{
+			Kernel: k,
+			Topo:   topo,
+			IsDown: func(id ident.NodeID) bool { return inj != nil && inj.IsDown(id) },
+			OnLinkUp: func(a, b ident.NodeID) {
+				if p.Trace != nil {
+					p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.LinkUp, Node: a, Peer: b})
+				}
+				nodes[a].OnLinkUp(b)
+				nodes[b].OnLinkUp(a)
+			},
+			OnLinkDown: func(a, b ident.NodeID) {
+				if p.Trace != nil {
+					p.Trace.Add(trace.Record{At: k.Now(), Kind: trace.LinkDown, Node: a, Peer: b})
+				}
+				nodes[a].OnLinkDown(b)
+				nodes[b].OnLinkDown(a)
+			},
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario: building repair protocol: %w", err)
+		}
+		prot.Start()
 	}
 
 	// Workload: every publishing dispatcher publishes with Poisson
@@ -788,7 +918,7 @@ func runWith(p Params, st *runState) (Result, error) {
 				nodes[broken.A].OnLinkDown(broken.B)
 				nodes[broken.B].OnLinkDown(broken.A)
 				k.After(p.RepairDelay, func() {
-					repair(k, topo, nodes, broken, recRNG, p.RepairDelay, p.Trace, inj)
+					oracleRepair(k, topo, nodes, broken, recRNG, p.RepairDelay, p.Trace, inj)
 				})
 				break
 			}
@@ -847,6 +977,10 @@ func runWith(p Params, st *runState) (Result, error) {
 		res.LinkFlaps = fs.LinkFlaps
 		res.Partitions = fs.Partitions
 		res.NodeDowntime = inj.Downtime(p.Duration)
+		res.RepairAbandoned = fs.RepairAbandoned
+	}
+	if prot != nil {
+		res.Repair = prot.Stats()
 	}
 	res.ExpectedDeliveries, res.Deliveries, res.Recoveries = tracker.Totals()
 	if rl := tracker.RoutedLatency(); rl.Count() > 0 {
@@ -874,24 +1008,24 @@ func runWith(p Params, st *runState) (Result, error) {
 	return res, nil
 }
 
-// repair reconnects the two components around broken, retrying when
-// overlapping reconfigurations temporarily consumed every degree slot.
-// With fault injection active, a replacement touching a crashed
+// oracleRepair reconnects the two components around broken, retrying
+// when overlapping reconfigurations temporarily consumed every degree
+// slot. With fault injection active, a replacement touching a crashed
 // dispatcher is retried too: connecting a dead process repairs nothing
 // (and its isolated component would accept a cycle-forming link once it
 // rejoins elsewhere).
-func repair(k *sim.Kernel, topo *topology.Tree, nodes []*pubsub.Node, broken topology.Link, rng *rand.Rand, retry sim.Time, ring *trace.Ring, inj *faults.Injector) {
+func oracleRepair(k *sim.Kernel, topo *topology.Tree, nodes []*pubsub.Node, broken topology.Link, rng *rand.Rand, retry sim.Time, ring *trace.Ring, inj *faults.Injector) {
 	repl, err := topo.ReplacementLink(broken, rng)
 	if err != nil {
-		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring, inj) })
+		k.After(retry, func() { oracleRepair(k, topo, nodes, broken, rng, retry, ring, inj) })
 		return
 	}
 	if inj != nil && (inj.IsDown(repl.A) || inj.IsDown(repl.B)) {
-		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring, inj) })
+		k.After(retry, func() { oracleRepair(k, topo, nodes, broken, rng, retry, ring, inj) })
 		return
 	}
 	if err := topo.AddLink(repl.A, repl.B); err != nil {
-		k.After(retry, func() { repair(k, topo, nodes, broken, rng, retry, ring, inj) })
+		k.After(retry, func() { oracleRepair(k, topo, nodes, broken, rng, retry, ring, inj) })
 		return
 	}
 	if ring != nil {

@@ -102,15 +102,33 @@ func (t *Tree) ReconnectAround(anchors []ident.NodeID, skip func(ident.NodeID) b
 
 // pickFree returns a uniform random member of comp with spare degree
 // capacity and skip false, or -1 when none exists.
+//
+// Two passes, zero allocations: the first pass counts the candidates,
+// one rng.Intn draw selects a rank, the second pass walks to it. The
+// previous version built a candidate slice per pick — O(component)
+// garbage per merge during mass churn. A single-pass reservoir sample
+// would also be allocation-free but draws one random number per
+// candidate instead of one total, which would shift the injector's RNG
+// stream and break the pinned fixed-seed churn metrics; the two-pass
+// form consumes exactly the draw sequence the slice version did.
 func pickFree(t *Tree, comp []ident.NodeID, skip func(ident.NodeID) bool, rng *rand.Rand) int {
-	var cand []ident.NodeID
+	count := 0
 	for _, n := range comp {
 		if len(t.adj[n]) < t.maxDegree && (skip == nil || !skip(n)) {
-			cand = append(cand, n)
+			count++
 		}
 	}
-	if len(cand) == 0 {
+	if count == 0 {
 		return -1
 	}
-	return int(cand[rng.Intn(len(cand))])
+	r := rng.Intn(count)
+	for _, n := range comp {
+		if len(t.adj[n]) < t.maxDegree && (skip == nil || !skip(n)) {
+			if r == 0 {
+				return int(n)
+			}
+			r--
+		}
+	}
+	return -1 // unreachable: count > 0
 }

@@ -1,0 +1,315 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ident"
+)
+
+// Kind selects the overlay family. The zero value is KindTree, the
+// paper's degree-bounded random unrooted tree, so existing code that
+// never mentions kinds keeps its exact behavior.
+//
+// Non-tree kinds contain cycles by design: AddLink stops refusing
+// intra-component links, routing distances become BFS-tree
+// approximations (see Dist), and the pubsub layer must deduplicate
+// forwarded events (pubsub.Config.DedupForward) or flooding never
+// terminates.
+type Kind uint8
+
+const (
+	// KindTree is the paper's overlay: a spanning tree with bounded
+	// degree. Legality = connected and acyclic.
+	KindTree Kind = iota
+	// KindScaleFree is a Barabási–Albert-style preferential-attachment
+	// graph with the hub degrees truncated at the system degree bound.
+	// Legality = connected and degree-bounded.
+	KindScaleFree
+	// KindSmallWorld is a Newman–Watts-style small-world graph: an
+	// intact ring plus random degree-capped shortcuts. Legality =
+	// connected and degree-bounded.
+	KindSmallWorld
+)
+
+// String returns the flag-level spelling of k.
+func (k Kind) String() string {
+	switch k {
+	case KindTree:
+		return "tree"
+	case KindScaleFree:
+		return "scale-free"
+	case KindSmallWorld:
+		return "small-world"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Kinds lists every overlay kind, in flag-spelling order.
+func Kinds() []Kind { return []Kind{KindTree, KindScaleFree, KindSmallWorld} }
+
+// ParseKind parses the flag-level spelling of an overlay kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "tree":
+		return KindTree, nil
+	case "scale-free", "scalefree", "ba":
+		return KindScaleFree, nil
+	case "small-world", "smallworld", "ws", "nw":
+		return KindSmallWorld, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown overlay kind %q (tree, scale-free, small-world)", s)
+	}
+}
+
+// Kind returns the overlay family this topology was generated as (and
+// is repaired toward).
+func (t *Tree) Kind() Kind { return t.kind }
+
+// NewOverlay builds a random overlay of the given kind over n nodes
+// with degree at most maxDegree, drawing only from rng. KindTree
+// delegates to New with an identical draw sequence, so a tree overlay
+// built through NewOverlay is bit-identical to the pre-overlay builder.
+func NewOverlay(kind Kind, n, maxDegree int, rng *rand.Rand) (*Tree, error) {
+	switch kind {
+	case KindTree:
+		return New(n, maxDegree, rng)
+	case KindScaleFree:
+		return NewScaleFree(n, maxDegree, rng)
+	case KindSmallWorld:
+		return NewSmallWorld(n, maxDegree, rng)
+	default:
+		return nil, fmt.Errorf("topology: unknown overlay kind %d", kind)
+	}
+}
+
+// scaleFreeTries bounds the preferential-attachment rejection sampling
+// before falling back to a deterministic scan for a free endpoint.
+const scaleFreeTries = 32
+
+// NewScaleFree builds a Barabási–Albert-style scale-free overlay:
+// nodes join one at a time and attach m edges to existing nodes chosen
+// with probability proportional to their degree (sampled uniformly
+// from the multiset of edge endpoints). The hub tail is truncated at
+// maxDegree — saturated targets are rejected and resampled, so with
+// small degree bounds (e.g. the paper's 4) the graph is a near-regular
+// cyclic mesh rather than a power law; bounds of 8+ leave visible
+// hubs. m is 2 when maxDegree permits it (cycles, redundancy) and 1
+// otherwise. Connectivity holds by construction: every joiner attaches
+// to the existing component.
+func NewScaleFree(n, maxDegree int, rng *rand.Rand) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 node, got %d", n)
+	}
+	if maxDegree < 2 && n > 2 {
+		return nil, fmt.Errorf("topology: maxDegree %d cannot connect %d nodes", maxDegree, n)
+	}
+	t := &Tree{
+		n:         n,
+		maxDegree: maxDegree,
+		adj:       make([][]ident.NodeID, n),
+		kind:      KindScaleFree,
+	}
+	m := 1
+	if maxDegree >= 4 {
+		m = 2
+	}
+	// Seed: a short path keeps the endpoint multiset non-empty and the
+	// early attachment probabilities well defined.
+	seedLen := 3
+	if n < seedLen {
+		seedLen = n
+	}
+	// ends holds one entry per edge endpoint; uniform draws from it are
+	// degree-proportional draws over nodes.
+	ends := make([]ident.NodeID, 0, 2*(m*n+seedLen))
+	for i := 1; i < seedLen; i++ {
+		t.addEdge(ident.NodeID(i-1), ident.NodeID(i))
+		ends = append(ends, ident.NodeID(i-1), ident.NodeID(i))
+	}
+	for i := seedLen; i < n; i++ {
+		v := ident.NodeID(i)
+		want := m
+		if i < want {
+			want = i
+		}
+		for e := 0; e < want; e++ {
+			if len(t.adj[v]) >= maxDegree {
+				break // v itself saturated (maxDegree < m)
+			}
+			target := ident.NodeID(-1)
+			for try := 0; try < scaleFreeTries; try++ {
+				c := ends[rng.Intn(len(ends))]
+				if c != v && len(t.adj[c]) < maxDegree && !t.HasLink(v, c) {
+					target = c
+					break
+				}
+			}
+			if target < 0 {
+				// Deterministic fallback: first unsaturated, unlinked
+				// earlier node in id order.
+				for j := 0; j < i; j++ {
+					c := ident.NodeID(j)
+					if len(t.adj[c]) < maxDegree && !t.HasLink(v, c) {
+						target = c
+						break
+					}
+				}
+			}
+			if target < 0 {
+				if e == 0 {
+					return nil, fmt.Errorf("topology: scale-free generator cannot attach node %d (maxDegree=%d saturated)", i, maxDegree)
+				}
+				break // first edge landed; connectivity holds
+			}
+			t.addEdge(v, target)
+			ends = append(ends, v, target)
+		}
+	}
+	return t, nil
+}
+
+// smallWorldBeta is the shortcut probability per node in the
+// Newman–Watts construction: each node flips one coin and, on success,
+// tries to add one random long-range shortcut.
+const smallWorldBeta = 0.25
+
+// NewSmallWorld builds a Newman–Watts-style small-world overlay: a
+// ring 0–1–…–(n-1)–0 that is never rewired (so connectivity holds by
+// construction), plus random shortcuts added with probability
+// smallWorldBeta per node, subject to the degree bound on both
+// endpoints. Saturated or duplicate draws are rejected for a bounded
+// number of tries and then skipped — the ring alone is already legal.
+func NewSmallWorld(n, maxDegree int, rng *rand.Rand) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 node, got %d", n)
+	}
+	if maxDegree < 2 && n > 2 {
+		return nil, fmt.Errorf("topology: maxDegree %d cannot connect %d nodes", maxDegree, n)
+	}
+	t := &Tree{
+		n:         n,
+		maxDegree: maxDegree,
+		adj:       make([][]ident.NodeID, n),
+		kind:      KindSmallWorld,
+	}
+	for i := 1; i < n; i++ {
+		t.addEdge(ident.NodeID(i-1), ident.NodeID(i))
+	}
+	if n >= 3 && maxDegree >= 2 {
+		t.addEdge(ident.NodeID(n-1), 0) // close the ring
+	}
+	if maxDegree < 3 {
+		return t, nil // no headroom for shortcuts
+	}
+	for i := 0; i < n; i++ {
+		if rng.Float64() >= smallWorldBeta {
+			continue
+		}
+		v := ident.NodeID(i)
+		for try := 0; try < scaleFreeTries; try++ {
+			c := ident.NodeID(rng.Intn(n))
+			if c == v || len(t.adj[c]) >= maxDegree || len(t.adj[v]) >= maxDegree || t.HasLink(v, c) {
+				continue
+			}
+			t.addEdge(v, c)
+			break
+		}
+	}
+	return t, nil
+}
+
+// NewUnchecked builds a topology of the given kind with exactly the
+// given links, performing no legality checks beyond rejecting self
+// links and duplicates (which would corrupt NeighborSlot bookkeeping).
+// Over-degree nodes, disconnected components, and cycles under
+// KindTree are all permitted: this is the constructor for the
+// adversarial "arbitrary reachable configuration" starting states that
+// the self-stabilizing repair protocol must converge from.
+func NewUnchecked(kind Kind, n, maxDegree int, links []Link) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 node, got %d", n)
+	}
+	t := &Tree{
+		n:         n,
+		maxDegree: maxDegree,
+		adj:       make([][]ident.NodeID, n),
+		kind:      kind,
+	}
+	for _, l := range links {
+		if l.A == l.B {
+			return nil, fmt.Errorf("%w: %v", ErrSameEndpoint, l.A)
+		}
+		if l.A < 0 || int(l.A) >= n || l.B < 0 || int(l.B) >= n {
+			return nil, fmt.Errorf("topology: link %v-%v out of range [0,%d)", l.A, l.B, n)
+		}
+		if t.HasLink(l.A, l.B) {
+			return nil, fmt.Errorf("%w: %v-%v", ErrLinkExists, l.A, l.B)
+		}
+		t.addEdge(l.A, l.B)
+	}
+	return t, nil
+}
+
+// Legal reports whether the overlay currently satisfies its kind's
+// shape invariant over the live nodes (those with skip false; a nil
+// skip means all nodes are live): every live node's degree is within
+// bound, the live subgraph is connected, and — for KindTree — acyclic.
+// It returns nil when legal and a description of the first violation
+// otherwise. This is the oracle the repair protocol converges toward
+// and the convergence monitor asserts.
+func (t *Tree) Legal(skip func(ident.NodeID) bool) error {
+	live := 0
+	first := ident.NodeID(-1)
+	for i := 0; i < t.n; i++ {
+		v := ident.NodeID(i)
+		if skip != nil && skip(v) {
+			continue
+		}
+		live++
+		if first < 0 {
+			first = v
+		}
+		if len(t.adj[v]) > t.maxDegree {
+			return fmt.Errorf("topology: node %v degree %d exceeds bound %d", v, len(t.adj[v]), t.maxDegree)
+		}
+		for _, nb := range t.adj[v] {
+			if skip != nil && skip(nb) {
+				return fmt.Errorf("topology: live node %v linked to down node %v", v, nb)
+			}
+		}
+	}
+	if live <= 1 {
+		return nil
+	}
+	// BFS over the live subgraph from the first live node, counting
+	// reached nodes and live-live edges.
+	seen := make([]bool, t.n)
+	seen[first] = true
+	queue := make([]ident.NodeID, 0, live)
+	queue = append(queue, first)
+	reached, edges := 1, 0
+	for i := 0; i < len(queue); i++ {
+		x := queue[i]
+		for _, y := range t.adj[x] {
+			if skip != nil && skip(y) {
+				continue
+			}
+			edges++ // counted once per direction; halved below
+			if !seen[y] {
+				seen[y] = true
+				reached++
+				queue = append(queue, y)
+			}
+		}
+	}
+	if reached != live {
+		return fmt.Errorf("topology: live subgraph disconnected (%d of %d nodes reachable)", reached, live)
+	}
+	if t.kind == KindTree && edges/2 != live-1 {
+		return fmt.Errorf("topology: tree overlay has %d live edges over %d live nodes (cycle)", edges/2, live)
+	}
+	return nil
+}

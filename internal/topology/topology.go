@@ -62,6 +62,9 @@ type Tree struct {
 	adj       [][]ident.NodeID
 	links     int
 	version   uint64
+	// kind is the overlay family (see overlay.go). The zero value is
+	// KindTree; only KindTree refuses intra-component links in AddLink.
+	kind Kind
 	// incarnation counts how many times each (canonical) link has been
 	// created. A re-created link is a new connection: messages in
 	// flight on the previous incarnation must not be delivered on the
@@ -335,9 +338,11 @@ func removeNode(s []ident.NodeID, n ident.NodeID) []ident.NodeID {
 	return s
 }
 
-// AddLink connects a and b. It fails when the link exists, an endpoint
-// is at its degree limit, or the endpoints are already connected (a new
-// link inside one component would create a cycle).
+// AddLink connects a and b. It fails when the link exists or an
+// endpoint is at its degree limit. On KindTree overlays it also fails
+// when the endpoints are already connected (a new link inside one
+// component would create a cycle); cyclic kinds accept intra-component
+// links — redundancy is their point.
 func (t *Tree) AddLink(a, b ident.NodeID) error {
 	switch {
 	case a == b:
@@ -348,7 +353,7 @@ func (t *Tree) AddLink(a, b ident.NodeID) error {
 		return fmt.Errorf("%w: %v", ErrDegreeFull, a)
 	case len(t.adj[b]) >= t.maxDegree:
 		return fmt.Errorf("%w: %v", ErrDegreeFull, b)
-	case t.sameComponent(a, b):
+	case t.kind == KindTree && t.sameComponent(a, b):
 		return fmt.Errorf("%w: %v-%v", ErrWouldCycle, a, b)
 	}
 	t.addEdge(a, b)
@@ -471,6 +476,12 @@ func freeSlots(t *Tree, comp []ident.NodeID) []ident.NodeID {
 // different components. The rooted-forest view is cached per topology
 // version; a query is an LCA climb, O(tree depth) with no per-pair
 // storage — the old N×N int16 matrix needed ~20 GB at N=100k.
+//
+// On cyclic overlay kinds the value is the distance in the cached BFS
+// forest, an upper bound on the true shortest path (exact on trees).
+// Its only consumers — out-of-band delay shaping and the MeanPathLength
+// metric — tolerate the approximation; the FIFO monitor bounds OOB
+// delay by N-1 hops independently of Dist.
 func (t *Tree) Dist(a, b ident.NodeID) int {
 	t.ensureRouting()
 	if t.comp[a] != t.comp[b] {
