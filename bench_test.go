@@ -46,6 +46,11 @@ func BenchmarkHotPathEndToEndChecked(b *testing.B) { bench.EndToEndChecked(b) }
 // regime unlocked by the tiered pattern sets and slab-backed state.
 func BenchmarkHotPathScale10k(b *testing.B) { bench.Scale10k(b) }
 
+// BenchmarkHotPathAdaptiveChurn is an end-to-end hybrid run with the
+// closed-loop controller active under churn and loss — the adaptation
+// machinery's price on top of plain gossip rounds.
+func BenchmarkHotPathAdaptiveChurn(b *testing.B) { bench.AdaptiveChurn(b) }
+
 // The heavy measurement benchmarks below are deliberately outside the
 // BenchmarkHotPath prefix: CI's bench smoke runs -bench=BenchmarkHotPath
 // and each of these takes seconds per iteration.

@@ -84,6 +84,7 @@ func main() {
 		{"LostBuffer", bench.LostBuffer},
 		{"EndToEnd", bench.EndToEnd},
 		{"EndToEndChecked", bench.EndToEndChecked},
+		{"AdaptiveChurn", bench.AdaptiveChurn},
 		{"Scale10k", bench.Scale10k},
 		{"MetricsPipelineExact", bench.MetricsPipelineExact},
 		{"MetricsPipelineStreaming", bench.MetricsPipelineStreaming},

@@ -30,7 +30,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pubsub-sim", flag.ContinueOnError)
 	var (
-		algo     = fs.String("algo", "no-recovery", "recovery algorithm: no-recovery, push, subscriber-pull, publisher-pull, combined-pull, random-pull")
+		algo     = fs.String("algo", "no-recovery", "recovery algorithm: no-recovery, push, subscriber-pull, publisher-pull, combined-pull, random-pull, hybrid")
 		n        = fs.Int("n", 100, "number of dispatchers (N)")
 		pimax    = fs.Int("pimax", 2, "max subscriptions per dispatcher (πmax)")
 		patterns = fs.Int("patterns", 70, "pattern universe size (Π)")
@@ -53,6 +53,7 @@ func run(args []string, w io.Writer) error {
 		hot      = fs.Int("hot", 0, "concentrate publish load on this many hot publishers (0 = uniform)")
 		hotshare = fs.Float64("hotshare", 0, "share of aggregate load on the hot publishers (default 0.5 with -hot)")
 		churn    = fs.Float64("churn", 0, "subscription churn rate (swaps/s systemwide, 0 = stable)")
+		adaptive = fs.Bool("adapt", false, "enable the closed-loop adaptive controller (implied by -algo hybrid)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +91,9 @@ func run(args []string, w io.Writer) error {
 	p.Gossip.GossipInterval = *interval
 	p.Gossip.PForward = *pforward
 	p.Gossip.PSource = *psource
+	if *adaptive || a == epidemic.Hybrid {
+		p.Adapt = &epidemic.AdaptConfig{}
+	}
 	if *traceN > 0 {
 		p.Trace = epidemic.NewTrace(*traceN)
 	}
@@ -136,6 +140,12 @@ func run(args []string, w io.Writer) error {
 			res.EngineStats.Recovered, res.EngineStats.DuplicateRecoveries)
 		fmt.Fprintf(w, "gossip msgs/disp     %.0f\n", res.GossipPerDispatcher)
 		fmt.Fprintf(w, "gossip/event ratio   %.3f\n", res.GossipEventRatio)
+	}
+	if p.Adapt != nil {
+		ad := res.Adapt
+		fmt.Fprintf(w, "adaptation           %d adjustments, interval %v–%v, mean loss est %.4f\n",
+			ad.Adjustments, ad.MinInterval, ad.MaxInterval, ad.MeanLoss)
+		fmt.Fprintf(w, "mode/walk switches   %d / %d\n", ad.ModeSwitches, ad.WalkSwitches)
 	}
 	if *planRate > 0 {
 		fmt.Fprintf(w, "node churn           %d crashes, %d restarts, %v cumulative downtime\n",

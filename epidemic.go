@@ -32,6 +32,7 @@
 package epidemic
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -117,6 +118,10 @@ const (
 	CombinedPull = core.CombinedPull
 	// RandomPull routes negative digests at random (baseline).
 	RandomPull = core.RandomPull
+	// Hybrid is the extension beyond the paper: it runs Push or
+	// CombinedPull round by round, switched online by the closed-loop
+	// controller (always adaptive; not part of Algorithms()).
+	Hybrid = core.Hybrid
 )
 
 // Algorithms lists every variant in the paper's presentation order.
@@ -131,6 +136,17 @@ type GossipConfig = core.Config
 
 // AdaptiveConfig tunes the adaptive gossip-interval extension.
 type AdaptiveConfig = core.AdaptiveConfig
+
+// AdaptConfig bounds and tunes the closed-loop adaptive controller
+// (internal/adapt): per-node loss/churn/latency estimators drive
+// Pforward, Psource, fanout, and the round period, and switch the
+// Hybrid algorithm between push and pull recovery. Enable it via
+// Params.Adapt; the zero value selects the documented defaults.
+type AdaptConfig = adapt.Config
+
+// AdaptRunStats aggregates the controllers' knob trajectories and
+// switch counters over a run (Result.Adapt).
+type AdaptRunStats = adapt.RunStats
 
 // BufferPolicy selects the event-buffer replacement policy.
 type BufferPolicy = cache.Policy

@@ -1,0 +1,555 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func ms(n int) sim.Time { return sim.Time(n) * time.Millisecond }
+
+func testConfig() Config {
+	return Config{}.Normalized(30 * time.Millisecond)
+}
+
+// TestNormalizedDefaults pins the derived defaults against the base
+// interval.
+func TestNormalizedDefaults(t *testing.T) {
+	c := testConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.IntervalMin != ms(10) || c.IntervalMax != ms(120) {
+		t.Fatalf("interval bounds = [%v, %v], want [10ms, 120ms]", c.IntervalMin, c.IntervalMax)
+	}
+	if c.LatencyHigh != ms(240) {
+		t.Fatalf("LatencyHigh = %v, want 240ms", c.LatencyHigh)
+	}
+	if c.PForwardMin != 0.5 || c.PForwardMax != 1.0 || c.FanoutMax != 3 {
+		t.Fatalf("unexpected knob bounds: %+v", c)
+	}
+	// A zero base falls back to the paper default 30ms.
+	d := Config{}.Normalized(0)
+	if d.IntervalMin != ms(10) || d.IntervalMax != ms(120) {
+		t.Fatalf("zero-base bounds = [%v, %v]", d.IntervalMin, d.IntervalMax)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.IntervalMin = -1 },
+		func(c *Config) { c.IntervalMax = c.IntervalMin / 2 },
+		func(c *Config) { c.PForwardMax = 1.5 },
+		func(c *Config) { c.PSourceMin = 0.95 }, // > max 0.9
+		func(c *Config) { c.FanoutMin = -2; c.FanoutMax = -1 },
+		func(c *Config) { c.LossGain = 1.5 },
+		func(c *Config) { c.ChurnTau = -time.Second },
+		func(c *Config) { c.LossLow = 0.5; c.LossHigh = 0.1 },
+		func(c *Config) { c.ChurnLow = 3 }, // > high 2
+		func(c *Config) { c.LatencyHigh = -1 },
+		func(c *Config) { c.StallRounds = -1 },
+		func(c *Config) { c.CalmRounds = -1 },
+		func(c *Config) { c.Shrink = 1.2 },
+		func(c *Config) { c.Grow = 0.9 },
+		func(c *Config) { c.PStep = 2 },
+		func(c *Config) { c.Dwell = -time.Second },
+	}
+	for i, mutate := range bad {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: config %+v unexpectedly valid", i, c)
+		}
+	}
+}
+
+// TestEstimatorLossEWMAHandTrace checks the loss EWMA against a
+// hand-computed trace: the first sample seeds the estimate, later
+// samples fold in with gain g.
+func TestEstimatorLossEWMAHandTrace(t *testing.T) {
+	cfg := testConfig()
+	cfg.LossGain = 0.25
+	e := NewEstimator(cfg)
+
+	// No traffic: the estimate stays unseeded at zero.
+	e.ObserveRound(Signals{Elapsed: ms(30)})
+	if e.Loss() != 0 {
+		t.Fatalf("loss after empty round = %v, want 0", e.Loss())
+	}
+
+	// Samples: 2/10 = 0.2, then 0/10 = 0, then 5/10 = 0.5.
+	//   seed:           0.2
+	//   0.2 + 0.25*(0   - 0.2) = 0.15
+	//   0.15 + 0.25*(0.5 - 0.15) = 0.2375
+	e.ObserveRound(Signals{Elapsed: ms(30), Lost: 2, Delivered: 8})
+	if got := e.Loss(); got != 0.2 {
+		t.Fatalf("loss after seed = %v, want 0.2", got)
+	}
+	e.ObserveRound(Signals{Elapsed: ms(30), Lost: 0, Delivered: 10})
+	if got := e.Loss(); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("loss after second sample = %v, want 0.15", got)
+	}
+	e.ObserveRound(Signals{Elapsed: ms(30), Lost: 5, Delivered: 5})
+	if got := e.Loss(); math.Abs(got-0.2375) > 1e-12 {
+		t.Fatalf("loss after third sample = %v, want 0.2375", got)
+	}
+}
+
+// TestEstimatorChurnDecayHandTrace checks the rational-decay churn
+// estimate: with tau=1s and dt=100ms, decay = 1/(1.1); one link change
+// contributes rate*(1-decay) = 10 * (0.1/1.1).
+func TestEstimatorChurnDecayHandTrace(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChurnTau = time.Second
+	e := NewEstimator(cfg)
+
+	decay := 1.0 / 1.1
+	e.ObserveRound(Signals{Elapsed: ms(100), LinkChanges: 1})
+	want := 10 * (1 - decay) // ≈ 0.909…
+	if got := e.Churn(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("churn after one change = %v, want %v", got, want)
+	}
+	// A quiet round decays the estimate by tau/(tau+dt).
+	e.ObserveRound(Signals{Elapsed: ms(100)})
+	want *= decay
+	if got := e.Churn(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("churn after quiet round = %v, want %v", got, want)
+	}
+	// Zero elapsed must not divide by zero or move the estimate.
+	before := e.Churn()
+	e.ObserveRound(Signals{Elapsed: 0, LinkChanges: 5})
+	if e.Churn() != before {
+		t.Fatalf("churn moved on zero-elapsed round: %v -> %v", before, e.Churn())
+	}
+}
+
+// TestEstimatorLatencyEWMAHandTrace checks the latency EWMA: seed
+// 100ms, then 100 + 0.25*(300-100) = 150ms.
+func TestEstimatorLatencyEWMAHandTrace(t *testing.T) {
+	cfg := testConfig()
+	cfg.LatencyGain = 0.25
+	e := NewEstimator(cfg)
+	if e.Latency() != 0 {
+		t.Fatalf("unseeded latency = %v, want 0", e.Latency())
+	}
+	e.ObserveLatency(ms(100))
+	if got := e.Latency(); got != ms(100) {
+		t.Fatalf("latency after seed = %v, want 100ms", got)
+	}
+	e.ObserveLatency(ms(300))
+	if got := e.Latency(); got != ms(150) {
+		t.Fatalf("latency after second sample = %v, want 150ms", got)
+	}
+	// Negative samples (clock anomalies) are ignored.
+	e.ObserveLatency(-ms(5))
+	if got := e.Latency(); got != ms(150) {
+		t.Fatalf("latency moved on negative sample: %v", got)
+	}
+}
+
+func defaultKnobs() Knobs {
+	return Knobs{PForward: 0.9, PSource: 0.5, Fanout: 1, Interval: ms(30)}
+}
+
+// TestControllerTightensAboveLossBand walks the controller through
+// sustained heavy loss and checks every knob saturates at its tight
+// bound — and never beyond.
+func TestControllerTightensAboveLossBand(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, defaultKnobs(), false)
+	now := sim.Time(0)
+	for i := 0; i < 40; i++ {
+		now += ms(30)
+		s := c.Observe(now, Signals{Elapsed: ms(30), Lost: 5, Delivered: 5})
+		if s.Knobs.Interval < cfg.IntervalMin || s.Knobs.Interval > cfg.IntervalMax {
+			t.Fatalf("round %d: interval %v out of bounds", i, s.Knobs.Interval)
+		}
+		if s.Knobs.PForward < cfg.PForwardMin || s.Knobs.PForward > cfg.PForwardMax {
+			t.Fatalf("round %d: PForward %v out of bounds", i, s.Knobs.PForward)
+		}
+		if s.Knobs.Fanout < cfg.FanoutMin || s.Knobs.Fanout > cfg.FanoutMax {
+			t.Fatalf("round %d: fanout %d out of bounds", i, s.Knobs.Fanout)
+		}
+	}
+	k := c.Knobs()
+	if k.Interval != cfg.IntervalMin {
+		t.Errorf("interval = %v, want saturated at %v", k.Interval, cfg.IntervalMin)
+	}
+	if k.PForward != cfg.PForwardMax {
+		t.Errorf("PForward = %v, want saturated at %v", k.PForward, cfg.PForwardMax)
+	}
+	if k.Fanout != cfg.FanoutMax {
+		t.Errorf("fanout = %d, want saturated at %d", k.Fanout, cfg.FanoutMax)
+	}
+	st := c.Stats()
+	if st.Adjustments == 0 || st.Rounds != 40 {
+		t.Errorf("stats = %+v, want 40 rounds with adjustments", st)
+	}
+}
+
+// TestControllerRelaxesWhenCalm: with zero loss and no churn the
+// controller converges to the minimum-overhead knobs (the ε=0
+// metamorphic pin at controller level).
+func TestControllerRelaxesWhenCalm(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, defaultKnobs(), false)
+	now := sim.Time(0)
+	for i := 0; i < 60; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Delivered: 10})
+	}
+	k := c.Knobs()
+	if k.Interval != cfg.IntervalMax {
+		t.Errorf("interval = %v, want relaxed to %v", k.Interval, cfg.IntervalMax)
+	}
+	if k.PForward != cfg.PForwardMin {
+		t.Errorf("PForward = %v, want relaxed to %v", k.PForward, cfg.PForwardMin)
+	}
+	if k.Fanout != cfg.FanoutMin {
+		t.Errorf("fanout = %d, want relaxed to %d", k.Fanout, cfg.FanoutMin)
+	}
+	if k.Walk {
+		t.Error("walk engaged with zero churn and no stall")
+	}
+	st := c.Stats()
+	if st.ModeSwitches != 0 || st.WalkSwitches != 0 {
+		t.Errorf("structural switches on a calm trace: %+v", st)
+	}
+}
+
+// TestControllerHoldsInsideBand: estimates inside the hysteresis band
+// leave the knobs untouched.
+func TestControllerHoldsInsideBand(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, defaultKnobs(), false)
+	// Seed the loss estimate mid-band: 5/100 = 0.05 ∈ (0.02, 0.08).
+	now := ms(30)
+	c.Observe(now, Signals{Elapsed: ms(30), Lost: 5, Delivered: 95})
+	before := c.Knobs()
+	for i := 0; i < 20; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Lost: 5, Delivered: 95})
+	}
+	if c.Knobs() != before {
+		t.Fatalf("knobs moved inside the band: %+v -> %+v", before, c.Knobs())
+	}
+}
+
+// TestControllerLatencyTightens: even with a calm loss estimate, a
+// recovery-latency estimate above the threshold shrinks the interval.
+func TestControllerLatencyTightens(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, defaultKnobs(), false)
+	c.ObserveLatency(ms(400)) // seed above LatencyHigh=240ms
+	s := c.Observe(ms(30), Signals{Elapsed: ms(30), Delivered: 10})
+	if s.Knobs.Interval >= ms(30) {
+		t.Fatalf("interval %v did not shrink under high recovery latency", s.Knobs.Interval)
+	}
+}
+
+// TestHybridModeSwitchRespectsDwell drives a hybrid controller across
+// the loss band in both directions and checks (a) it switches push →
+// pull → push, and (b) consecutive switches are separated by at least
+// the dwell time even though conditions flip much faster.
+func TestHybridModeSwitchRespectsDwell(t *testing.T) {
+	cfg := testConfig()
+	cfg.Dwell = ms(500)
+	c := New(cfg, defaultKnobs(), true)
+	if c.Mode() != ModePush {
+		t.Fatalf("initial mode = %v, want push", c.Mode())
+	}
+
+	var switches []sim.Time
+	last := c.Mode()
+	now := sim.Time(0)
+	lossy := false
+	for i := 0; i < 400; i++ {
+		now += ms(30)
+		// Alternate 30-round (900ms) loss and calm phases: long enough
+		// for the EWMA to cross both bands, so without the dwell the
+		// controller would flap on every phase edge.
+		if i%30 == 0 {
+			lossy = !lossy
+		}
+		sig := Signals{Elapsed: ms(30), Delivered: 10}
+		if lossy {
+			sig.Lost, sig.Delivered = 10, 0
+		}
+		s := c.Observe(now, sig)
+		if s.Mode != last {
+			switches = append(switches, now)
+			last = s.Mode
+		}
+	}
+	if len(switches) < 2 {
+		t.Fatalf("expected multiple mode switches, got %d", len(switches))
+	}
+	for i := 1; i < len(switches); i++ {
+		if gap := switches[i] - switches[i-1]; gap < cfg.Dwell {
+			t.Fatalf("switches %d→%d separated by %v < dwell %v", i-1, i, gap, cfg.Dwell)
+		}
+	}
+	if st := c.Stats(); st.ModeSwitches != uint64(len(switches)) {
+		t.Fatalf("ModeSwitches = %d, want %d", st.ModeSwitches, len(switches))
+	}
+}
+
+// TestWalkEngagesOnStall: consecutive rounds with outstanding losses
+// and zero recoveries engage the random-walk degradation; recoveries
+// flowing again (plus calm churn) disengage it after the dwell.
+func TestWalkEngagesOnStall(t *testing.T) {
+	cfg := testConfig()
+	cfg.StallRounds = 4
+	cfg.Dwell = ms(100)
+	c := New(cfg, defaultKnobs(), false)
+	now := sim.Time(0)
+	// Stalled: losses outstanding, nothing recovered.
+	for i := 0; i < 10; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Outstanding: 5})
+	}
+	if !c.Knobs().Walk {
+		t.Fatal("walk not engaged after sustained recovery stall")
+	}
+	// Recoveries resume and churn stays calm: walk disengages.
+	for i := 0; i < 10; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Recovered: 2, Delivered: 10})
+	}
+	if c.Knobs().Walk {
+		t.Fatal("walk still engaged after recovery resumed")
+	}
+	if st := c.Stats(); st.WalkSwitches != 2 {
+		t.Fatalf("WalkSwitches = %d, want 2", st.WalkSwitches)
+	}
+}
+
+// TestWalkEngagesOnChurn: a burst of link changes alone (no stall)
+// engages the walk once the churn estimate crosses the high band.
+func TestWalkEngagesOnChurn(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, defaultKnobs(), false)
+	now := sim.Time(0)
+	for i := 0; i < 20 && !c.Knobs().Walk; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), LinkChanges: 2, Delivered: 10})
+	}
+	if !c.Knobs().Walk {
+		t.Fatal("walk not engaged under sustained link churn")
+	}
+	// Churn also pushes PSource down toward the subscriber arm.
+	if got := c.Knobs().PSource; got >= 0.5 {
+		t.Fatalf("PSource = %v, want pushed below baseline under churn", got)
+	}
+}
+
+// TestPSourceDriftsBackWhenCalm: after churn subsides, PSource steps
+// back to its baseline.
+func TestPSourceDriftsBackWhenCalm(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, defaultKnobs(), false)
+	now := sim.Time(0)
+	for i := 0; i < 30; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), LinkChanges: 2, Delivered: 10})
+	}
+	if c.Knobs().PSource >= 0.5 {
+		t.Fatalf("PSource = %v, want below baseline under churn", c.Knobs().PSource)
+	}
+	for i := 0; i < 200; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Delivered: 10})
+	}
+	if got := c.Knobs().PSource; got != 0.5 {
+		t.Fatalf("PSource = %v, want drifted back to baseline 0.5", got)
+	}
+}
+
+// TestControllerIsDeterministic replays the same signal trace twice
+// and requires identical snapshots — the controller draws no
+// randomness.
+func TestControllerIsDeterministic(t *testing.T) {
+	trace := make([]Signals, 100)
+	for i := range trace {
+		trace[i] = Signals{
+			Elapsed:     ms(30),
+			Delivered:   uint64(i % 7),
+			Lost:        uint64(i % 3),
+			Recovered:   uint64(i % 2),
+			Outstanding: i % 5,
+			LinkChanges: uint64(i % 4),
+		}
+	}
+	run := func() []Snapshot {
+		c := New(testConfig(), defaultKnobs(), true)
+		out := make([]Snapshot, 0, len(trace))
+		now := sim.Time(0)
+		for _, sig := range trace {
+			now += ms(30)
+			if sig.Recovered > 0 {
+				c.ObserveLatency(ms(50))
+			}
+			out = append(out, c.Observe(now, sig))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("snapshot %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunStatsMerge checks the aggregate math over two controllers.
+func TestRunStatsMerge(t *testing.T) {
+	var r RunStats
+	r.Merge(Stats{
+		Rounds: 10, Adjustments: 3, ModeSwitches: 1,
+		MinInterval: ms(10), MaxInterval: ms(60),
+		MinPForward: 0.6, MaxPForward: 1.0,
+		MaxFanout: 2, Loss: 0.1, Churn: 1.0, PushRounds: 4, PullRounds: 6,
+	})
+	r.Merge(Stats{
+		Rounds: 20, Adjustments: 5, WalkSwitches: 2,
+		MinInterval: ms(20), MaxInterval: ms(120),
+		MinPForward: 0.5, MaxPForward: 0.9,
+		MaxFanout: 3, Loss: 0.3, Churn: 0.0,
+	})
+	if r.Engines != 2 || r.Rounds != 30 || r.Adjustments != 8 {
+		t.Fatalf("counters wrong: %+v", r)
+	}
+	if r.ModeSwitches != 1 || r.WalkSwitches != 2 || r.PushRounds != 4 || r.PullRounds != 6 {
+		t.Fatalf("switch counters wrong: %+v", r)
+	}
+	if r.MinInterval != ms(10) || r.MaxInterval != ms(120) {
+		t.Fatalf("interval extremes wrong: %+v", r)
+	}
+	if r.MinPForward != 0.5 || r.MaxPForward != 1.0 || r.MaxFanout != 3 {
+		t.Fatalf("knob extremes wrong: %+v", r)
+	}
+	if math.Abs(r.MeanLoss-0.2) > 1e-12 || math.Abs(r.MeanChurn-0.5) > 1e-12 {
+		t.Fatalf("means wrong: %+v", r)
+	}
+}
+
+// TestModeString covers the stringer.
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{ModeNone: "none", ModePush: "push", ModePull: "pull", Mode(9): "mode(9)"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+// TestStallReanchorsKnobsAtBaseline: once a recovery stall persists,
+// the controller stops tightening and walks every knob back to its
+// calibrated baseline — tightening into a channel that is not landing
+// recoveries only queues more digests behind it.
+func TestStallReanchorsKnobsAtBaseline(t *testing.T) {
+	cfg := testConfig()
+	base := defaultKnobs()
+	c := New(cfg, base, false)
+	now := sim.Time(0)
+	// Heavy loss with recoveries still landing: tighten to the bounds.
+	for i := 0; i < 30; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Lost: 5, Delivered: 5, Recovered: 1})
+	}
+	k := c.Knobs()
+	if k.Interval != cfg.IntervalMin || k.PForward != cfg.PForwardMax || k.Fanout != cfg.FanoutMax {
+		t.Fatalf("knobs %+v not saturated tight before the stall", k)
+	}
+	// Recoveries stop landing while losses stay outstanding: the loss
+	// estimate still reads high (no samples move it), but the stall
+	// must override the tighten rule and re-anchor at the baseline.
+	for i := 0; i < 40; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Outstanding: 5})
+	}
+	k = c.Knobs()
+	if k.Interval != base.Interval || k.PForward != base.PForward || k.Fanout != base.Fanout {
+		t.Fatalf("knobs %+v did not re-anchor at baseline %+v under a persistent stall", k, base)
+	}
+	if !k.Walk {
+		t.Fatal("walk not engaged during the stall")
+	}
+}
+
+// TestWalkRevertNeedsCalmStreak: one clean observation between fault
+// waves must not disengage the walk — reverting requires CalmRounds
+// consecutive calm rounds, however long the dwell has been satisfied.
+func TestWalkRevertNeedsCalmStreak(t *testing.T) {
+	cfg := testConfig()
+	cfg.StallRounds = 2
+	cfg.CalmRounds = 8
+	cfg.Dwell = ms(60)
+	c := New(cfg, defaultKnobs(), false)
+	now := sim.Time(0)
+	for i := 0; i < 6; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Outstanding: 5})
+	}
+	if !c.Knobs().Walk {
+		t.Fatal("walk not engaged after sustained stall")
+	}
+	// Waves: 5 calm rounds (< CalmRounds), then one round with backlog.
+	for wave := 0; wave < 6; wave++ {
+		for i := 0; i < 5; i++ {
+			now += ms(30)
+			c.Observe(now, Signals{Elapsed: ms(30), Delivered: 10, Recovered: 1})
+		}
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Outstanding: 3, Recovered: 1})
+		if !c.Knobs().Walk {
+			t.Fatalf("wave %d: walk disengaged without a full calm streak", wave)
+		}
+	}
+	// A genuine calm streak reverts.
+	for i := 0; i < cfg.CalmRounds+1; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Delivered: 10})
+	}
+	if c.Knobs().Walk {
+		t.Fatal("walk still engaged after a full calm streak")
+	}
+}
+
+// TestHybridPullRevertNeedsCalmStreak: the hybrid's pull → push revert
+// obeys the same calm-streak discipline as the walk revert.
+func TestHybridPullRevertNeedsCalmStreak(t *testing.T) {
+	cfg := testConfig()
+	cfg.CalmRounds = 8
+	cfg.Dwell = ms(60)
+	c := New(cfg, defaultKnobs(), true)
+	now := sim.Time(0)
+	for i := 0; i < 10; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Lost: 10})
+	}
+	if c.Mode() != ModePull {
+		t.Fatalf("mode = %v, want pull under sustained loss", c.Mode())
+	}
+	// Loss clears, but the streak is interrupted every few rounds.
+	for wave := 0; wave < 4; wave++ {
+		for i := 0; i < 5; i++ {
+			now += ms(30)
+			c.Observe(now, Signals{Elapsed: ms(30), Delivered: 10})
+		}
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Delivered: 10, Outstanding: 1})
+		if c.Mode() != ModePull {
+			t.Fatalf("wave %d: reverted to push without a full calm streak", wave)
+		}
+	}
+	for i := 0; i < cfg.CalmRounds+1; i++ {
+		now += ms(30)
+		c.Observe(now, Signals{Elapsed: ms(30), Delivered: 10})
+	}
+	if c.Mode() != ModePush {
+		t.Fatalf("mode = %v, want push after a full calm streak", c.Mode())
+	}
+}

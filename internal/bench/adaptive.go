@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/scenario"
+)
+
+// AdaptiveChurn measures the closed-loop controller on its intended
+// worst case: a hybrid push/pull run under node churn and link loss,
+// so every round pays for the estimator update, the setpoint rules,
+// and (when bands are crossed) mode and walk switches on top of the
+// usual gossip work. Compare with EndToEnd (static combined pull,
+// no faults) for the adaptation overhead.
+func AdaptiveChurn(b *testing.B) {
+	var events uint64
+	var runner scenario.Runner
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := scenario.DefaultParams()
+		p.Seed = int64(i + 1)
+		p.N = 25
+		p.Duration = 2 * time.Second
+		p.MeasureFrom = 300 * time.Millisecond
+		p.MeasureTo = 1500 * time.Millisecond
+		p.PublishRate = 15
+		p.Algorithm = core.Hybrid
+		p.Gossip = core.DefaultConfig(core.Hybrid)
+		p.Adapt = &adapt.Config{}
+		p.Network.LossRate = 0.05
+		p.Network.OOBLossRate = 0.05
+		p.FaultPlan = faults.ChurnPlan(p.Seed, p.N, 2, p.Duration*3/5, 300*time.Millisecond)
+		res, err := runner.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.KernelEvents
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "simevents/s")
+	}
+}

@@ -1,0 +1,102 @@
+package check
+
+import (
+	"math"
+
+	"repro/internal/adapt"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+// adaptState is the per-node memory of the adaptation monitor.
+type adaptState struct {
+	seen       bool
+	last       adapt.Snapshot
+	lastSwitch sim.Time
+}
+
+// OnAdaptRound observes one round-boundary snapshot of a node's
+// adaptive controller (wired through core.Engine.SetAdaptObserver).
+// It verifies, per observation:
+//
+//   - estimator sanity: every estimate is finite and non-NaN, the loss
+//     estimate stays in [0, 1], the latency estimate is non-negative;
+//   - knob bounds: every knob lies inside the configured [min, max]
+//     (Env.Adapt must carry the normalized controller config);
+//   - dwell: structural switches (hybrid push↔pull mode, routed↔walk
+//     digests) are separated by at least the configured dwell time —
+//     the anti-flapping contract;
+//   - clock sanity: observation times never go backwards.
+//
+// Like every monitor the hook is passive: it draws no randomness and
+// mutates no protocol state, so checked adaptive runs replay
+// bit-identically to unchecked ones.
+func (c *Checker) OnAdaptRound(node ident.NodeID, s adapt.Snapshot) {
+	if !c.opts.Adaptation || c.stopped {
+		return
+	}
+	if c.adaptStates == nil {
+		c.adaptStates = make(map[ident.NodeID]*adaptState)
+	}
+	st := c.adaptStates[node]
+	if st == nil {
+		st = &adaptState{}
+		c.adaptStates[node] = st
+	}
+
+	if bad(s.Loss) || s.Loss < 0 || s.Loss > 1 {
+		c.report("adaptation", "loss-estimate", node, ident.None, ident.EventID{},
+			"loss estimate %v outside [0,1] or non-finite", s.Loss)
+	}
+	if bad(s.Churn) || s.Churn < 0 {
+		c.report("adaptation", "churn-estimate", node, ident.None, ident.EventID{},
+			"churn estimate %v negative or non-finite", s.Churn)
+	}
+	if s.Latency < 0 {
+		c.report("adaptation", "latency-estimate", node, ident.None, ident.EventID{},
+			"latency estimate %v negative", s.Latency)
+	}
+
+	if cfg := c.env.Adapt; cfg != nil {
+		k := s.Knobs
+		if k.Interval < cfg.IntervalMin || k.Interval > cfg.IntervalMax {
+			c.report("adaptation", "interval-bounds", node, ident.None, ident.EventID{},
+				"interval %v outside [%v, %v]", k.Interval, cfg.IntervalMin, cfg.IntervalMax)
+		}
+		if bad(k.PForward) || k.PForward < cfg.PForwardMin || k.PForward > cfg.PForwardMax {
+			c.report("adaptation", "pforward-bounds", node, ident.None, ident.EventID{},
+				"PForward %v outside [%v, %v]", k.PForward, cfg.PForwardMin, cfg.PForwardMax)
+		}
+		if bad(k.PSource) || k.PSource < cfg.PSourceMin || k.PSource > cfg.PSourceMax {
+			c.report("adaptation", "psource-bounds", node, ident.None, ident.EventID{},
+				"PSource %v outside [%v, %v]", k.PSource, cfg.PSourceMin, cfg.PSourceMax)
+		}
+		if k.Fanout < cfg.FanoutMin || k.Fanout > cfg.FanoutMax {
+			c.report("adaptation", "fanout-bounds", node, ident.None, ident.EventID{},
+				"fanout %d outside [%d, %d]", k.Fanout, cfg.FanoutMin, cfg.FanoutMax)
+		}
+	}
+
+	if st.seen {
+		if s.At < st.last.At {
+			c.report("adaptation", "clock", node, ident.None, ident.EventID{},
+				"observation time %v before previous %v", s.At, st.last.At)
+		}
+		switched := s.Mode != st.last.Mode || s.Knobs.Walk != st.last.Knobs.Walk
+		if switched && c.env.Adapt != nil {
+			if gap := s.At - st.lastSwitch; gap < c.env.Adapt.Dwell {
+				c.report("adaptation", "dwell", node, ident.None, ident.EventID{},
+					"structural switch after %v < dwell %v (mode %v→%v, walk %v→%v)",
+					gap, c.env.Adapt.Dwell, st.last.Mode, s.Mode, st.last.Knobs.Walk, s.Knobs.Walk)
+			}
+		}
+		if switched {
+			st.lastSwitch = s.At
+		}
+	}
+	st.seen = true
+	st.last = s
+}
+
+// bad reports a non-finite float.
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }

@@ -1,0 +1,197 @@
+package check
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+func adaptOpts() *Options {
+	return &Options{Adaptation: true, KeepGoing: true}
+}
+
+func adaptHarness() (*harness, adapt.Config) {
+	cfg := adapt.Config{}.Normalized(30 * time.Millisecond)
+	h := newHarness(adaptOpts(), nil)
+	h.c.env.Adapt = &cfg
+	return h, cfg
+}
+
+// goodSnap is an in-bounds snapshot at the given time.
+func goodSnap(at sim.Time, cfg adapt.Config) adapt.Snapshot {
+	return adapt.Snapshot{
+		At:   at,
+		Mode: adapt.ModePush,
+		Knobs: adapt.Knobs{
+			PForward: cfg.PForwardMax,
+			PSource:  cfg.PSourceMin,
+			Fanout:   cfg.FanoutMin,
+			Interval: cfg.IntervalMin,
+		},
+		Loss: 0.05, Churn: 0.5, Latency: 50 * time.Millisecond,
+	}
+}
+
+func TestAdaptMonitorCleanTrace(t *testing.T) {
+	h, cfg := adaptHarness()
+	now := sim.Time(0)
+	s := goodSnap(0, cfg)
+	for i := 0; i < 10; i++ {
+		now += 30 * time.Millisecond
+		s.At = now
+		h.c.OnAdaptRound(1, s)
+	}
+	// A mode switch after the dwell is legal.
+	now += cfg.Dwell
+	s.At, s.Mode = now, adapt.ModePull
+	h.c.OnAdaptRound(1, s)
+	wantClean(t, h.c)
+}
+
+func TestAdaptMonitorLossEstimateOutOfRange(t *testing.T) {
+	h, cfg := adaptHarness()
+	s := goodSnap(30*time.Millisecond, cfg)
+	s.Loss = 1.5
+	h.c.OnAdaptRound(1, s)
+	wantViolation(t, h.c, "adaptation", "loss-estimate")
+
+	h2, cfg2 := adaptHarness()
+	s2 := goodSnap(30*time.Millisecond, cfg2)
+	s2.Loss = math.NaN()
+	h2.c.OnAdaptRound(1, s2)
+	wantViolation(t, h2.c, "adaptation", "loss-estimate")
+}
+
+func TestAdaptMonitorChurnAndLatencyEstimates(t *testing.T) {
+	h, cfg := adaptHarness()
+	s := goodSnap(30*time.Millisecond, cfg)
+	s.Churn = math.Inf(1)
+	h.c.OnAdaptRound(1, s)
+	wantViolation(t, h.c, "adaptation", "churn-estimate")
+
+	h2, cfg2 := adaptHarness()
+	s2 := goodSnap(30*time.Millisecond, cfg2)
+	s2.Latency = -time.Millisecond
+	h2.c.OnAdaptRound(1, s2)
+	wantViolation(t, h2.c, "adaptation", "latency-estimate")
+}
+
+func TestAdaptMonitorKnobBounds(t *testing.T) {
+	h, cfg := adaptHarness()
+	s := goodSnap(30*time.Millisecond, cfg)
+	s.Knobs.Interval = cfg.IntervalMax + 1
+	h.c.OnAdaptRound(1, s)
+	wantViolation(t, h.c, "adaptation", "interval-bounds")
+
+	h2, cfg2 := adaptHarness()
+	s2 := goodSnap(30*time.Millisecond, cfg2)
+	s2.Knobs.PForward = cfg2.PForwardMin / 2
+	h2.c.OnAdaptRound(1, s2)
+	wantViolation(t, h2.c, "adaptation", "pforward-bounds")
+
+	h3, cfg3 := adaptHarness()
+	s3 := goodSnap(30*time.Millisecond, cfg3)
+	s3.Knobs.PSource = cfg3.PSourceMax + 0.01
+	h3.c.OnAdaptRound(1, s3)
+	wantViolation(t, h3.c, "adaptation", "psource-bounds")
+
+	h4, cfg4 := adaptHarness()
+	s4 := goodSnap(30*time.Millisecond, cfg4)
+	s4.Knobs.Fanout = cfg4.FanoutMax + 1
+	h4.c.OnAdaptRound(1, s4)
+	wantViolation(t, h4.c, "adaptation", "fanout-bounds")
+}
+
+func TestAdaptMonitorDwellViolation(t *testing.T) {
+	h, cfg := adaptHarness()
+	s := goodSnap(30*time.Millisecond, cfg)
+	h.c.OnAdaptRound(1, s)
+	// Mode flips only 30ms after the first observation: the monitor's
+	// switch clock starts at 0, so this is within the dwell window.
+	s.At, s.Mode = 60*time.Millisecond, adapt.ModePull
+	h.c.OnAdaptRound(1, s)
+	wantViolation(t, h.c, "adaptation", "dwell")
+}
+
+func TestAdaptMonitorWalkFlapViolation(t *testing.T) {
+	h, cfg := adaptHarness()
+	now := cfg.Dwell // first switch lands after one dwell — legal
+	s := goodSnap(30*time.Millisecond, cfg)
+	h.c.OnAdaptRound(1, s)
+	s.At, s.Knobs.Walk = now, true
+	h.c.OnAdaptRound(1, s)
+	wantClean(t, h.c)
+	// Walk flips back immediately — a flap the dwell must forbid.
+	s.At, s.Knobs.Walk = now+30*time.Millisecond, false
+	h.c.OnAdaptRound(1, s)
+	wantViolation(t, h.c, "adaptation", "dwell")
+}
+
+func TestAdaptMonitorClockRegression(t *testing.T) {
+	h, cfg := adaptHarness()
+	s := goodSnap(100*time.Millisecond, cfg)
+	h.c.OnAdaptRound(1, s)
+	s.At = 50 * time.Millisecond
+	h.c.OnAdaptRound(1, s)
+	wantViolation(t, h.c, "adaptation", "clock")
+}
+
+func TestAdaptMonitorPerNodeIsolation(t *testing.T) {
+	// Node 2's switch clock is independent of node 1's: a legal switch
+	// on node 1 does not excuse a flap on node 2, and vice versa.
+	h, cfg := adaptHarness()
+	s := goodSnap(30*time.Millisecond, cfg)
+	h.c.OnAdaptRound(1, s)
+	h.c.OnAdaptRound(2, s)
+	s.At = 30*time.Millisecond + cfg.Dwell
+	s.Mode = adapt.ModePull
+	h.c.OnAdaptRound(1, s)
+	wantClean(t, h.c)
+	s.At += 30 * time.Millisecond
+	s.Mode = adapt.ModePush
+	h.c.OnAdaptRound(2, s) // node 2's first switch, after its own dwell: legal
+	wantClean(t, h.c)
+}
+
+func TestAdaptMonitorNilConfigSkipsBoundsAndDwell(t *testing.T) {
+	// Without Env.Adapt the monitor still verifies estimator sanity but
+	// cannot judge bounds or dwell.
+	h := newHarness(adaptOpts(), nil)
+	s := adapt.Snapshot{At: 30 * time.Millisecond, Knobs: adapt.Knobs{Fanout: 99}, Loss: 0.5}
+	h.c.OnAdaptRound(1, s)
+	s.At, s.Knobs.Walk = 31*time.Millisecond, true
+	h.c.OnAdaptRound(1, s)
+	wantClean(t, h.c)
+
+	s.At, s.Loss = 32*time.Millisecond, math.NaN()
+	h.c.OnAdaptRound(1, s)
+	wantViolation(t, h.c, "adaptation", "loss-estimate")
+}
+
+func TestAdaptMonitorDisabled(t *testing.T) {
+	h := newHarness(&Options{}, nil)
+	h.c.OnAdaptRound(1, adapt.Snapshot{Loss: math.NaN()})
+	wantClean(t, h.c)
+}
+
+func TestAdaptMonitorQuietAfterStop(t *testing.T) {
+	h, cfg := adaptHarness()
+	h.c.opts.KeepGoing = false
+	s := goodSnap(30*time.Millisecond, cfg)
+	s.Loss = -1
+	h.c.OnAdaptRound(1, s)
+	wantViolation(t, h.c, "adaptation", "loss-estimate")
+	if !h.stopped {
+		t.Fatal("fail-fast did not stop the run")
+	}
+	// Further observations are ignored once stopped.
+	s.Loss = math.NaN()
+	h.c.OnAdaptRound(ident.NodeID(3), s)
+	if n := len(h.c.Violations()); n != 1 {
+		t.Fatalf("monitor kept reporting after stop: %d violations", n)
+	}
+}

@@ -31,6 +31,11 @@
 //     delivered/recovered accounting reconciles exactly with the
 //     metrics.DeliveryTracker totals.
 //
+// Two further monitors cover the extensions beyond the paper: the
+// Convergence monitor (self-stabilizing repair, DESIGN.md Sec. 13) and
+// the Adaptation monitor (closed-loop knob control, DESIGN.md Sec. 14:
+// knob bounds, switch dwell, estimator sanity).
+//
 // The checker is deliberately passive: it never draws from kernel RNG
 // streams, never schedules kernel events, and never mutates protocol
 // state, so enabling it cannot change the trajectory of a
@@ -44,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/ident"
 	"repro/internal/metrics"
 	"repro/internal/network"
@@ -78,6 +84,12 @@ type Options struct {
 	// bound and held through the end of the run. Runs whose last fault
 	// falls within ConvergenceBound of the end are not judged.
 	Convergence bool
+	// Adaptation enables the adaptive-controller monitor: knob values
+	// inside their configured bounds at every round boundary,
+	// structural switches (hybrid mode, walk degradation) separated by
+	// at least the dwell time, estimator state finite and in range.
+	// Inert unless the run wires OnAdaptRound (static runs never do).
+	Adaptation bool
 
 	// KeepGoing collects violations instead of stopping the run at the
 	// first one. Fail-fast (the default) asks the kernel to stop, so
@@ -104,7 +116,7 @@ type Options struct {
 
 // All returns Options with every monitor enabled and fail-fast on.
 func All() *Options {
-	return &Options{FIFO: true, Delivery: true, Topology: true, Recovery: true, Conservation: true}
+	return &Options{FIFO: true, Delivery: true, Topology: true, Recovery: true, Conservation: true, Adaptation: true}
 }
 
 // Violation is one observed invariant breach.
@@ -215,6 +227,11 @@ type Env struct {
 	// an adversarial initial configuration counts as a fault before
 	// the run started).
 	LastFaultAt func() sim.Time
+	// Adapt is the normalized adaptive-controller config of the run,
+	// when adaptation is enabled; the Adaptation monitor takes its knob
+	// bounds and dwell time from it. May be nil (bounds and dwell
+	// checks are skipped; estimator sanity is still verified).
+	Adapt *adapt.Config
 }
 
 // Checker is one run's invariant monitor. Build it with New, wire its
@@ -253,6 +270,10 @@ type Checker struct {
 	countedDelivered uint64
 	countedRecovered uint64
 	expectedTotal    uint64
+
+	// adaptStates is the per-node memory of the Adaptation monitor,
+	// allocated lazily on the first observed controller snapshot.
+	adaptStates map[ident.NodeID]*adaptState
 
 	audits []auditFn
 }

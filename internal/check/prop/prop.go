@@ -5,8 +5,9 @@
 // property is simply "no monitor fires"; the generator's job is to
 // explore corners the pinned scenarios never visit.
 //
-// When a case fails, Shrink reduces it before reporting: drop the
-// fault plan, disable reconfiguration, zero the loss, halve the
+// When a case fails, Shrink reduces it before reporting: fall back to
+// static gossip (dropping the adaptive controller and Hybrid), drop
+// the fault plan, disable reconfiguration, zero the loss, halve the
 // duration, the node count, and the publish rate — re-running after
 // each step and keeping any reduction that still fails. The final
 // reproducer is a short Case literal plus the checker's own
@@ -24,6 +25,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -45,11 +47,15 @@ type Case struct {
 	ChurnRate   float64  // crashes/second; 0 = no fault plan
 	Overlay     topology.Kind
 	Repair      scenario.RepairMode
+	// Adaptive arms the closed-loop controller (internal/adapt) on
+	// every algorithm and adds the Hybrid mode to the run, with the
+	// adaptation monitor judging knob bounds and dwell.
+	Adaptive bool
 }
 
 func (c Case) String() string {
-	return fmt.Sprintf("seed=%d n=%d ε=%.2f εoob=%.2f rate=%.0f dur=%v reconfig=%v churn=%.1f overlay=%v repair=%v",
-		c.Seed, c.N, c.LossRate, c.OOBLossRate, c.PublishRate, c.Duration, c.Reconfig, c.ChurnRate, c.Overlay, c.Repair)
+	return fmt.Sprintf("seed=%d n=%d ε=%.2f εoob=%.2f rate=%.0f dur=%v reconfig=%v churn=%.1f overlay=%v repair=%v adaptive=%v",
+		c.Seed, c.N, c.LossRate, c.OOBLossRate, c.PublishRate, c.Duration, c.Reconfig, c.ChurnRate, c.Overlay, c.Repair, c.Adaptive)
 }
 
 // Generate draws one case. The ranges are chosen to stress the
@@ -82,6 +88,7 @@ func Generate(rng *rand.Rand) Case {
 	if c.Overlay != topology.KindTree || c.Repair == scenario.RepairSelfStabilizing {
 		c.Reconfig = 0
 	}
+	c.Adaptive = rng.Intn(3) == 1
 	return c
 }
 
@@ -105,15 +112,29 @@ func (c Case) Params(alg core.Algorithm) scenario.Params {
 	if c.ChurnRate > 0 {
 		p.FaultPlan = faults.ChurnPlan(c.Seed, c.N, c.ChurnRate, c.Duration, 200*time.Millisecond)
 	}
+	if c.Adaptive && alg != core.NoRecovery {
+		p.Adapt = &adapt.Config{}
+	}
 	p.Check = check.All()
 	return p
+}
+
+// Algorithms lists the recovery algorithms the case runs under: the
+// paper's five, plus Hybrid when the controller is armed (Hybrid is
+// meaningless without it).
+func (c Case) Algorithms() []core.Algorithm {
+	algs := core.Algorithms()
+	if c.Adaptive {
+		algs = append(algs, core.Hybrid)
+	}
+	return algs
 }
 
 // Run executes the case under every algorithm and returns the first
 // violation (a *check.Error wrapped with the algorithm).
 func Run(c Case) error {
 	var r scenario.Runner
-	for _, alg := range core.Algorithms() {
+	for _, alg := range c.Algorithms() {
 		if _, err := r.Run(c.Params(alg)); err != nil {
 			return fmt.Errorf("case [%s] algorithm %s: %w", c, alg, err)
 		}
@@ -135,6 +156,7 @@ func Shrink(c Case, origErr error) (Case, error) {
 		return err, err != nil
 	}
 	smaller := []func(Case) Case{
+		func(c Case) Case { c.Adaptive = false; return c },
 		func(c Case) Case { c.Repair = scenario.RepairOracle; return c },
 		func(c Case) Case { c.Overlay = topology.KindTree; return c },
 		func(c Case) Case { c.ChurnRate = 0; return c },

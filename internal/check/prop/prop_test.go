@@ -54,6 +54,48 @@ type errStub struct{}
 
 func (errStub) Error() string { return "stub" }
 
+// TestAdaptiveCalmMetamorphicProperty: take any generated case, strip
+// away every disturbance (loss, churn, reconfiguration), arm the
+// controller, and the run must converge to minimum-overhead knobs with
+// zero structural switches — under full invariant checking, so knob
+// bounds and dwell are judged by the adaptation monitor at the same
+// time.
+func TestAdaptiveCalmMetamorphicProperty(t *testing.T) {
+	cases := 6
+	if testing.Short() {
+		cases = 2
+	}
+	rng := rand.New(rand.NewSource(515))
+	var r scenario.Runner
+	for i := 0; i < cases; i++ {
+		c := Generate(rng)
+		c.LossRate, c.OOBLossRate, c.ChurnRate, c.Reconfig = 0, 0, 0, 0
+		c.Adaptive = true
+		t.Logf("case %d: %s", i, c)
+		for _, alg := range []core.Algorithm{core.CombinedPull, core.Hybrid} {
+			p := c.Params(alg)
+			res, err := r.Run(p)
+			if err != nil {
+				t.Fatalf("case [%s] %s: calm checked run failed: %v", c, alg, err)
+			}
+			a := res.Adapt
+			norm := p.Adapt.Normalized(p.Gossip.GossipInterval)
+			if a.MaxInterval != norm.IntervalMax {
+				t.Errorf("case [%s] %s: interval never relaxed to %v (max seen %v)", c, alg, norm.IntervalMax, a.MaxInterval)
+			}
+			if a.MaxFanout != norm.FanoutMin {
+				t.Errorf("case [%s] %s: fanout rose to %d on a calm run", c, alg, a.MaxFanout)
+			}
+			if a.ModeSwitches != 0 || a.WalkSwitches != 0 {
+				t.Errorf("case [%s] %s: structural switches on a calm run: %+v", c, alg, a)
+			}
+			if a.MeanLoss != 0 {
+				t.Errorf("case [%s] %s: nonzero loss estimate %v on lossless links", c, alg, a.MeanLoss)
+			}
+		}
+	}
+}
+
 // TestShardedRunsBitIdentical is the parallel-executor property: over
 // generated cases (loss, reconfiguration, churn) and every algorithm,
 // a sharded run must produce a Result bit-identical to the sequential
@@ -72,7 +114,7 @@ func TestShardedRunsBitIdentical(t *testing.T) {
 		c := Generate(rng)
 		shards := 2 + rng.Intn(4)
 		t.Logf("case %d: %s shards=%d", i, c, shards)
-		for _, alg := range core.Algorithms() {
+		for _, alg := range c.Algorithms() {
 			p := c.Params(alg)
 			p.Check = nil
 			// Self-stabilizing repair rejects Shards > 1; the sharded

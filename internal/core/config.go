@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/cache"
 	"repro/internal/sim"
 )
@@ -40,6 +41,12 @@ const (
 	// RandomPull routes negative digests entirely at random — the
 	// evaluation's sanity baseline (Sec. IV, intro).
 	RandomPull
+	// Hybrid is our extension beyond the paper (ROADMAP item 5): the
+	// engine starts in push mode and switches push ↔ combined pull at
+	// runtime as the online loss/churn estimator crosses thresholds
+	// (internal/adapt). Not part of Algorithms(): the paper's
+	// evaluation set stays the five variants above.
+	Hybrid
 )
 
 var algorithmNames = map[Algorithm]string{
@@ -49,6 +56,7 @@ var algorithmNames = map[Algorithm]string{
 	PublisherPull:  "publisher-pull",
 	CombinedPull:   "combined-pull",
 	RandomPull:     "random-pull",
+	Hybrid:         "hybrid",
 }
 
 // String implements fmt.Stringer.
@@ -78,7 +86,7 @@ func Algorithms() []Algorithm {
 // pattern) sequence numbers for loss detection.
 func (a Algorithm) NeedsSeqTags() bool {
 	switch a {
-	case SubscriberPull, PublisherPull, CombinedPull, RandomPull:
+	case SubscriberPull, PublisherPull, CombinedPull, RandomPull, Hybrid:
 		return true
 	default:
 		return false
@@ -88,7 +96,7 @@ func (a Algorithm) NeedsSeqTags() bool {
 // NeedsRoutes reports whether the algorithm requires events to record
 // the route they travelled (publisher-based pull).
 func (a Algorithm) NeedsRoutes() bool {
-	return a == PublisherPull || a == CombinedPull
+	return a == PublisherPull || a == CombinedPull || a == Hybrid
 }
 
 // Config parameterizes one recovery engine. Zero values are replaced
@@ -117,9 +125,17 @@ type Config struct {
 	// PendingTTL suppresses duplicate push requests for the same event
 	// within this window.
 	PendingTTL sim.Time
-	// Adaptive, when non-nil, enables the adaptive gossip-interval
-	// extension (paper Sec. IV-E suggests it via ref. [14]).
+	// Adaptive, when non-nil, enables the legacy adaptive
+	// gossip-interval extension (paper Sec. IV-E suggests it via
+	// ref. [14]): a busy/idle heuristic on the interval alone.
+	// Mutually exclusive with Adapt.
 	Adaptive *AdaptiveConfig
+	// Adapt, when non-nil, enables the full closed-loop controller
+	// (internal/adapt): an online loss/churn/latency estimator adapts
+	// PForward, PSource, fanout, and the round period within bounds.
+	// Required (and defaulted) for Algorithm == Hybrid. Mutually
+	// exclusive with Adaptive.
+	Adapt *adapt.Config
 }
 
 // AdaptiveConfig tunes the adaptive gossip-interval extension: the
@@ -188,6 +204,17 @@ func (c Config) Normalize() (Config, error) {
 	if ad := c.Adaptive; ad != nil {
 		if ad.Min <= 0 || ad.Max < ad.Min || ad.ShrinkFactor <= 0 || ad.ShrinkFactor >= 1 || ad.GrowFactor <= 1 {
 			return c, fmt.Errorf("core: invalid adaptive config %+v", *ad)
+		}
+	}
+	if c.Algorithm == Hybrid && c.Adapt == nil {
+		c.Adapt = &adapt.Config{}
+	}
+	if c.Adapt != nil {
+		if c.Adaptive != nil {
+			return c, fmt.Errorf("core: Adapt and the legacy Adaptive extension are mutually exclusive")
+		}
+		if err := c.Adapt.Normalized(c.GossipInterval).Validate(); err != nil {
+			return c, err
 		}
 	}
 	return c, nil

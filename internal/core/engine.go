@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"slices"
 
+	"repro/internal/adapt"
 	"repro/internal/cache"
 	"repro/internal/ident"
 	"repro/internal/pubsub"
@@ -65,9 +66,36 @@ type Engine struct {
 	needPatIdx bool
 	needTagIdx bool
 
-	// requestsSinceRound feeds the adaptive controller under push,
-	// where the Lost buffer is unused.
+	// requestsSinceRound feeds the legacy adaptive-interval extension
+	// under push, where the Lost buffer is unused.
 	requestsSinceRound int
+
+	// knobs is the coherent per-round snapshot of the live gossip
+	// knobs. Every probabilistic decision of a round (and of the
+	// handlers that run between rounds) reads this one value; it is
+	// replaced only at round boundaries, so a mid-round adaptation can
+	// never produce a torn read between the forward and pull phases.
+	// For static engines it is fixed at construction from cfg.
+	knobs adapt.Knobs
+
+	// ctrl, when non-nil, is the closed-loop adaptive controller
+	// (cfg.Adapt, or implied by Algorithm == Hybrid). obs observes its
+	// round-boundary snapshots (the adaptation invariant monitor).
+	ctrl *adapt.Controller
+	obs  func(adapt.Snapshot)
+
+	// Cumulative signal counters for the controller: delivered counts
+	// every first-copy delivery (routed or recovered), pushMissing
+	// counts events missing from received push digests (the loss
+	// signal of pure-push engines, which never see seqno gaps).
+	delivered   uint64
+	pushMissing uint64
+	// last* remember the previous observation to form deltas.
+	lastDelivered uint64
+	lastLost      uint64
+	lastRecovered uint64
+	lastLinkEpoch uint64
+	lastObserveAt sim.Time
 
 	// Reusable scratch buffers for the per-round and per-message hot
 	// paths. They are only ever handed to callees that consume them
@@ -115,10 +143,23 @@ func NewEngineIn(node *pubsub.Node, cfg Config, pool *ScratchPool) (*Engine, err
 		cfg:  cfg,
 		rng:  rng,
 
-		needPatIdx: cfg.Algorithm == Push,
+		needPatIdx: cfg.Algorithm == Push || cfg.Algorithm == Hybrid,
 		needTagIdx: cfg.Algorithm.NeedsSeqTags(),
 
+		knobs: adapt.Knobs{
+			PForward: cfg.PForward,
+			PSource:  cfg.PSource,
+			Fanout:   1,
+			Interval: cfg.GossipInterval,
+		},
+
 		pool: pool,
+	}
+	if cfg.Adapt != nil {
+		e.ctrl = adapt.New(cfg.Adapt.Normalized(cfg.GossipInterval), e.knobs, cfg.Algorithm == Hybrid)
+		e.knobs = e.ctrl.Knobs()
+		e.lastLinkEpoch = node.LinkEpoch()
+		e.lastObserveAt = p.Now()
 	}
 	if pool != nil {
 		// Recycle the previous engine's structures: the cache and Lost
@@ -191,7 +232,10 @@ func (e *Engine) Start() {
 	if e.ticker != nil {
 		panic("core: engine already started")
 	}
-	e.ticker = sim.NewJitteredTicker(e.p, e.cfg.GossipInterval, e.rng, e.round)
+	// An adaptive engine restarts at its current adapted period (the
+	// controller's state survives a Stop/Start cycle — the knobs are
+	// this engine's tuning, not the crashed process's volatile state).
+	e.ticker = sim.NewJitteredTicker(e.p, e.knobs.Interval, e.rng, e.round)
 }
 
 // Stop cancels future gossip rounds. A stopped engine can be started
@@ -208,6 +252,27 @@ func (e *Engine) Stop() {
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Knobs returns the engine's current coherent knob snapshot.
+func (e *Engine) Knobs() adapt.Knobs { return e.knobs }
+
+// AdaptStats returns the adaptive controller's trajectory summary;
+// ok is false for static engines.
+func (e *Engine) AdaptStats() (adapt.Stats, bool) {
+	if e.ctrl == nil {
+		return adapt.Stats{}, false
+	}
+	return e.ctrl.Stats(), true
+}
+
+// SetAdaptObserver installs a hook that sees every round-boundary
+// controller snapshot (the adaptation invariant monitor). A no-op on
+// static engines.
+func (e *Engine) SetAdaptObserver(fn func(adapt.Snapshot)) {
+	if e.ctrl != nil {
+		e.obs = fn
+	}
+}
 
 // BufferLen returns the current event-buffer occupancy.
 func (e *Engine) BufferLen() int { return e.buf.Len() }
@@ -235,6 +300,7 @@ func (e *Engine) OnPublish(ev *wire.Event) {
 // their sequence tags drive loss detection, and their recorded route
 // refreshes the Routes buffer.
 func (e *Engine) OnDeliver(ev *wire.Event, _ ident.NodeID) {
+	e.delivered++
 	e.index(ev)
 	if e.cfg.Algorithm.NeedsSeqTags() {
 		e.detect(ev)
@@ -302,8 +368,15 @@ func (e *Engine) detect(ev *wire.Event) {
 			}
 			e.high[key] = tag.Seq
 		default:
-			// A late or recovered event fills its gap.
-			e.lost.Remove(wire.LostEntry{Source: ev.ID.Source, Pattern: tag.Pattern, Seq: tag.Seq})
+			// A late or recovered event fills its gap; the time since
+			// its detection is a recovery-latency sample.
+			entry := wire.LostEntry{Source: ev.ID.Source, Pattern: tag.Pattern, Seq: tag.Seq}
+			if e.ctrl != nil {
+				if at, ok := e.lost.DetectedAt(entry); ok {
+					e.ctrl.ObserveLatency(now - at)
+				}
+			}
+			e.lost.Remove(entry)
 		}
 	}
 }
@@ -313,32 +386,101 @@ func (e *Engine) detect(ev *wire.Event) {
 // normal operation rounds are driven by Start.
 func (e *Engine) RunRound() { e.round() }
 
-// round runs one gossip round.
+// round runs one gossip round: the effective algorithm (a hybrid
+// engine dispatches as push or combined pull depending on the
+// controller's mode) initiates gossip knobs.Fanout times, then the
+// controller observes the round and publishes the next knob snapshot.
 func (e *Engine) round() {
-	var sent bool
-	switch e.cfg.Algorithm {
-	case Push:
-		sent = e.gossipPush()
-	case SubscriberPull:
-		sent = e.gossipSubPull()
-	case PublisherPull:
-		sent = e.gossipPubPull()
-	case CombinedPull:
-		if e.rng.Float64() < e.cfg.PSource {
-			sent = e.gossipPubPull() || e.gossipSubPull()
+	alg := e.cfg.Algorithm
+	if alg == Hybrid {
+		if e.ctrl.Mode() == adapt.ModePush {
+			alg = Push
 		} else {
-			sent = e.gossipSubPull() || e.gossipPubPull()
+			alg = CombinedPull
 		}
-	case RandomPull:
-		sent = e.gossipRandom()
+	}
+	var sent bool
+	for i := 0; i < e.knobs.Fanout; i++ {
+		if e.dispatchOnce(alg) {
+			sent = true
+		}
 	}
 	if sent {
 		e.stats.RoundsStarted++
 	} else {
 		e.stats.RoundsSkipped++
 	}
-	e.adapt(sent)
+	if e.ctrl != nil {
+		e.observe()
+	} else {
+		e.adapt(sent)
+	}
 	e.sweepPending()
+}
+
+// dispatchOnce initiates one gossip exchange of the given effective
+// algorithm. When the controller has engaged the random-walk
+// degradation, routed pull digests fall back to random walks — the
+// routing state they rely on is evidently stale.
+func (e *Engine) dispatchOnce(alg Algorithm) bool {
+	switch alg {
+	case Push:
+		return e.gossipPush()
+	case SubscriberPull:
+		if e.knobs.Walk {
+			return e.gossipRandom()
+		}
+		return e.gossipSubPull()
+	case PublisherPull:
+		return e.gossipPubPull()
+	case CombinedPull:
+		if e.knobs.Walk {
+			return e.gossipRandom()
+		}
+		if e.rng.Float64() < e.knobs.PSource {
+			return e.gossipPubPull() || e.gossipSubPull()
+		}
+		return e.gossipSubPull() || e.gossipPubPull()
+	case RandomPull:
+		return e.gossipRandom()
+	}
+	return false
+}
+
+// observe closes the control loop at the round boundary: form the
+// signal deltas since the previous boundary, fold them into the
+// estimator, and install the controller's next knob snapshot.
+func (e *Engine) observe() {
+	now := e.p.Now()
+	lostCum := e.stats.LossesDetected
+	if !e.cfg.Algorithm.NeedsSeqTags() {
+		// Pure push never sees seqno gaps; missing events in received
+		// push digests are its loss evidence.
+		lostCum = e.pushMissing
+	}
+	epoch := e.node.LinkEpoch()
+	sig := adapt.Signals{
+		Elapsed:     now - e.lastObserveAt,
+		Delivered:   e.delivered - e.lastDelivered,
+		Lost:        lostCum - e.lastLost,
+		Recovered:   e.stats.Recovered - e.lastRecovered,
+		Outstanding: e.lost.Len(),
+		LinkChanges: epoch - e.lastLinkEpoch,
+	}
+	e.lastObserveAt = now
+	e.lastDelivered = e.delivered
+	e.lastLost = lostCum
+	e.lastRecovered = e.stats.Recovered
+	e.lastLinkEpoch = epoch
+
+	snap := e.ctrl.Observe(now, sig)
+	e.knobs = snap.Knobs
+	if e.ticker != nil {
+		e.ticker.SetPeriod(snap.Knobs.Interval)
+	}
+	if e.obs != nil {
+		e.obs(snap)
+	}
 }
 
 // adapt implements the adaptive gossip-interval extension: shrink the
@@ -391,14 +533,14 @@ func (e *Engine) gossipPush() bool {
 
 // forwardPattern routes a pattern-labelled gossip message like an event
 // matching p, thinning to each eligible neighbor with probability
-// PForward.
+// PForward (read from the coherent per-round knob snapshot).
 func (e *Engine) forwardPattern(msg wire.Message, p ident.PatternID, from ident.NodeID) bool {
 	sent := false
 	for _, nb := range e.node.InterestDirections(p) {
 		if nb == from {
 			continue
 		}
-		if e.rng.Float64() < e.cfg.PForward {
+		if e.rng.Float64() < e.knobs.PForward {
 			e.node.SendTree(nb, msg)
 			sent = true
 		}
@@ -516,10 +658,21 @@ func (e *Engine) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
 		}
 		e.idScratch = missing
 		if len(missing) > 0 {
+			e.pushMissing += uint64(len(missing))
 			e.stats.RequestsSent++
 			// The request outlives this handler; it gets its own copy.
 			e.node.SendOOB(m.Gossiper, &wire.Request{Requester: e.node.ID(), IDs: slices.Clone(missing)})
 		}
+	}
+	// Mode discipline applies to propagation, not consumption: a hybrid
+	// node that has switched to pull still harvests the digests it
+	// receives (above), but refuses to amplify them. On cyclic overlays
+	// the un-deduplicated digest flood is self-sustaining — every copy
+	// spawns ~(degree-1)·PForward copies per hop — so storms launched
+	// before a mode switch would otherwise saturate the FIFO links for
+	// the rest of the run.
+	if e.ctrl != nil && e.ctrl.Mode() == adapt.ModePull {
+		return
 	}
 	e.forwardPattern(m, m.Pattern, from)
 }
@@ -531,6 +684,17 @@ func (e *Engine) onGossipPush(from ident.NodeID, m *wire.GossipPush) {
 func (e *Engine) onGossipSubPull(from ident.NodeID, m *wire.GossipSubPull) {
 	remaining := e.serve(m.Gossiper, m.Wanted)
 	if len(remaining) == 0 {
+		return
+	}
+	// Same discipline as the push damper below: a node whose
+	// controller has degraded to random walks considers the routing
+	// state these digests follow stale — it serves what it can but
+	// refuses to amplify the routed flood. Sub-pull digests have no
+	// duplicate suppression, so on cyclic overlays each re-forward
+	// spawns ~(degree-1)·PForward copies and the flood is
+	// self-sustaining; walk-mode nodes are exactly the ones observing
+	// that machinery fail.
+	if e.knobs.Walk {
 		return
 	}
 	fwd := &wire.GossipSubPull{Gossiper: m.Gossiper, Pattern: m.Pattern, Wanted: slices.Clone(remaining)}
@@ -568,7 +732,7 @@ func (e *Engine) onGossipRandom(from ident.NodeID, m *wire.GossipRandom) {
 	if len(remaining) == 0 {
 		return
 	}
-	if e.rng.Float64() >= e.cfg.PForward {
+	if e.rng.Float64() >= e.knobs.PForward {
 		return
 	}
 	nbs := e.nbScratch[:0]
@@ -660,6 +824,7 @@ func (e *Engine) onRetransmit(m *wire.Retransmit) {
 			continue
 		}
 		e.stats.Recovered++
+		e.delivered++
 		e.index(ev)
 		if e.cfg.Algorithm.NeedsSeqTags() {
 			e.detect(ev)

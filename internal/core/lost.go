@@ -258,6 +258,14 @@ func (b *LostBuffer) Remove(e wire.LostEntry) bool {
 	return true
 }
 
+// DetectedAt returns the detection time of an outstanding entry. It
+// feeds the adaptive controller's recovery-latency estimate: the gap
+// between detection and the arrival of the recovered event.
+func (b *LostBuffer) DetectedAt(e wire.LostEntry) (sim.Time, bool) {
+	at, ok := b.entries[e]
+	return at, ok
+}
+
 // Has reports whether the entry is outstanding and fresh.
 func (b *LostBuffer) Has(e wire.LostEntry, now sim.Time) bool {
 	at, ok := b.entries[e]

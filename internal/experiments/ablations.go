@@ -129,72 +129,6 @@ func xBufferPolicy(opt Options) ([]Figure, error) {
 	return []Figure{fig}, nil
 }
 
-// xAdaptive compares fixed gossip intervals against the adaptive
-// controller across error rates: the adaptive variant should approach
-// the small-T delivery at high ε while spending closer to the large-T
-// overhead at low ε (the paper's Sec. IV-E motivation).
-func xAdaptive(opt Options) ([]Figure, error) {
-	xs := []float64{0.01, 0.05, 0.1}
-	if opt.Quick {
-		xs = []float64{0.01, 0.1}
-	}
-	p0 := base(opt, 10*time.Second)
-
-	type variant struct {
-		name string
-		mut  func(*scenario.Params)
-	}
-	variants := []variant{
-		{"fixed T=10ms", func(p *scenario.Params) { p.Gossip.GossipInterval = 10 * time.Millisecond }},
-		{"fixed T=30ms", func(p *scenario.Params) { p.Gossip.GossipInterval = 30 * time.Millisecond }},
-		{"fixed T=55ms", func(p *scenario.Params) { p.Gossip.GossipInterval = 55 * time.Millisecond }},
-		{"adaptive 10–120ms", func(p *scenario.Params) {
-			p.Gossip.GossipInterval = 30 * time.Millisecond
-			p.Gossip.Adaptive = &core.AdaptiveConfig{
-				Min:          10 * time.Millisecond,
-				Max:          120 * time.Millisecond,
-				ShrinkFactor: 0.7,
-				GrowFactor:   1.3,
-			}
-		}},
-	}
-	delivery := Figure{
-		ID: "x-adaptive-delivery", Title: "Adaptive vs fixed gossip interval: delivery (combined pull)",
-		XLabel: "ε (link error rate)", YLabel: "delivery rate",
-	}
-	overhead := Figure{
-		ID: "x-adaptive-overhead", Title: "Adaptive vs fixed gossip interval: overhead (combined pull)",
-		XLabel: "ε (link error rate)", YLabel: "gossip msgs per dispatcher",
-	}
-	var params []scenario.Params
-	for _, v := range variants {
-		for _, eps := range xs {
-			p := p0
-			p.Algorithm = core.CombinedPull
-			p.Network.LossRate = eps
-			p.Network.OOBLossRate = eps
-			v.mut(&p)
-			params = append(params, p)
-		}
-	}
-	results, err := scenario.RunAll(params)
-	if err != nil {
-		return nil, err
-	}
-	for vi, v := range variants {
-		ds := Series{Name: v.name}
-		os := Series{Name: v.name}
-		for xi, eps := range xs {
-			r := results[vi*len(xs)+xi]
-			ds.Points = append(ds.Points, Point{X: eps, Y: round2(r.DeliveryRate)})
-			os.Points = append(os.Points, Point{X: eps, Y: round2(r.GossipPerDispatcher)})
-		}
-		delivery.Series = append(delivery.Series, ds)
-		overhead.Series = append(overhead.Series, os)
-	}
-	return []Figure{delivery, overhead}, nil
-}
-
 // xPureGossip reproduces the paper's Sec. V comparison against
 // hpcast-style pure gossip dissemination (ref. [10]): gossip as the
 // only routing mechanism versus the paper's tree routing plus epidemic

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+)
+
+// xAdaptive is the closed-loop controller evaluation: the five static
+// recovery algorithms against adaptive combined pull and the hybrid
+// push/pull mode, across a regime matrix spanning the fault models
+// (independent loss, bursty Gilbert–Elliott loss, node churn) and the
+// overlay kinds (tree, scale-free, small-world). The claim under test:
+// in every regime the adaptive variants deliver within one percentage
+// point of — or better than — the best static algorithm for that
+// regime, without knowing the regime in advance.
+func xAdaptive(opt Options) ([]Figure, error) {
+	const churnRate = 2.0
+	const meanDown = 300 * time.Millisecond
+	// Mean burst 4 transmissions, calibrated so AvgLoss() = ε (as in
+	// x-burstloss).
+	const pBadToGood = 0.25
+	burstFor := func(e float64) func(p *scenario.Params) {
+		cfg := network.GilbertElliottConfig{
+			PGoodToBad: e * pBadToGood / (1 - e),
+			PBadToGood: pBadToGood,
+			DropGood:   0,
+			DropBad:    1,
+		}
+		return func(p *scenario.Params) {
+			p.NewLossModel = func(stream func(tag int64) *rand.Rand) network.LossModel {
+				return network.NewGilbertElliott(cfg, stream)
+			}
+		}
+	}
+
+	type regime struct {
+		name string
+		mut  func(p *scenario.Params)
+	}
+	regimes := []regime{
+		{"calm ε=0.01 tree", func(p *scenario.Params) {
+			p.Network.LossRate, p.Network.OOBLossRate = 0.01, 0.01
+		}},
+		{"lossy ε=0.10 tree", func(p *scenario.Params) {
+			p.Network.LossRate, p.Network.OOBLossRate = 0.10, 0.10
+		}},
+		{"burst ε=0.10 tree", func(p *scenario.Params) {
+			p.Network.LossRate, p.Network.OOBLossRate = 0.10, 0.10
+			burstFor(0.10)(p)
+		}},
+		{"churn tree", func(p *scenario.Params) {
+			p.Network.LossRate, p.Network.OOBLossRate = 0.05, 0.05
+			p.FaultPlan = faults.ChurnPlan(p.Seed, p.N, churnRate, p.Duration*3/5, meanDown)
+		}},
+		{"churn scale-free", func(p *scenario.Params) {
+			p.Network.LossRate, p.Network.OOBLossRate = 0.05, 0.05
+			p.Overlay = topology.KindScaleFree
+			p.FaultPlan = faults.ChurnPlan(p.Seed, p.N, churnRate, p.Duration*3/5, meanDown)
+		}},
+		{"churn small-world", func(p *scenario.Params) {
+			p.Network.LossRate, p.Network.OOBLossRate = 0.05, 0.05
+			p.Overlay = topology.KindSmallWorld
+			p.FaultPlan = faults.ChurnPlan(p.Seed, p.N, churnRate, p.Duration*3/5, meanDown)
+		}},
+	}
+
+	type variant struct {
+		name     string
+		alg      core.Algorithm
+		adaptive bool
+	}
+	variants := []variant{
+		{"push", core.Push, false},
+		{"subscriber pull", core.SubscriberPull, false},
+		{"publisher pull", core.PublisherPull, false},
+		{"combined pull", core.CombinedPull, false},
+		{"random pull", core.RandomPull, false},
+		{"adaptive (combined pull)", core.CombinedPull, true},
+		{"hybrid (push/pull)", core.Hybrid, true},
+	}
+	if opt.Quick {
+		regimes = []regime{regimes[1], regimes[4]}
+		variants = []variant{variants[3], variants[4], variants[5], variants[6]}
+	}
+
+	p0 := base(opt, 10*time.Second)
+	var params []scenario.Params
+	for _, v := range variants {
+		for _, rg := range regimes {
+			p := p0
+			p.Algorithm = v.alg
+			if v.adaptive {
+				p.Adapt = &adapt.Config{}
+			}
+			rg.mut(&p)
+			params = append(params, p)
+		}
+	}
+	results, err := scenario.RunAll(params)
+	if err != nil {
+		return nil, err
+	}
+
+	delivery := Figure{
+		ID:     "x-adaptive",
+		Title:  "EXTENSION: adaptive and hybrid gossip vs the static algorithms across fault regimes",
+		XLabel: "regime (see notes)",
+		YLabel: "delivery rate",
+	}
+	overhead := Figure{
+		ID:     "x-adaptive-overhead",
+		Title:  "EXTENSION: gossip overhead of adaptive and hybrid gossip across fault regimes",
+		XLabel: "regime (see notes)",
+		YLabel: "gossip msgs per dispatcher",
+	}
+	for ri, rg := range regimes {
+		delivery.Notes = append(delivery.Notes, fmt.Sprintf("regime %d: %s", ri+1, rg.name))
+	}
+	res := func(vi, ri int) scenario.Result { return results[vi*len(regimes)+ri] }
+	for vi, v := range variants {
+		ds := Series{Name: v.name}
+		os := Series{Name: v.name}
+		for ri := range regimes {
+			r := res(vi, ri)
+			ds.Points = append(ds.Points, Point{X: float64(ri + 1), Y: round2(r.DeliveryRate)})
+			os.Points = append(os.Points, Point{X: float64(ri + 1), Y: round2(r.GossipPerDispatcher)})
+		}
+		delivery.Series = append(delivery.Series, ds)
+		overhead.Series = append(overhead.Series, os)
+	}
+
+	// The headline: per regime, the best static delivery against each
+	// adaptive variant (positive delta = adaptive ahead).
+	for ri, rg := range regimes {
+		best, bestName := 0.0, ""
+		for vi, v := range variants {
+			if v.adaptive {
+				continue
+			}
+			if d := res(vi, ri).DeliveryRate; d > best {
+				best, bestName = d, v.name
+			}
+		}
+		line := fmt.Sprintf("%s: best static %.4f (%s)", rg.name, best, bestName)
+		for vi, v := range variants {
+			if !v.adaptive {
+				continue
+			}
+			d := res(vi, ri).DeliveryRate
+			line += fmt.Sprintf("; %s %.4f (%+.2f pp)", v.name, d, (d-best)*100)
+		}
+		delivery.Notes = append(delivery.Notes, line)
+	}
+	for vi, v := range variants {
+		if !v.adaptive {
+			continue
+		}
+		var sw, walks uint64
+		for ri := range regimes {
+			sw += res(vi, ri).Adapt.ModeSwitches
+			walks += res(vi, ri).Adapt.WalkSwitches
+		}
+		overhead.Notes = append(overhead.Notes,
+			fmt.Sprintf("%s: %d mode switches, %d walk-degradation switches across all regimes", v.name, sw, walks))
+	}
+	return []Figure{delivery, overhead}, nil
+}

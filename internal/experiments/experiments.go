@@ -75,7 +75,7 @@ var generators = map[string]generator{
 	"x-pforward":     {"EXTENSION: sensitivity to the forwarding probability Pforward", xPForward},
 	"x-psource":      {"EXTENSION: sensitivity of combined pull to Psource", xPSource},
 	"x-bufferpolicy": {"EXTENSION: buffer replacement policy ablation (after [13])", xBufferPolicy},
-	"x-adaptive":     {"EXTENSION: adaptive vs fixed gossip interval (after [14])", xAdaptive},
+	"x-adaptive":     {"EXTENSION: adaptive and hybrid gossip vs static algorithms across fault regimes", xAdaptive},
 	"x-latency":      {"EXTENSION: recovery latency percentiles per algorithm", xLatency},
 	"x-variance":     {"PAPER Sec. IV-A: delivery-rate spread across seeds", xVariance},
 	"x-churn":        {"EXTENSION: delivery under deterministic node churn", xChurn},

@@ -114,6 +114,13 @@ type Node struct {
 	// per-call map; reused across forwards (single-threaded kernel).
 	fwdScratch []ident.NodeID
 
+	// linkEpoch counts this node's adjacency mutations (OnLinkUp /
+	// OnLinkDown). It is the node-local churn signal of the adaptive
+	// controller: link mutations run as solo global events under the
+	// sharded executor, and the counter is only read from this node's
+	// own round events, so sampling it is shard-safe.
+	linkEpoch uint64
+
 	nextSeq uint32
 	// patSeq is the per-pattern sequence counter, a dense slab indexed
 	// by pattern (grown on demand) instead of a map.
@@ -146,6 +153,11 @@ func NewNode(id ident.NodeID, k *sim.Kernel, net *network.Network, neighbors []i
 
 // ID returns the dispatcher identifier.
 func (n *Node) ID() ident.NodeID { return n.id }
+
+// LinkEpoch returns the number of adjacency mutations (links added or
+// removed) this node has observed — the churn signal of the adaptive
+// recovery controller.
+func (n *Node) LinkEpoch() uint64 { return n.linkEpoch }
 
 // Kernel returns the simulation kernel the node runs on.
 func (n *Node) Kernel() *sim.Kernel { return n.p.Kernel() }
@@ -593,6 +605,7 @@ func (n *Node) removeInterest(p ident.PatternID, from ident.NodeID) {
 // forgotten and every route through it is flushed, propagating
 // unsubscriptions into the rest of the component.
 func (n *Node) OnLinkDown(nbr ident.NodeID) {
+	n.linkEpoch++
 	n.neighbors = removeNodeID(n.neighbors, nbr)
 	var stale []ident.PatternID
 	stale = n.tableSet.AppendTo(stale) // ascending == the sorted order used before
@@ -607,6 +620,7 @@ func (n *Node) OnLinkDown(nbr ident.NodeID) {
 // interest it holds (local, or learned from other directions), exactly
 // as a freshly issued subscription would propagate.
 func (n *Node) OnLinkUp(nbr ident.NodeID) {
+	n.linkEpoch++
 	n.neighbors = append(n.neighbors, nbr)
 	for _, p := range n.KnownPatterns() {
 		if n.advertisedTo(p, nbr) {

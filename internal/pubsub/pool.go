@@ -57,6 +57,7 @@ func (n *Node) reset(id ident.NodeID, k *sim.Kernel, net *network.Network, neigh
 	n.dirOver = nil
 	n.tableSet = ident.PatternSet{}
 	n.known = nil
+	n.linkEpoch = 0
 	n.nextSeq = 0
 	clear(n.patSeq)
 	n.received.Clear()

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -77,6 +78,14 @@ type Params struct {
 	// Gossip carries the gossip parameters; its Algorithm field is
 	// overridden by Algorithm above.
 	Gossip core.Config
+	// Adapt, when non-nil, enables the closed-loop adaptive controller
+	// (internal/adapt) on every engine: per-node loss/churn/latency
+	// estimates drive PForward, PSource, fanout, and the round period
+	// inside configured bounds. Copied into Gossip.Adapt by normalize;
+	// implied (with defaults) by Algorithm == core.Hybrid; ignored
+	// under NoRecovery (there is no engine to adapt). Static runs
+	// (nil) keep golden metrics bit-identical.
+	Adapt *adapt.Config
 	// Network carries the channel model (ε lives here as LossRate).
 	Network network.Config
 	// ReconfigInterval is ρ: every ρ a random link breaks. Zero
@@ -345,6 +354,9 @@ func (p Params) normalize() (Params, error) {
 		}
 	}
 	p.Gossip.Algorithm = p.Algorithm
+	if p.Adapt != nil && p.Algorithm != core.NoRecovery {
+		p.Gossip.Adapt = p.Adapt
+	}
 	if p.Algorithm != core.NoRecovery {
 		g, err := p.Gossip.Normalize()
 		if err != nil {
@@ -408,6 +420,10 @@ type Result struct {
 	// Repair carries the self-stabilizing protocol's counters; the zero
 	// value under RepairOracle.
 	Repair repair.Stats
+	// Adapt aggregates the adaptive controllers' trajectories (knob
+	// extremes, adjustment and mode/walk switch counts, mean final
+	// estimates); the zero value on static runs.
+	Adapt adapt.RunStats
 	// SubChurns counts subscription swaps the churn workload performed;
 	// zero unless Workload.SubChurnRate is set.
 	SubChurns uint64
@@ -523,10 +539,16 @@ func runWith(p Params, st *runState) (Result, error) {
 			o.ConvergenceBound = 3 * time.Second
 			copts = &o
 		}
+		var adCfg *adapt.Config
+		if p.Gossip.Adapt != nil {
+			n := p.Gossip.Adapt.Normalized(p.Gossip.GossipInterval)
+			adCfg = &n
+		}
 		chk = check.New(copts, check.Env{
 			Seed:      p.Seed,
 			Algorithm: p.Algorithm.String(),
 			N:         p.N,
+			Adapt:     adCfg,
 			Now:       k.Now,
 			Stop:      k.Stop,
 			Topo:      topo,
@@ -700,6 +722,8 @@ func runWith(p Params, st *runState) (Result, error) {
 			e := e
 			chk.AddAudit(fmt.Sprintf("engine %d", i),
 				func() error { return e.AuditInvariants(k.Now()) })
+			id := ident.NodeID(i)
+			e.SetAdaptObserver(func(s adapt.Snapshot) { chk.OnAdaptRound(id, s) })
 		}
 	}
 
@@ -1000,6 +1024,9 @@ func runWith(p Params, st *runState) (Result, error) {
 		res.EngineStats.DuplicateRecoveries += s.DuplicateRecoveries
 		res.EngineStats.RequestsSent += s.RequestsSent
 		res.EngineStats.RetransmitsServed += s.RetransmitsServed
+		if as, ok := e.AdaptStats(); ok {
+			res.Adapt.Merge(as)
+		}
 		e.Release()
 	}
 	for _, n := range nodes {
